@@ -1,0 +1,205 @@
+//! Criterion micro/meso-benchmarks of the *real* (wall-time) machinery.
+//!
+//! The figure/table binaries report simulated time; these benches answer
+//! the complementary question — is the reproduction's own code fast? They
+//! cover the hot paths: content descriptor algebra, the rayon policy scan
+//! (the §4.2.1 claim), tree walking, the indexed catalog vs a full scan
+//! (the reason the paper exported TSM's DB to MySQL, §4.2.5), the TapeCQ
+//! ordering structure, migrator partitioning, and a small end-to-end
+//! `pfcp`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use copra_cluster::NodeId;
+use copra_core::{migrator, MigrationPolicy};
+use copra_metadb::{TsmCatalog, TsmObjectRow};
+use copra_pfs::{Cmp, Pfs, PolicyEngine, Predicate, Rule};
+use copra_pftool::queues::{TapeEntry, TapeQueues};
+use copra_pftool::PftoolConfig;
+use copra_simtime::{Clock, SimDuration, SimInstant};
+use copra_vfs::{Content, Ino};
+use copra_workloads::{mixed_tree, populate};
+
+fn bench_content(c: &mut Criterion) {
+    let mut g = c.benchmark_group("content");
+    g.sample_size(20);
+    let content = Content::synthetic(7, 100 << 30); // 100 GiB descriptor
+    g.bench_function("slice_100gib_synthetic", |b| {
+        b.iter(|| black_box(content.slice(black_box(1 << 30), 1 << 20)))
+    });
+    g.bench_function("fingerprint_100gib_synthetic", |b| {
+        b.iter(|| black_box(content.fingerprint()))
+    });
+    let lit = Content::literal(vec![7u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("fingerprint_1mib_literal", |b| {
+        b.iter(|| black_box(lit.fingerprint()))
+    });
+    let a = Content::synthetic(1, 64 << 20);
+    let mut rebuilt = Content::empty();
+    for off in (0..(64 << 20)).step_by(1 << 20) {
+        rebuilt.extend(a.slice(off as u64, 1 << 20));
+    }
+    g.bench_function("eq_content_64mib_synthetic", |b| {
+        b.iter(|| black_box(a.eq_content(&rebuilt)))
+    });
+    g.finish();
+}
+
+fn scan_fixture(files: usize) -> Pfs {
+    let clock = Clock::new();
+    let pfs = Pfs::scratch("bench", clock.clone(), 4);
+    let tree = mixed_tree(files, 1_000_000, 1.5, 32, 42);
+    populate(&pfs, "/data", &tree);
+    clock.advance_to(SimInstant::from_secs(10_000));
+    pfs
+}
+
+fn bench_policy_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_scan");
+    g.sample_size(10);
+    let engine = PolicyEngine::new(vec![
+        Rule::exclude("tmp", Predicate::NameMatches("*.tmp".to_string())),
+        Rule::list(
+            "aged",
+            "candidates",
+            Predicate::MtimeAge(Cmp::Ge, SimDuration::from_secs(60))
+                .and(Predicate::SizeBytes(Cmp::Lt, 100_000_000)),
+        ),
+    ]);
+    for files in [10_000usize, 100_000] {
+        let pfs = scan_fixture(files);
+        g.throughput(Throughput::Elements(files as u64));
+        g.bench_with_input(BenchmarkId::new("ilm_scan", files), &pfs, |b, pfs| {
+            b.iter(|| black_box(pfs.run_policy(&engine).scanned))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_walk");
+    g.sample_size(10);
+    for files in [10_000usize, 100_000] {
+        let pfs = scan_fixture(files);
+        g.throughput(Throughput::Elements(files as u64));
+        g.bench_with_input(BenchmarkId::new("vfs_walk", files), &pfs, |b, pfs| {
+            b.iter(|| black_box(pfs.walk("/").unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("catalog");
+    g.sample_size(20);
+    let catalog = TsmCatalog::new();
+    let n = 200_000u64;
+    for i in 0..n {
+        catalog.record(TsmObjectRow {
+            objid: i,
+            path: format!("/archive/d{}/f{i}", i % 512),
+            fs_ino: i + 1,
+            tape: (i % 400) as u32,
+            seq: (i / 400) as u32,
+            len: 1 << 20,
+            stored_at: SimInstant::EPOCH,
+        });
+    }
+    // The paper's reason for MySQL: indexed lookup vs scanning the
+    // unindexed proprietary DB.
+    g.bench_function("indexed_lookup_by_ino", |b| {
+        b.iter(|| black_box(catalog.by_ino(black_box(123_456))))
+    });
+    g.bench_function("unindexed_equivalent_full_scan", |b| {
+        b.iter(|| {
+            black_box(
+                catalog
+                    .dump()
+                    .into_iter()
+                    .find(|r| r.fs_ino == black_box(123_456)),
+            )
+        })
+    });
+    let ids: Vec<u64> = (0..2_000).map(|i| i * 97 % n).collect();
+    g.bench_function("sort_for_recall_2k", |b| {
+        b.iter(|| black_box(catalog.sort_for_recall(&ids).len()))
+    });
+    g.finish();
+}
+
+fn bench_tape_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tape_queues");
+    g.sample_size(20);
+    g.bench_function("ordered_insert_10k", |b| {
+        b.iter(|| {
+            let mut tq = TapeQueues::new(true);
+            for i in 0..10_000u32 {
+                let seq = (i * 2_654_435_761) % 10_000; // scrambled
+                tq.push(
+                    i % 24,
+                    TapeEntry {
+                        seq,
+                        path: String::new(),
+                        ino: Ino(i as u64),
+                        parent: None,
+                    },
+                );
+            }
+            black_box(tq.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_migrator_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migrator_partition");
+    g.sample_size(20);
+    let pfs = scan_fixture(20_000);
+    let records = pfs.scan_records();
+    let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+    for policy in [
+        MigrationPolicy::SizeBalanced,
+        MigrationPolicy::RoundRobin,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("partition_20k", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| black_box(migrator::partition(&records, &nodes, policy).len()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pfcp_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pfcp_e2e");
+    g.sample_size(10);
+    // Wall time of the whole MPI-style engine on a 500-file tree: spawn
+    // ranks, walk, stat, move descriptors, report.
+    g.bench_function("pfcp_500_files_wall", |b| {
+        b.iter(|| {
+            let sys = copra_core::ArchiveSystem::new(copra_core::SystemConfig::test_small());
+            let tree = mixed_tree(500, 1_000_000, 1.0, 8, 5);
+            populate(sys.scratch(), "/src", &tree);
+            let report = sys.archive_tree("/src", "/dst", &PftoolConfig::test_small());
+            assert!(report.stats.ok());
+            black_box(report.stats.files)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_content,
+    bench_policy_scan,
+    bench_tree_walk,
+    bench_catalog,
+    bench_tape_queues,
+    bench_migrator_partition,
+    bench_pfcp_e2e
+);
+criterion_main!(benches);

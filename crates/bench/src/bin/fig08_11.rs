@@ -1,0 +1,183 @@
+//! Figures 8–11 (§5.2): the Roadrunner Open Science campaign.
+//!
+//! Regenerates the paper's four per-job series over a synthetic 62-job /
+//! 18-day campaign: number of files archived per job (Fig 8), data volume
+//! per job (Fig 9), achieved data rate per job (Fig 10, *measured* by
+//! driving each job through the full system), and average file size per
+//! job (Fig 11). Also runs the paper's comparison point: a non-parallel
+//! (single-stream) archiver whose ~70 MB/s the parallel system's ~575 MB/s
+//! mean is quoted against.
+//!
+//! Jobs with very many files are materialized as a capped, size-preserving
+//! sample (see `JobSpec::materialize`); Figures 8/9/11 report the *spec*
+//! values, Figure 10 reports the *measured* rate of the driven job.
+
+use copra_bench::{print_table, roadrunner_rig, summarize, write_json, EXPERIMENT_SEED};
+use copra_pftool::PftoolConfig;
+use copra_simtime::DataSize;
+use copra_workloads::{populate, CampaignSpec, OpenScienceTrace, TreeSpec};
+use serde::Serialize;
+
+/// Cap on materialized files per job (size mix preserved; see module doc).
+const FILE_CAP: u64 = 250;
+
+#[derive(Serialize)]
+struct JobRow {
+    job: u32,
+    day: u32,
+    files: u64,
+    gb: f64,
+    rate_mb_s: f64,
+    avg_file_mb: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<JobRow>,
+    files_per_job: copra_bench::Summary,
+    gb_per_job: copra_bench::Summary,
+    rate_mb_s: copra_bench::Summary,
+    avg_file_mb: copra_bench::Summary,
+    serial_baseline_mb_s: f64,
+}
+
+fn main() {
+    let trace = OpenScienceTrace::generate(CampaignSpec::roadrunner(), EXPERIMENT_SEED);
+    let sys = roadrunner_rig();
+    let config = PftoolConfig {
+        workers: 32,
+        readdir_procs: 2,
+        tape_procs: 0,
+        parallel_copy_threshold: DataSize::gb(10),
+        copy_chunk: DataSize::gb(1),
+        ..PftoolConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for job in &trace.jobs {
+        // The campaign clock follows submissions.
+        sys.clock().advance_to(job.submitted);
+        let tree = TreeSpec {
+            files: job.materialize(FILE_CAP),
+        };
+        let src_root = format!("/scratch/job{:03}", job.id);
+        populate(sys.scratch(), &src_root, &tree);
+        let report = sys.archive_tree(
+            &src_root,
+            &format!("/archive/job{:03}", job.id),
+            &config,
+        );
+        assert!(
+            report.stats.ok(),
+            "job {} failed: {:?}",
+            job.id,
+            report.stats.errors
+        );
+        rows.push(JobRow {
+            job: job.id,
+            day: job.day,
+            files: job.files,
+            gb: job.bytes as f64 / 1e9,
+            rate_mb_s: report.stats.rate_mb_s(),
+            avg_file_mb: job.avg_file_size() / 1e6,
+        });
+    }
+
+    // Non-parallel baseline: one worker, one readdir, single stream.
+    let serial_sys = roadrunner_rig();
+    let serial_cfg = PftoolConfig {
+        workers: 1,
+        readdir_procs: 1,
+        tape_procs: 0,
+        // a serial archiver does not chunk single files
+        parallel_copy_threshold: DataSize::tb(1000),
+        ..PftoolConfig::default()
+    };
+    let mid = &trace.jobs[trace.jobs.len() / 2];
+    let tree = TreeSpec {
+        files: mid.materialize(FILE_CAP),
+    };
+    populate(serial_sys.scratch(), "/scratch/serial", &tree);
+    let serial = serial_sys.archive_tree("/scratch/serial", "/archive/serial", &serial_cfg);
+    let serial_rate = serial.stats.rate_mb_s();
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.job.to_string(),
+                r.day.to_string(),
+                r.files.to_string(),
+                format!("{:.1}", r.gb),
+                format!("{:.1}", r.rate_mb_s),
+                format!("{:.2}", r.avg_file_mb),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figures 8-11: per-job series (62 Open Science jobs, 18 days)",
+        &["job", "day", "files", "GB", "MB/s", "avgMB"],
+        &table_rows,
+    );
+
+    let files: Vec<f64> = rows.iter().map(|r| r.files as f64).collect();
+    let gb: Vec<f64> = rows.iter().map(|r| r.gb).collect();
+    let rate: Vec<f64> = rows.iter().map(|r| r.rate_mb_s).collect();
+    let avg: Vec<f64> = rows.iter().map(|r| r.avg_file_mb).collect();
+    let out = Output {
+        files_per_job: summarize(&files),
+        gb_per_job: summarize(&gb),
+        rate_mb_s: summarize(&rate),
+        avg_file_mb: summarize(&avg),
+        serial_baseline_mb_s: serial_rate,
+        rows,
+    };
+
+    print_table(
+        "Campaign summary vs paper",
+        &["series", "min", "max", "mean", "paper min", "paper max", "paper mean"],
+        &[
+            vec![
+                "files/job".to_string(),
+                format!("{:.0}", out.files_per_job.min),
+                format!("{:.0}", out.files_per_job.max),
+                format!("{:.0}", out.files_per_job.mean),
+                "1".to_string(),
+                "2920088".to_string(),
+                "167491".to_string(),
+            ],
+            vec![
+                "GB/job".to_string(),
+                format!("{:.0}", out.gb_per_job.min),
+                format!("{:.0}", out.gb_per_job.max),
+                format!("{:.0}", out.gb_per_job.mean),
+                "4".to_string(),
+                "32593".to_string(),
+                "2442".to_string(),
+            ],
+            vec![
+                "MB/s/job".to_string(),
+                format!("{:.0}", out.rate_mb_s.min),
+                format!("{:.0}", out.rate_mb_s.max),
+                format!("{:.0}", out.rate_mb_s.mean),
+                "73".to_string(),
+                "1868".to_string(),
+                "~575".to_string(),
+            ],
+            vec![
+                "avg file MB/job".to_string(),
+                format!("{:.2}", out.avg_file_mb.min),
+                format!("{:.0}", out.avg_file_mb.max),
+                format!("{:.0}", out.avg_file_mb.mean),
+                "0.004".to_string(),
+                "4220".to_string(),
+                "596".to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\n  Non-parallel archiver baseline: {serial_rate:.1} MB/s (paper: ~70 MB/s)\n  Parallel mean / serial = {:.1}x (paper: 575/70 = 8.2x)",
+        out.rate_mb_s.mean / serial_rate.max(1e-9)
+    );
+    write_json("fig08_11", &out);
+}

@@ -1,0 +1,125 @@
+//! # copra-bench — the experiment harness
+//!
+//! One binary per paper table/figure (see `DESIGN.md` §3 for the index):
+//!
+//! | binary | experiment |
+//! |---|---|
+//! | `fig08_11` | Figures 8–11: the 62-job Open Science campaign |
+//! | `tbl_small_file` | §6.1 small-file tape collapse + aggregation fix |
+//! | `tbl_thrash` | §6.2 recall scatter vs tape affinity |
+//! | `tbl_order` | §4.1.2-2 tape-ordered vs unordered restore |
+//! | `tbl_chunk` | §4.1.2-3 single-large-file N-way chunked copy |
+//! | `tbl_fuse` | §4.1.2-4 ArchiveFUSE N-to-1 → N-to-N migration |
+//! | `tbl_migrator` | §4.2.4 size-balanced vs naive migration |
+//! | `tbl_scan` | §4.2.1 million-inode policy scan |
+//! | `tbl_lanfree` | §4.2.2 LAN vs LAN-free data movement |
+//! | `tbl_syncdel` | §4.2.6 synchronous delete vs reconcile |
+//! | `tbl_restart` | §4.5 restartable transfer chunk marking |
+//!
+//! Each binary prints an aligned table and writes the same rows as JSON to
+//! `target/experiments/<name>.json`; `EXPERIMENTS.md` quotes these runs.
+//! Criterion benches (in `benches/`) measure the *real* wall-time of the
+//! hot machinery.
+
+use copra_core::{ArchiveSystem, SystemConfig};
+use serde::Serialize;
+use std::fmt::Display;
+use std::path::PathBuf;
+
+/// Pretty-print an aligned table.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n== {title} ==");
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let cols: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", cols.join("  "));
+    };
+    line(&headers);
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in &rows {
+        line(row);
+    }
+}
+
+/// Summary statistics of a series.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+pub fn summarize(values: &[f64]) -> Summary {
+    let n = values.len().max(1) as f64;
+    Summary {
+        min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        mean: values.iter().sum::<f64>() / n,
+    }
+}
+
+/// Where experiment JSON dumps land.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Dump a serializable result set next to the human-readable output.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize experiment");
+    std::fs::write(&path, json).expect("write experiment json");
+    println!("  [json] {}", path.display());
+}
+
+/// The standard experiment rig: the Roadrunner-shaped system.
+pub fn roadrunner_rig() -> ArchiveSystem {
+    ArchiveSystem::new(SystemConfig::roadrunner())
+}
+
+/// A smaller rig for sweeps that rebuild the system many times.
+pub fn small_rig() -> ArchiveSystem {
+    ArchiveSystem::new(SystemConfig::test_small())
+}
+
+/// Fixed seed used across experiment binaries (reproducibility).
+pub const EXPERIMENT_SEED: u64 = 0x0000_C075_2010;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basics() {
+        let s = summarize(&[1.0, 2.0, 9.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigs_build() {
+        let rig = small_rig();
+        assert!(rig.archive().pool_by_name("tape").is_some());
+    }
+}

@@ -1,0 +1,104 @@
+//! The LoadManager (§4.1.2-1).
+//!
+//! The real LoadManager runs periodically, samples per-node CPU load, sorts
+//! the MPI machine list ascending by load, and hands the list to the next
+//! PFTool launch. We sample task counts from the cluster and cache the
+//! sorted list for a configurable refresh period of simulated time.
+
+use crate::fta::{FtaCluster, NodeId};
+use copra_simtime::{SimDuration, SimInstant};
+use parking_lot::Mutex;
+
+struct CachedList {
+    generated_at: SimInstant,
+    list: Vec<NodeId>,
+}
+
+/// Periodically refreshed, load-sorted machine list.
+pub struct LoadManager {
+    cluster: FtaCluster,
+    refresh: SimDuration,
+    cache: Mutex<Option<CachedList>>,
+}
+
+impl LoadManager {
+    pub fn new(cluster: FtaCluster, refresh: SimDuration) -> Self {
+        LoadManager {
+            cluster,
+            refresh,
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// The machine list as of simulated time `now`: ascending by active
+    /// task count, ties by node id (deterministic). Recomputed when the
+    /// cached list is older than the refresh period — so between refreshes
+    /// launches see a *stale* list, exactly like the real tool.
+    pub fn machine_list(&self, now: SimInstant) -> Vec<NodeId> {
+        let mut cache = self.cache.lock();
+        let stale = match &*cache {
+            None => true,
+            Some(c) => now.saturating_since(c.generated_at) >= self.refresh,
+        };
+        if stale {
+            let mut list: Vec<(u64, NodeId)> = self
+                .cluster
+                .nodes()
+                .map(|n| (self.cluster.load(n), n))
+                .collect();
+            list.sort_unstable();
+            *cache = Some(CachedList {
+                generated_at: now,
+                list: list.into_iter().map(|(_, n)| n).collect(),
+            });
+        }
+        cache.as_ref().unwrap().list.clone()
+    }
+
+    /// The `k` least-loaded nodes per the current list.
+    pub fn least_loaded(&self, now: SimInstant, k: usize) -> Vec<NodeId> {
+        let mut l = self.machine_list(now);
+        l.truncate(k.min(self.cluster.node_count()));
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fta::ClusterConfig;
+
+    #[test]
+    fn list_sorts_by_load() {
+        let c = FtaCluster::new(ClusterConfig::tiny(3));
+        let lm = LoadManager::new(c.clone(), SimDuration::from_secs(60));
+        c.begin_task(NodeId(0));
+        c.begin_task(NodeId(0));
+        c.begin_task(NodeId(1));
+        let list = lm.machine_list(SimInstant::EPOCH);
+        assert_eq!(list, vec![NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(lm.least_loaded(SimInstant::EPOCH, 2), vec![NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn list_is_cached_until_refresh() {
+        let c = FtaCluster::new(ClusterConfig::tiny(2));
+        let lm = LoadManager::new(c.clone(), SimDuration::from_secs(60));
+        let l0 = lm.machine_list(SimInstant::EPOCH);
+        assert_eq!(l0, vec![NodeId(0), NodeId(1)]);
+        // load changes, but within the refresh window the list is stale
+        c.begin_task(NodeId(0));
+        let l1 = lm.machine_list(SimInstant::from_secs(30));
+        assert_eq!(l1, l0);
+        // after the period the change is visible
+        let l2 = lm.machine_list(SimInstant::from_secs(61));
+        assert_eq!(l2, vec![NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn least_loaded_clamps_k() {
+        let c = FtaCluster::new(ClusterConfig::tiny(2));
+        let lm = LoadManager::new(c, SimDuration::ZERO);
+        assert_eq!(lm.least_loaded(SimInstant::EPOCH, 10).len(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! A minimal batch node allocator (MOAB stand-in).
+//!
+//! Users in the paper "use MOAB both interactively and in batch modes to
+//! launch parallel archive commands" (§5.1). For the reproduction we need
+//! only the resource-arbitration part: a blocking allocator that leases `k`
+//! nodes to a job and releases them (updating the cluster's load counters)
+//! when the lease drops.
+
+use crate::fta::{FtaCluster, NodeId};
+use crate::loadmgr::LoadManager;
+use copra_simtime::SimInstant;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct AllocState {
+    busy: Vec<bool>,
+}
+
+struct Shared {
+    cluster: FtaCluster,
+    state: Mutex<AllocState>,
+    freed: Condvar,
+}
+
+/// The allocator handle.
+#[derive(Clone)]
+pub struct Moab {
+    shared: Arc<Shared>,
+}
+
+/// A lease on a set of nodes. Dropping it returns the nodes to the pool and
+/// decrements their load counters.
+pub struct NodeLease {
+    shared: Arc<Shared>,
+    nodes: Vec<NodeId>,
+}
+
+impl NodeLease {
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl Drop for NodeLease {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        for n in &self.nodes {
+            st.busy[n.0 as usize] = false;
+            self.shared.cluster.end_task(*n);
+        }
+        drop(st);
+        self.shared.freed.notify_all();
+    }
+}
+
+impl Moab {
+    pub fn new(cluster: FtaCluster) -> Self {
+        let n = cluster.node_count();
+        Moab {
+            shared: Arc::new(Shared {
+                cluster,
+                state: Mutex::new(AllocState {
+                    busy: vec![false; n],
+                }),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Lease `k` nodes, blocking until enough are free. Node choice prefers
+    /// the LoadManager's least-loaded ordering among the free nodes.
+    ///
+    /// Panics if `k` exceeds the cluster size (the job could never run).
+    pub fn alloc(&self, k: usize, loadmgr: &LoadManager, now: SimInstant) -> NodeLease {
+        assert!(
+            k > 0 && k <= self.shared.cluster.node_count(),
+            "cannot lease {k} of {} nodes",
+            self.shared.cluster.node_count()
+        );
+        let mut st = self.shared.state.lock();
+        loop {
+            let free: Vec<NodeId> = loadmgr
+                .machine_list(now)
+                .into_iter()
+                .filter(|n| !st.busy[n.0 as usize])
+                .collect();
+            if free.len() >= k {
+                let nodes: Vec<NodeId> = free.into_iter().take(k).collect();
+                for n in &nodes {
+                    st.busy[n.0 as usize] = true;
+                    self.shared.cluster.begin_task(*n);
+                }
+                return NodeLease {
+                    shared: self.shared.clone(),
+                    nodes,
+                };
+            }
+            self.shared.freed.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking variant; `None` when fewer than `k` nodes are free.
+    pub fn try_alloc(&self, k: usize, loadmgr: &LoadManager, now: SimInstant) -> Option<NodeLease> {
+        if k == 0 || k > self.shared.cluster.node_count() {
+            return None;
+        }
+        let mut st = self.shared.state.lock();
+        let free: Vec<NodeId> = loadmgr
+            .machine_list(now)
+            .into_iter()
+            .filter(|n| !st.busy[n.0 as usize])
+            .collect();
+        if free.len() < k {
+            return None;
+        }
+        let nodes: Vec<NodeId> = free.into_iter().take(k).collect();
+        for n in &nodes {
+            st.busy[n.0 as usize] = true;
+            self.shared.cluster.begin_task(*n);
+        }
+        Some(NodeLease {
+            shared: self.shared.clone(),
+            nodes,
+        })
+    }
+
+    /// Number of currently free nodes.
+    pub fn free_nodes(&self) -> usize {
+        self.shared.state.lock().busy.iter().filter(|b| !**b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fta::ClusterConfig;
+    use copra_simtime::SimDuration;
+    use std::thread;
+
+    fn setup(n: usize) -> (FtaCluster, Moab, LoadManager) {
+        let c = FtaCluster::new(ClusterConfig::tiny(n));
+        let m = Moab::new(c.clone());
+        let lm = LoadManager::new(c.clone(), SimDuration::ZERO);
+        (c, m, lm)
+    }
+
+    #[test]
+    fn alloc_and_release() {
+        let (c, m, lm) = setup(4);
+        let lease = m.alloc(3, &lm, SimInstant::EPOCH);
+        assert_eq!(lease.nodes().len(), 3);
+        assert_eq!(m.free_nodes(), 1);
+        for n in lease.nodes() {
+            assert_eq!(c.load(*n), 1);
+        }
+        drop(lease);
+        assert_eq!(m.free_nodes(), 4);
+        assert!(c.nodes().all(|n| c.load(n) == 0));
+    }
+
+    #[test]
+    fn try_alloc_fails_when_saturated() {
+        let (_c, m, lm) = setup(2);
+        let _l = m.alloc(2, &lm, SimInstant::EPOCH);
+        assert!(m.try_alloc(1, &lm, SimInstant::EPOCH).is_none());
+    }
+
+    #[test]
+    fn blocked_alloc_wakes_on_release() {
+        let (_c, m, lm) = setup(2);
+        let lease = m.alloc(2, &lm, SimInstant::EPOCH);
+        let m2 = m.clone();
+        let handle = thread::spawn(move || {
+            let c2 = FtaCluster::new(ClusterConfig::tiny(2));
+            let lm2 = LoadManager::new(c2, SimDuration::ZERO);
+            let lease = m2.alloc(1, &lm2, SimInstant::EPOCH);
+            lease.nodes().len()
+        });
+        thread::sleep(std::time::Duration::from_millis(50));
+        drop(lease);
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lease")]
+    fn oversized_request_panics() {
+        let (_c, m, lm) = setup(2);
+        let _ = m.alloc(3, &lm, SimInstant::EPOCH);
+    }
+}

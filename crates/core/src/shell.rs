@@ -1,0 +1,280 @@
+//! The user shell inside the chroot jail (§4.2.3 made operational).
+//!
+//! The paper's users sit in a restricted environment where the installed
+//! commands are the tape-aware tools; MOAB launches what they type. This
+//! module is that dispatch: a command line is checked against the
+//! [`Jail`], parsed, routed to the mounted file system its paths name, and
+//! executed through the real implementations (`pfls`/`pfcp`/`pfcm`, the
+//! trashcan-backed delete, un-delete, plain namespace commands).
+
+use crate::jail::{Jail, JailError};
+use crate::system::ArchiveSystem;
+use crate::trashcan::Trashcan;
+use copra_pftool::{pfcm, pfcp, pfls, FsView, PftoolConfig};
+use copra_vfs::is_under;
+
+/// Result of one shell command.
+#[derive(Debug)]
+pub enum ShellOutput {
+    /// Output lines (ls, pfls, stat, confirmations).
+    Lines(Vec<String>),
+    /// A pfcp run report.
+    Copy(copra_pftool::CopyReport),
+    /// A pfcm run report.
+    Compare(copra_pftool::CompareReport),
+}
+
+/// Why a command failed.
+#[derive(Debug)]
+pub enum ShellError {
+    Jail(JailError),
+    Usage(&'static str),
+    /// Path did not resolve to a mounted file system.
+    NoSuchMount(String),
+    Fs(String),
+}
+
+impl std::fmt::Display for ShellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShellError::Jail(e) => write!(f, "{e}"),
+            ShellError::Usage(u) => write!(f, "usage: {u}"),
+            ShellError::NoSuchMount(p) => write!(f, "{p}: no such mount (use /scratch or /archive)"),
+            ShellError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The jailed shell bound to one archive system.
+pub struct Shell<'a> {
+    sys: &'a ArchiveSystem,
+    jail: Jail,
+    config: PftoolConfig,
+}
+
+impl<'a> Shell<'a> {
+    /// Mount convention: paths under `/scratch` live on the scratch file
+    /// system, everything else on the archive file system (whose namespace
+    /// includes `/archive/...` and the trashcan).
+    pub fn new(sys: &'a ArchiveSystem, jail: Jail, config: PftoolConfig) -> Self {
+        Shell { sys, jail, config }
+    }
+
+    fn view(&self, path: &str) -> &FsView {
+        if is_under(path, "/scratch") {
+            self.sys.scratch_view()
+        } else {
+            self.sys.archive_view()
+        }
+    }
+
+    /// Execute one command line.
+    pub fn run(&self, cmdline: &str) -> Result<ShellOutput, ShellError> {
+        self.jail.check(cmdline).map_err(ShellError::Jail)?;
+        let argv: Vec<&str> = cmdline.split_whitespace().collect();
+        match argv.as_slice() {
+            ["pfls", path] => {
+                let report = pfls(self.view(path), path, &self.config, &[]);
+                let mut lines = report.lines.clone();
+                lines.push(format!(
+                    "{} files, {} dirs, {} bytes",
+                    report.stats.files, report.stats.dirs, report.stats.bytes
+                ));
+                Ok(ShellOutput::Lines(lines))
+            }
+            ["pfcp", src, dst] => {
+                let report = pfcp(
+                    self.view(src),
+                    src,
+                    self.view(dst),
+                    dst,
+                    &self.config,
+                    &[],
+                );
+                Ok(ShellOutput::Copy(report))
+            }
+            ["pfcm", src, dst] => {
+                let report = pfcm(
+                    self.view(src),
+                    src,
+                    self.view(dst),
+                    dst,
+                    &self.config,
+                    &[],
+                );
+                Ok(ShellOutput::Compare(report))
+            }
+            ["ls", path] => {
+                let entries = self
+                    .view(path)
+                    .pfs
+                    .readdir(path)
+                    .map_err(|e| ShellError::Fs(e.to_string()))?;
+                Ok(ShellOutput::Lines(
+                    entries
+                        .into_iter()
+                        .map(|e| {
+                            format!(
+                                "{} {}",
+                                if e.ftype == copra_vfs::FileType::Directory { "d" } else { "f" },
+                                e.name
+                            )
+                        })
+                        .collect(),
+                ))
+            }
+            ["mkdir", path] => {
+                self.view(path)
+                    .pfs
+                    .mkdir_p(path)
+                    .map_err(|e| ShellError::Fs(e.to_string()))?;
+                Ok(ShellOutput::Lines(vec![format!("created {path}")]))
+            }
+            ["mv", from, to] => {
+                let view = self.view(from);
+                if !std::ptr::eq(view, self.view(to)) {
+                    return Err(ShellError::Usage("mv works within one mount; use pfcp across mounts"));
+                }
+                view.pfs
+                    .rename(from, to)
+                    .map_err(|e| ShellError::Fs(e.to_string()))?;
+                Ok(ShellOutput::Lines(vec![format!("{from} -> {to}")]))
+            }
+            ["stat", path] => {
+                let view = self.view(path);
+                let attr = view.pfs.stat(path).map_err(|e| ShellError::Fs(e.to_string()))?;
+                let hsm = view
+                    .pfs
+                    .hsm_state(attr.ino)
+                    .map_err(|e| ShellError::Fs(e.to_string()))?;
+                Ok(ShellOutput::Lines(vec![format!(
+                    "{path}: {} bytes uid={} {hsm} mtime={}",
+                    attr.size, attr.uid, attr.mtime
+                )]))
+            }
+            // User delete goes through the trashcan, never raw unlink.
+            ["del", path] | ["delete", path] => {
+                let trash = Trashcan::new(self.sys.fuse().clone());
+                let parked = trash.delete(path).map_err(|e| ShellError::Fs(e.to_string()))?;
+                Ok(ShellOutput::Lines(vec![format!("{path} -> {parked}")]))
+            }
+            ["undelete", trash_path, restore_to] => {
+                let trash = Trashcan::new(self.sys.fuse().clone());
+                trash
+                    .undelete(trash_path, restore_to)
+                    .map_err(|e| ShellError::Fs(e.to_string()))?;
+                Ok(ShellOutput::Lines(vec![format!(
+                    "{trash_path} -> {restore_to}"
+                )]))
+            }
+            ["pfls", ..] => Err(ShellError::Usage("pfls <path>")),
+            ["pfcp", ..] => Err(ShellError::Usage("pfcp <src> <dst>")),
+            ["pfcm", ..] => Err(ShellError::Usage("pfcm <src> <dst>")),
+            ["ls", ..] | ["mkdir", ..] | ["stat", ..] => Err(ShellError::Usage("<cmd> <path>")),
+            ["mv", ..] => Err(ShellError::Usage("mv <from> <to>")),
+            ["undelete", ..] => Err(ShellError::Usage("undelete <trash-path> <restore-to>")),
+            _ => Err(ShellError::Usage("command installed but not wired")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use copra_vfs::Content;
+
+    fn shell(sys: &ArchiveSystem) -> Shell<'_> {
+        let mut jail = Jail::standard();
+        jail.allow("del");
+        jail.allow("delete");
+        Shell::new(sys, jail, PftoolConfig::test_small())
+    }
+
+    #[test]
+    fn full_user_session() {
+        let sys = ArchiveSystem::new(SystemConfig::test_small());
+        let sh = shell(&sys);
+        // User stages data on scratch (the compute side did this really).
+        sys.scratch().mkdir_p("/scratch/run").unwrap();
+        for i in 0..5u64 {
+            sys.scratch()
+                .create_file(&format!("/scratch/run/f{i}"), 9, Content::synthetic(i, 10_000))
+                .unwrap();
+        }
+        // mkdir + pfcp + pfls + pfcm through the shell.
+        sh.run("mkdir /archive").unwrap();
+        match sh.run("pfcp /scratch/run /archive/run").unwrap() {
+            ShellOutput::Copy(r) => {
+                assert!(r.stats.ok());
+                assert_eq!(r.stats.files, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        match sh.run("pfls /archive/run").unwrap() {
+            ShellOutput::Lines(lines) => {
+                assert!(lines.iter().any(|l| l.contains("f3")));
+                assert!(lines.last().unwrap().contains("5 files"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match sh.run("pfcm /scratch/run /archive/run").unwrap() {
+            ShellOutput::Compare(r) => assert!(r.identical()),
+            other => panic!("{other:?}"),
+        }
+        // ls / stat / mv on the archive mount.
+        match sh.run("ls /archive/run").unwrap() {
+            ShellOutput::Lines(lines) => assert_eq!(lines.len(), 5),
+            other => panic!("{other:?}"),
+        }
+        sh.run("mv /archive/run/f0 /archive/run/renamed").unwrap();
+        match sh.run("stat /archive/run/renamed").unwrap() {
+            ShellOutput::Lines(lines) => {
+                assert!(lines[0].contains("10000 bytes"));
+                assert!(lines[0].contains("resident"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // delete → trashcan → undelete.
+        let parked = match sh.run("del /archive/run/f1").unwrap() {
+            ShellOutput::Lines(lines) => lines[0].split(" -> ").nth(1).unwrap().to_string(),
+            other => panic!("{other:?}"),
+        };
+        assert!(!sys.archive().exists("/archive/run/f1"));
+        sh.run(&format!("undelete {parked} /archive/run/f1")).unwrap();
+        assert!(sys.archive().exists("/archive/run/f1"));
+    }
+
+    #[test]
+    fn jail_blocks_hostile_commands_at_the_shell() {
+        let sys = ArchiveSystem::new(SystemConfig::test_small());
+        let sh = shell(&sys);
+        assert!(matches!(
+            sh.run("grep secret /archive/run"),
+            Err(ShellError::Jail(JailError::TapeHostile { .. }))
+        ));
+        assert!(matches!(
+            sh.run("rm -rf /archive"),
+            Err(ShellError::Jail(JailError::TapeHostile { .. }))
+        ));
+        assert!(matches!(
+            sh.run("python3 x.py"),
+            Err(ShellError::Jail(JailError::NotInstalled(_)))
+        ));
+    }
+
+    #[test]
+    fn usage_errors_and_cross_mount_mv() {
+        let sys = ArchiveSystem::new(SystemConfig::test_small());
+        let sh = shell(&sys);
+        assert!(matches!(sh.run("pfcp /only-one"), Err(ShellError::Usage(_))));
+        assert!(matches!(
+            sh.run("mv /scratch/a /archive/a"),
+            Err(ShellError::Usage(_))
+        ));
+        assert!(matches!(
+            sh.run("ls /archive/nonexistent"),
+            Err(ShellError::Fs(_))
+        ));
+    }
+}

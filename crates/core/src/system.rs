@@ -1,0 +1,410 @@
+//! The assembled archive system.
+
+use copra_cluster::{ClusterConfig, FtaCluster, LoadManager, Moab};
+use copra_fuse::ArchiveFuse;
+use copra_hsm::{Hsm, TsmServer};
+use copra_metadb::TsmCatalog;
+use copra_pfs::{Cmp, Pfs, PfsBuilder, PolicyEngine, PoolConfig, Predicate, Rule};
+use copra_pftool::{
+    pfcm, pfcp, pfls, CompareReport, CopyReport, FsView, ListReport, PftoolConfig,
+};
+use copra_simtime::{Clock, DataSize, SimDuration};
+use copra_tape::{TapeLibrary, TapeTiming};
+use std::sync::Arc;
+
+/// Deployment description (Figure 7 / §4.3.1 defaults).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    pub cluster: ClusterConfig,
+    /// Tape drives on the SAN.
+    pub drives: usize,
+    /// Scratch volumes in the library.
+    pub tapes: usize,
+    pub tape_timing: TapeTiming,
+    /// Fast FC disk pool capacity (archive first tier).
+    pub fast_pool: DataSize,
+    /// Devices (LUN groups) in the fast pool.
+    pub fast_devices: usize,
+    /// Slow pool capacity (small-file tier).
+    pub slow_pool: DataSize,
+    pub slow_devices: usize,
+    /// Files below this size are placed in the slow pool.
+    pub small_file_cutoff: DataSize,
+    /// Scratch file system device count.
+    pub scratch_devices: usize,
+    /// ArchiveFUSE threshold and chunk size (§4.1.2-4).
+    pub fuse_threshold: DataSize,
+    pub fuse_chunk: DataSize,
+    /// LoadManager refresh period.
+    pub loadmgr_refresh: SimDuration,
+}
+
+impl SystemConfig {
+    /// The paper's Roadrunner Open Science deployment: ten FTA mover
+    /// nodes, 24 LTO-4 drives, 100 TB of FC4 disk, 2×10GigE trunk.
+    pub fn roadrunner() -> Self {
+        SystemConfig {
+            cluster: ClusterConfig::roadrunner(),
+            drives: 24,
+            tapes: 512,
+            tape_timing: TapeTiming::lto4(),
+            fast_pool: DataSize::tb(100),
+            fast_devices: 10,
+            slow_pool: DataSize::tb(100),
+            slow_devices: 4,
+            small_file_cutoff: DataSize::mb(1),
+            scratch_devices: 24,
+            fuse_threshold: DataSize::gb(100),
+            fuse_chunk: DataSize::gb(10),
+            loadmgr_refresh: SimDuration::from_secs(60),
+        }
+    }
+
+    /// A scaled-down rig for tests: everything smaller, fuse kicks in at
+    /// 200 MB.
+    pub fn test_small() -> Self {
+        SystemConfig {
+            cluster: ClusterConfig::tiny(4),
+            drives: 4,
+            tapes: 32,
+            tape_timing: TapeTiming::lto4(),
+            fast_pool: DataSize::tb(10),
+            fast_devices: 4,
+            slow_pool: DataSize::tb(10),
+            slow_devices: 2,
+            small_file_cutoff: DataSize::mb(1),
+            scratch_devices: 8,
+            fuse_threshold: DataSize::mb(200),
+            fuse_chunk: DataSize::mb(50),
+            loadmgr_refresh: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::roadrunner()
+    }
+}
+
+/// The whole COTS Parallel Archive System, assembled.
+#[derive(Clone)]
+pub struct ArchiveSystem {
+    clock: Clock,
+    cluster: FtaCluster,
+    scratch: Pfs,
+    archive: Pfs,
+    hsm: Hsm,
+    fuse: ArchiveFuse,
+    catalog: Arc<TsmCatalog>,
+    loadmgr: Arc<LoadManager>,
+    moab: Moab,
+    scratch_view: FsView,
+    archive_view: FsView,
+}
+
+impl ArchiveSystem {
+    /// Build the full stack from a deployment description.
+    pub fn new(config: SystemConfig) -> Self {
+        let clock = Clock::new();
+        let cluster = FtaCluster::new(config.cluster.clone());
+        let scratch = Pfs::scratch("scratch", clock.clone(), config.scratch_devices);
+        let archive = PfsBuilder::new("archive", clock.clone())
+            .pool(PoolConfig::fast_disk("fast", config.fast_devices, config.fast_pool))
+            .pool(PoolConfig::slow_disk("slow", config.slow_devices, config.slow_pool))
+            .pool(PoolConfig::external("tape"))
+            .placement(vec![
+                Rule {
+                    name: "small-files-to-slow-pool".to_string(),
+                    action: copra_pfs::Action::Place {
+                        pool: "slow".to_string(),
+                    },
+                    predicate: Predicate::SizeBytes(
+                        Cmp::Lt,
+                        config.small_file_cutoff.as_bytes(),
+                    ),
+                },
+                Rule {
+                    name: "default-fast".to_string(),
+                    action: copra_pfs::Action::Place {
+                        pool: "fast".to_string(),
+                    },
+                    predicate: Predicate::True,
+                },
+            ])
+            .build();
+        let library = TapeLibrary::new(config.drives, config.tapes, config.tape_timing);
+        let server = TsmServer::roadrunner(library);
+        let hsm = Hsm::new(archive.clone(), server, cluster.clone());
+        let fuse = ArchiveFuse::new(archive.clone(), config.fuse_threshold, config.fuse_chunk);
+        let catalog = Arc::new(TsmCatalog::new());
+        let loadmgr = Arc::new(LoadManager::new(cluster.clone(), config.loadmgr_refresh));
+        let moab = Moab::new(cluster.clone());
+        let scratch_view = FsView::plain(scratch.clone(), cluster.clone());
+        let archive_view = FsView::archive(
+            archive.clone(),
+            fuse.clone(),
+            hsm.clone(),
+            catalog.clone(),
+            cluster.clone(),
+        );
+        // Standard trashcan root, present from day one (§4.2.7).
+        archive.mkdir_p(crate::trashcan::TRASH_ROOT).unwrap();
+        ArchiveSystem {
+            clock,
+            cluster,
+            scratch,
+            archive,
+            hsm,
+            fuse,
+            catalog,
+            loadmgr,
+            moab,
+            scratch_view,
+            archive_view,
+        }
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+    pub fn cluster(&self) -> &FtaCluster {
+        &self.cluster
+    }
+    pub fn scratch(&self) -> &Pfs {
+        &self.scratch
+    }
+    pub fn archive(&self) -> &Pfs {
+        &self.archive
+    }
+    pub fn hsm(&self) -> &Hsm {
+        &self.hsm
+    }
+    pub fn fuse(&self) -> &ArchiveFuse {
+        &self.fuse
+    }
+    pub fn catalog(&self) -> &Arc<TsmCatalog> {
+        &self.catalog
+    }
+    pub fn loadmgr(&self) -> &Arc<LoadManager> {
+        &self.loadmgr
+    }
+    pub fn moab(&self) -> &Moab {
+        &self.moab
+    }
+    pub fn scratch_view(&self) -> &FsView {
+        &self.scratch_view
+    }
+    pub fn archive_view(&self) -> &FsView {
+        &self.archive_view
+    }
+
+    /// The policy engine users typically run for migration candidates:
+    /// LIST files on disk pools that already aged past `min_age`.
+    pub fn migration_policy(&self, min_age: SimDuration) -> PolicyEngine {
+        PolicyEngine::new(vec![Rule::list(
+            "migration-candidates",
+            "migrate",
+            Predicate::All(vec![
+                Predicate::Hsm(copra_pfs::HsmState::Resident),
+                Predicate::MtimeAge(Cmp::Ge, min_age),
+                Predicate::Not(Box::new(Predicate::Under(
+                    crate::trashcan::TRASH_ROOT.to_string(),
+                ))),
+            ]),
+        )])
+    }
+
+    /// Apply a policy scan's *internal* pool migrations (disk tiering,
+    /// e.g. aged small files from the fast FC pool to the slow pool).
+    /// External-pool rows are ignored here — tape movement goes through
+    /// the parallel migrator. Returns (files moved, completion instant).
+    pub fn apply_pool_migrations(
+        &self,
+        report: &copra_pfs::ScanReport,
+    ) -> (usize, copra_simtime::SimInstant) {
+        let mut moved = 0;
+        let mut end = self.clock.now();
+        for (pool, files) in &report.migrations {
+            let Some(target) = self.archive.pool_by_name(pool) else {
+                continue;
+            };
+            if target.is_external() {
+                continue;
+            }
+            for rec in files {
+                if let Ok(r) = self.archive.move_to_pool(rec.ino, pool, self.clock.now()) {
+                    moved += 1;
+                    end = end.max(r.end);
+                }
+            }
+        }
+        (moved, end)
+    }
+
+    /// Export the TSM database into the indexed replica (§4.2.5's nightly
+    /// MySQL dump). Returns rows exported.
+    pub fn export_catalog(&self) -> usize {
+        self.hsm.server().export(&self.catalog)
+    }
+
+    // ----- user-facing commands (launched via MOAB in the paper) -----------
+
+    /// Machine list for a run, from the LoadManager.
+    fn machines(&self, k: usize) -> Vec<copra_cluster::NodeId> {
+        self.loadmgr.least_loaded(self.clock.now(), k.max(1))
+    }
+
+    /// `pfcp` scratch → archive.
+    pub fn archive_tree(&self, src: &str, dst: &str, config: &PftoolConfig) -> CopyReport {
+        let nodes = self.machines(config.workers);
+        pfcp(
+            &self.scratch_view,
+            src,
+            &self.archive_view,
+            dst,
+            config,
+            &nodes,
+        )
+    }
+
+    /// `pfcp` archive → scratch (restores from tape as needed).
+    pub fn retrieve_tree(&self, src: &str, dst: &str, config: &PftoolConfig) -> CopyReport {
+        // Recalls need the catalog current.
+        self.export_catalog();
+        let nodes = self.machines(config.workers);
+        pfcp(
+            &self.archive_view,
+            src,
+            &self.scratch_view,
+            dst,
+            config,
+            &nodes,
+        )
+    }
+
+    /// `pfls` on the archive namespace.
+    pub fn list_archive(&self, path: &str, config: &PftoolConfig) -> ListReport {
+        let nodes = self.machines(config.workers);
+        pfls(&self.archive_view, path, config, &nodes)
+    }
+
+    /// `pfcm` scratch vs archive (post-archive integrity check).
+    pub fn verify_tree(&self, src: &str, dst: &str, config: &PftoolConfig) -> CompareReport {
+        let nodes = self.machines(config.workers);
+        pfcm(
+            &self.scratch_view,
+            src,
+            &self.archive_view,
+            dst,
+            config,
+            &nodes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copra_vfs::Content;
+
+    #[test]
+    fn builds_roadrunner_shape() {
+        let sys = ArchiveSystem::new(SystemConfig::roadrunner());
+        assert_eq!(sys.cluster().node_count(), 10);
+        assert_eq!(sys.hsm().server().library().drive_count(), 24);
+        assert!(sys.archive().pool_by_name("fast").is_some());
+        assert!(sys.archive().pool_by_name("slow").is_some());
+        assert!(sys.archive().pool_by_name("tape").unwrap().is_external());
+        assert!(sys.archive().exists(crate::trashcan::TRASH_ROOT));
+    }
+
+    #[test]
+    fn archive_and_verify_roundtrip() {
+        let sys = ArchiveSystem::new(SystemConfig::test_small());
+        sys.scratch().mkdir_p("/campaign/run1").unwrap();
+        for i in 0..8u64 {
+            sys.scratch()
+                .create_file(
+                    &format!("/campaign/run1/f{i}.dat"),
+                    100,
+                    Content::synthetic(i, 2_000_000 + i * 1000),
+                )
+                .unwrap();
+        }
+        let config = PftoolConfig::test_small();
+        let report = sys.archive_tree("/campaign", "/archive/campaign", &config);
+        assert!(report.stats.ok(), "{:?}", report.stats.errors);
+        assert_eq!(report.stats.files, 8);
+        let cmp = sys.verify_tree("/campaign", "/archive/campaign", &config);
+        assert!(cmp.identical());
+    }
+
+    #[test]
+    fn small_files_placed_in_slow_pool() {
+        let sys = ArchiveSystem::new(SystemConfig::test_small());
+        let tiny = sys
+            .archive()
+            .create_file("/t", 0, Content::synthetic(1, 100))
+            .unwrap();
+        let big = sys
+            .archive()
+            .create_file("/b", 0, Content::synthetic(2, 50_000_000))
+            .unwrap();
+        assert_eq!(sys.archive().pool(sys.archive().pool_of(tiny)).name(), "slow");
+        assert_eq!(sys.archive().pool(sys.archive().pool_of(big)).name(), "fast");
+    }
+
+    #[test]
+    fn internal_tiering_moves_aged_files_to_slow_pool() {
+        let sys = ArchiveSystem::new(SystemConfig::test_small());
+        sys.archive().mkdir_p("/data").unwrap();
+        // Big enough to land in the fast pool initially.
+        let inos: Vec<_> = (0..5u64)
+            .map(|i| {
+                sys.archive()
+                    .create_file(&format!("/data/f{i}"), 0, Content::synthetic(i, 5_000_000))
+                    .unwrap()
+            })
+            .collect();
+        sys.clock().advance_to(copra_simtime::SimInstant::from_secs(100_000));
+        let engine = PolicyEngine::new(vec![copra_pfs::Rule::migrate(
+            "age-out-to-slow",
+            "slow",
+            Predicate::All(vec![
+                Predicate::InPool("fast".to_string()),
+                Predicate::MtimeAge(Cmp::Ge, SimDuration::from_secs(86_400)),
+            ]),
+        )]);
+        let report = sys.archive().run_policy(&engine);
+        assert_eq!(report.migrations["slow"].len(), 5);
+        let (moved, end) = sys.apply_pool_migrations(&report);
+        assert_eq!(moved, 5);
+        assert!(end > sys.clock().now());
+        for ino in inos {
+            assert_eq!(sys.archive().pool(sys.archive().pool_of(ino)).name(), "slow");
+        }
+        // Second scan finds nothing left in the fast pool.
+        let report = sys.archive().run_policy(&engine);
+        assert!(report.migrations.is_empty());
+    }
+
+    #[test]
+    fn migration_policy_lists_aged_resident_files() {
+        let sys = ArchiveSystem::new(SystemConfig::test_small());
+        sys.archive().mkdir_p("/data").unwrap();
+        sys.archive()
+            .create_file("/data/old", 0, Content::synthetic(1, 1000))
+            .unwrap();
+        sys.clock().advance_to(copra_simtime::SimInstant::from_secs(7200));
+        sys.archive()
+            .create_file("/data/new", 0, Content::synthetic(2, 1000))
+            .unwrap();
+        let engine = sys.migration_policy(SimDuration::from_secs(3600));
+        let report = sys.archive().run_policy(&engine);
+        let names: Vec<_> = report.lists["migrate"].iter().map(|r| r.path.clone()).collect();
+        assert_eq!(names, vec!["/data/old"]);
+    }
+}

@@ -1,0 +1,570 @@
+//! Storage agents — the per-node data movers.
+//!
+//! In LAN mode every byte flows client → network → server → drive; with
+//! multiple clients the server NIC saturates. In LAN-free mode the bytes
+//! flow client → FC HBA → SAN → drive and only object metadata touches the
+//! server, so agents on different nodes stream to different tapes fully in
+//! parallel (paper Figure 6).
+
+use crate::error::{HsmError, HsmResult};
+use crate::object::{ObjectKind, TsmObject};
+use crate::server::TsmServer;
+use copra_cluster::{FtaCluster, NodeId};
+use copra_simtime::{DataSize, SimInstant};
+use copra_tape::{DriveId, TapeError, TapeId};
+use copra_vfs::Content;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which path object data takes (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataPath {
+    /// Through the central server's NIC (the bottleneck).
+    Lan,
+    /// Client → SAN → drive; metadata only to the server.
+    LanFree,
+}
+
+struct AgentState {
+    /// The (drive, volume) pair this agent is currently streaming to.
+    current: Option<(DriveId, TapeId)>,
+}
+
+struct Shared {
+    node: NodeId,
+    cluster: FtaCluster,
+    server: TsmServer,
+    state: Mutex<AgentState>,
+}
+
+/// A storage agent bound to one FTA node (cheap to clone).
+#[derive(Clone)]
+pub struct StorageAgent {
+    shared: Arc<Shared>,
+}
+
+impl StorageAgent {
+    pub fn new(node: NodeId, cluster: FtaCluster, server: TsmServer) -> Self {
+        StorageAgent {
+            shared: Arc::new(Shared {
+                node,
+                cluster,
+                server,
+                state: Mutex::new(AgentState { current: None }),
+            }),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    pub fn server(&self) -> &TsmServer {
+        &self.shared.server
+    }
+
+    /// Identifier used for tape hand-off detection.
+    fn agent_id(&self) -> u32 {
+        self.shared.node.0
+    }
+
+    /// Make sure this agent has a mounted volume with room for `len`.
+    /// Returns (drive, mount-completion instant).
+    fn ensure_volume(
+        &self,
+        len: DataSize,
+        ready: SimInstant,
+    ) -> HsmResult<(DriveId, SimInstant)> {
+        let server = &self.shared.server;
+        let lib = server.library();
+        let mut st = self.shared.state.lock();
+        // Reuse the current volume while it has space.
+        if let Some((drive, tape)) = st.current {
+            let has_space = lib.with_cartridge(tape, |c| c.remaining() >= len)?;
+            let still_ours = lib.mounted_tape(drive)? == Some(tape);
+            if has_space && still_ours {
+                return Ok((drive, ready));
+            }
+        }
+        // Ask the server for a volume and mount it. Retry a few times to
+        // absorb races with other agents grabbing the same scratch volume.
+        let mut cursor = ready;
+        for _ in 0..8 {
+            let (tape, t) = server.assign_volume(len, cursor)?;
+            cursor = t;
+            match lib.ensure_mounted(tape, cursor) {
+                Ok((drive, end)) => {
+                    st.current = Some((drive, tape));
+                    return Ok((drive, end));
+                }
+                Err(TapeError::TapeInUse { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(HsmError::OutOfVolumes {
+            needed: len.as_bytes(),
+        })
+    }
+
+    /// Store one object (one tape transaction). Returns (objid, completion).
+    pub fn store(
+        &self,
+        path: &str,
+        fs_ino: u64,
+        content: Content,
+        ready: SimInstant,
+        data_path: DataPath,
+    ) -> HsmResult<(u64, SimInstant)> {
+        let len = DataSize::from_bytes(content.len());
+        let server = &self.shared.server;
+        let objid = server.alloc_objid();
+        // Open-transaction metadata hop.
+        let t = server.meta_op(ready);
+        let (drive, t) = self.ensure_volume(len, t)?;
+        // Move the data to the drive.
+        let t = match data_path {
+            DataPath::Lan => {
+                // node NIC → archive LAN → server NIC (no trunk crossing)
+                let t = self.shared.cluster.charge_nic(self.shared.node, t, len).end;
+                server.charge_lan(t, len)
+            }
+            DataPath::LanFree => self.shared.cluster.charge_san(self.shared.node, t, len).end,
+        };
+        // Write the tape record; retry once if the volume filled or was
+        // stolen between ensure_volume and here.
+        let stored_at = t;
+        let (addr, t) = match server
+            .library()
+            .write_object(drive, self.agent_id(), objid, content.clone(), t)
+        {
+            Ok(ok) => ok,
+            Err(TapeError::TapeFull(_)) | Err(TapeError::WrongTape { .. }) | Err(TapeError::NotMounted(_)) => {
+                self.shared.state.lock().current = None;
+                let (drive, t2) = self.ensure_volume(len, t)?;
+                server
+                    .library()
+                    .write_object(drive, self.agent_id(), objid, content, t2)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        // Close-transaction metadata hop and DB insert.
+        let t = server.meta_op(t);
+        server.register(TsmObject {
+            objid,
+            path: path.to_string(),
+            fs_ino,
+            addr,
+            len: len.as_bytes(),
+            stored_at,
+            kind: ObjectKind::Simple,
+        });
+        Ok((objid, t))
+    }
+
+    /// Store one object on the volume assigned to a **co-location group**
+    /// (§4 feature list item 5): every object of the group lands on the
+    /// same volume (rolling to a new one only when full), so restoring a
+    /// whole group touches the fewest possible cartridges.
+    pub fn store_collocated(
+        &self,
+        path: &str,
+        fs_ino: u64,
+        content: Content,
+        ready: SimInstant,
+        data_path: DataPath,
+        group: &str,
+    ) -> HsmResult<(u64, SimInstant)> {
+        let len = DataSize::from_bytes(content.len());
+        let server = &self.shared.server;
+        let objid = server.alloc_objid();
+        let (tape, t) = server.assign_volume_collocated(len, group, ready)?;
+        let (drive, t) = server.library().ensure_mounted(tape, t)?;
+        let t = match data_path {
+            DataPath::Lan => {
+                let t = self.shared.cluster.charge_nic(self.shared.node, t, len).end;
+                server.charge_lan(t, len)
+            }
+            DataPath::LanFree => self.shared.cluster.charge_san(self.shared.node, t, len).end,
+        };
+        let stored_at = t;
+        let (addr, t) = server
+            .library()
+            .write_object(drive, self.agent_id(), objid, content, t)?;
+        let t = server.meta_op(t);
+        server.register(TsmObject {
+            objid,
+            path: path.to_string(),
+            fs_ino,
+            addr,
+            len: len.as_bytes(),
+            stored_at,
+            kind: ObjectKind::Simple,
+        });
+        Ok((objid, t))
+    }
+
+    /// Store many small files as **one aggregated container** — a single
+    /// tape transaction (§6.1's fix). Returns the member object ids (one
+    /// per input file, in order) and the completion instant.
+    pub fn store_container(
+        &self,
+        members: &[(String, u64, Content)],
+        ready: SimInstant,
+        data_path: DataPath,
+    ) -> HsmResult<(Vec<u64>, SimInstant)> {
+        assert!(!members.is_empty(), "container needs at least one member");
+        let server = &self.shared.server;
+        let container_id = server.alloc_objid();
+        let member_ids: Vec<u64> = members.iter().map(|_| server.alloc_objid()).collect();
+        // Concatenate member payloads into the container image.
+        let mut image = Content::empty();
+        let mut offsets = Vec::with_capacity(members.len());
+        for (_, _, c) in members {
+            offsets.push(image.len());
+            image.extend(c.clone());
+        }
+        let len = DataSize::from_bytes(image.len());
+        let t = server.meta_op(ready);
+        let (drive, t) = self.ensure_volume(len, t)?;
+        let t = match data_path {
+            DataPath::Lan => {
+                // node NIC → archive LAN → server NIC (no trunk crossing)
+                let t = self.shared.cluster.charge_nic(self.shared.node, t, len).end;
+                server.charge_lan(t, len)
+            }
+            DataPath::LanFree => self.shared.cluster.charge_san(self.shared.node, t, len).end,
+        };
+        let stored_at = t;
+        let (addr, t) = match server.library().write_object(
+            drive,
+            self.agent_id(),
+            container_id,
+            image.clone(),
+            t,
+        ) {
+            Ok(ok) => ok,
+            Err(TapeError::TapeFull(_)) | Err(TapeError::WrongTape { .. }) | Err(TapeError::NotMounted(_)) => {
+                self.shared.state.lock().current = None;
+                let (drive, t2) = self.ensure_volume(len, t)?;
+                server
+                    .library()
+                    .write_object(drive, self.agent_id(), container_id, image, t2)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let t = server.meta_op(t);
+        server.register(TsmObject {
+            objid: container_id,
+            path: format!("<aggregate:{container_id}>"),
+            fs_ino: 0,
+            addr,
+            len: len.as_bytes(),
+            stored_at,
+            kind: ObjectKind::Container {
+                member_count: members.len() as u32,
+            },
+        });
+        for ((path, fs_ino, content), (objid, offset)) in
+            members.iter().zip(member_ids.iter().zip(offsets))
+        {
+            server.register(TsmObject {
+                objid: *objid,
+                path: path.clone(),
+                fs_ino: *fs_ino,
+                addr,
+                len: content.len(),
+                stored_at,
+                kind: ObjectKind::Member {
+                    container: container_id,
+                    offset,
+                },
+            });
+        }
+        Ok((member_ids, t))
+    }
+
+    /// Store one object on a volume **other than** those in `avoid` — the
+    /// copy-group write path (the primary's volume must differ from every
+    /// copy's). No volume stickiness: copies are occasional.
+    pub fn store_copy(
+        &self,
+        path: &str,
+        fs_ino: u64,
+        content: Content,
+        ready: SimInstant,
+        data_path: DataPath,
+        avoid: &[TapeId],
+    ) -> HsmResult<(u64, SimInstant)> {
+        let len = DataSize::from_bytes(content.len());
+        let server = &self.shared.server;
+        let objid = server.alloc_objid();
+        let t = server.meta_op(ready);
+        let mut cursor = t;
+        let mut placed = None;
+        for _ in 0..8 {
+            let (tape, t2) = server.assign_volume_avoiding(len, avoid, cursor)?;
+            cursor = t2;
+            match server.library().ensure_mounted(tape, cursor) {
+                Ok((drive, end)) => {
+                    placed = Some((drive, end));
+                    break;
+                }
+                Err(TapeError::TapeInUse { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let (drive, t) = placed.ok_or(HsmError::OutOfVolumes {
+            needed: len.as_bytes(),
+        })?;
+        let t = match data_path {
+            DataPath::Lan => {
+                let t = self.shared.cluster.charge_nic(self.shared.node, t, len).end;
+                server.charge_lan(t, len)
+            }
+            DataPath::LanFree => self.shared.cluster.charge_san(self.shared.node, t, len).end,
+        };
+        let stored_at = t;
+        let (addr, t) = server
+            .library()
+            .write_object(drive, self.agent_id(), objid, content, t)?;
+        let t = server.meta_op(t);
+        server.register(TsmObject {
+            objid,
+            path: path.to_string(),
+            fs_ino,
+            addr,
+            len: len.as_bytes(),
+            stored_at,
+            kind: ObjectKind::Simple,
+        });
+        Ok((objid, t))
+    }
+
+    /// Fetch an object's bytes (simple objects and aggregate members).
+    /// Returns (content, completion).
+    ///
+    /// If the primary record is deleted or hits a media error, registered
+    /// tape copies are tried in order — the copy-group read path.
+    pub fn fetch(
+        &self,
+        objid: u64,
+        ready: SimInstant,
+        data_path: DataPath,
+    ) -> HsmResult<(Content, SimInstant)> {
+        match self.fetch_exact(objid, ready, data_path) {
+            Ok(ok) => Ok(ok),
+            Err(
+                primary_err @ (HsmError::Tape(TapeError::MediaError(_))
+                | HsmError::Tape(TapeError::ObjectDeleted(_))
+                | HsmError::Tape(TapeError::NoSuchRecord(_))),
+            ) => {
+                for copy in self.shared.server.copies_of(objid) {
+                    if let Ok(ok) = self.fetch_exact(copy, ready, data_path) {
+                        return Ok(ok);
+                    }
+                }
+                Err(primary_err)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fetch exactly this object id, no copy fallback.
+    pub fn fetch_exact(
+        &self,
+        objid: u64,
+        ready: SimInstant,
+        data_path: DataPath,
+    ) -> HsmResult<(Content, SimInstant)> {
+        let server = &self.shared.server;
+        let obj = server.get(objid)?;
+        let t = server.meta_op(ready);
+        let lib = server.library();
+        let (drive, t) = lib.ensure_mounted(obj.addr.tape, t)?;
+        let (content, t) = match obj.kind {
+            ObjectKind::Simple | ObjectKind::Container { .. } => {
+                lib.read_object(drive, self.agent_id(), obj.addr, t)?
+            }
+            ObjectKind::Member { offset, .. } => lib.read_object_range(
+                drive,
+                self.agent_id(),
+                obj.addr,
+                offset,
+                obj.len,
+                t,
+            )?,
+        };
+        let len = DataSize::from_bytes(content.len());
+        // Data travels drive → node (SAN) or drive → server → network → node.
+        let t = match data_path {
+            DataPath::Lan => {
+                let t = server.charge_lan(t, len);
+                self.shared.cluster.charge_nic(self.shared.node, t, len).end
+            }
+            DataPath::LanFree => self.shared.cluster.charge_san(self.shared.node, t, len).end,
+        };
+        Ok((content, t))
+    }
+
+    /// Release this agent's volume stickiness (end of a migration batch).
+    pub fn release_volume(&self) {
+        self.shared.state.lock().current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copra_cluster::ClusterConfig;
+    use copra_simtime::Bandwidth;
+    use copra_tape::{TapeLibrary, TapeTiming};
+
+    fn setup(nodes: usize, drives: usize, tapes: usize) -> (FtaCluster, TsmServer) {
+        let cluster = FtaCluster::new(ClusterConfig::tiny(nodes));
+        let server = TsmServer::roadrunner(TapeLibrary::new(drives, tapes, TapeTiming::lto4()));
+        (cluster, server)
+    }
+
+    #[test]
+    fn store_fetch_roundtrip_lanfree() {
+        let (cluster, server) = setup(2, 2, 4);
+        let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
+        let content = Content::synthetic(3, 50 << 20);
+        let (objid, t1) = agent
+            .store("/f", 9, content.clone(), SimInstant::EPOCH, DataPath::LanFree)
+            .unwrap();
+        assert!(server.contains(objid));
+        let (back, t2) = agent.fetch(objid, t1, DataPath::LanFree).unwrap();
+        assert!(back.eq_content(&content));
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn agent_reuses_its_volume() {
+        let (cluster, server) = setup(1, 2, 4);
+        let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
+        let mut cursor = SimInstant::EPOCH;
+        for i in 0..3 {
+            let (_, t) = agent
+                .store(
+                    &format!("/f{i}"),
+                    i,
+                    Content::synthetic(i, 10 << 20),
+                    cursor,
+                    DataPath::LanFree,
+                )
+                .unwrap();
+            cursor = t;
+        }
+        // one mount total
+        assert_eq!(server.library().stats().totals.mounts, 1);
+    }
+
+    #[test]
+    fn two_agents_use_distinct_volumes() {
+        let (cluster, server) = setup(2, 2, 4);
+        let a0 = StorageAgent::new(NodeId(0), cluster.clone(), server.clone());
+        let a1 = StorageAgent::new(NodeId(1), cluster, server.clone());
+        a0.store("/a", 1, Content::synthetic(1, 1 << 20), SimInstant::EPOCH, DataPath::LanFree)
+            .unwrap();
+        a1.store("/b", 2, Content::synthetic(2, 1 << 20), SimInstant::EPOCH, DataPath::LanFree)
+            .unwrap();
+        let objs = server.objects();
+        assert_eq!(objs.len(), 2);
+        assert_ne!(
+            objs[0].addr.tape, objs[1].addr.tape,
+            "agents should stream to different volumes"
+        );
+    }
+
+    #[test]
+    fn agent_rolls_to_new_volume_when_full() {
+        let timing = TapeTiming {
+            capacity: DataSize::mb(15),
+            ..TapeTiming::lto4()
+        };
+        let cluster = FtaCluster::new(ClusterConfig::tiny(1));
+        let server = TsmServer::roadrunner(TapeLibrary::new(2, 4, timing));
+        let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
+        let mut cursor = SimInstant::EPOCH;
+        for i in 0..4u64 {
+            let (_, t) = agent
+                .store(
+                    &format!("/f{i}"),
+                    i,
+                    Content::synthetic(i, 10 << 20),
+                    cursor,
+                    DataPath::LanFree,
+                )
+                .unwrap();
+            cursor = t;
+        }
+        let tapes: std::collections::BTreeSet<_> =
+            server.objects().iter().map(|o| o.addr.tape).collect();
+        assert!(tapes.len() >= 2, "should have rolled volumes: {tapes:?}");
+    }
+
+    #[test]
+    fn lan_path_is_bottlenecked_by_server_nic() {
+        // Server NIC at 1 Gbit/s; two nodes with fast NICs both store 1 GB.
+        let cluster = FtaCluster::new(ClusterConfig::tiny(2));
+        let lib = TapeLibrary::new(
+            2,
+            4,
+            TapeTiming::frictionless(Bandwidth::gb_per_sec(10), DataSize::tb(1)),
+        );
+        let server = TsmServer::new(
+            lib,
+            Bandwidth::gbit_per_sec(1),
+            copra_simtime::SimDuration::ZERO,
+        );
+        let a0 = StorageAgent::new(NodeId(0), cluster.clone(), server.clone());
+        let a1 = StorageAgent::new(NodeId(1), cluster.clone(), server.clone());
+        let (_, t0) = a0
+            .store("/a", 1, Content::synthetic(1, 1 << 30), SimInstant::EPOCH, DataPath::Lan)
+            .unwrap();
+        let (_, t1) = a1
+            .store("/b", 2, Content::synthetic(2, 1 << 30), SimInstant::EPOCH, DataPath::Lan)
+            .unwrap();
+        // Each GB takes ~8.6 s on the 1 Gbit server NIC; serialized ≈ 17 s.
+        let makespan = t0.max(t1).as_secs_f64();
+        assert!(makespan > 15.0, "LAN makespan {makespan}");
+        // LAN-free equivalents on fresh hardware finish much faster in
+        // parallel (FC4 = 0.5 GB/s → ~2.1 s each, concurrent).
+        let cluster2 = FtaCluster::new(ClusterConfig::tiny(2));
+        let lib2 = TapeLibrary::new(
+            2,
+            4,
+            TapeTiming::frictionless(Bandwidth::gb_per_sec(10), DataSize::tb(1)),
+        );
+        let server2 = TsmServer::new(
+            lib2,
+            Bandwidth::gbit_per_sec(1),
+            copra_simtime::SimDuration::ZERO,
+        );
+        let b0 = StorageAgent::new(NodeId(0), cluster2.clone(), server2.clone());
+        let b1 = StorageAgent::new(NodeId(1), cluster2, server2);
+        let (_, u0) = b0
+            .store("/a", 1, Content::synthetic(1, 1 << 30), SimInstant::EPOCH, DataPath::LanFree)
+            .unwrap();
+        let (_, u1) = b1
+            .store("/b", 2, Content::synthetic(2, 1 << 30), SimInstant::EPOCH, DataPath::LanFree)
+            .unwrap();
+        let lanfree_makespan = u0.max(u1).as_secs_f64();
+        assert!(
+            lanfree_makespan < makespan / 2.0,
+            "lan-free {lanfree_makespan} vs lan {makespan}"
+        );
+    }
+
+    #[test]
+    fn fetch_unknown_object_errors() {
+        let (cluster, server) = setup(1, 1, 1);
+        let agent = StorageAgent::new(NodeId(0), cluster, server);
+        assert!(matches!(
+            agent.fetch(999, SimInstant::EPOCH, DataPath::LanFree),
+            Err(HsmError::NoSuchObject(999))
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type spanning the HSM layers.
+
+use copra_tape::TapeError;
+use copra_vfs::FsError;
+use std::fmt;
+
+/// Failure modes of HSM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsmError {
+    /// Underlying tape library failure.
+    Tape(TapeError),
+    /// Underlying file-system failure.
+    Fs(FsError),
+    /// Object id unknown to the server DB.
+    NoSuchObject(u64),
+    /// No scratch volume has room for an object of this size.
+    OutOfVolumes { needed: u64 },
+    /// Attempt to fetch a member range outside its container.
+    BadMemberRange { objid: u64 },
+    /// File is not in the residency state the operation requires.
+    WrongState { ino: u64, state: String, needed: String },
+}
+
+impl fmt::Display for HsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HsmError::Tape(e) => write!(f, "tape: {e}"),
+            HsmError::Fs(e) => write!(f, "fs: {e}"),
+            HsmError::NoSuchObject(id) => write!(f, "no such TSM object: {id}"),
+            HsmError::OutOfVolumes { needed } => {
+                write!(f, "no scratch volume with {needed} bytes free")
+            }
+            HsmError::BadMemberRange { objid } => {
+                write!(f, "member range outside container for object {objid}")
+            }
+            HsmError::WrongState { ino, state, needed } => {
+                write!(f, "ino {ino} is {state}, operation needs {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HsmError {}
+
+impl From<TapeError> for HsmError {
+    fn from(e: TapeError) -> Self {
+        HsmError::Tape(e)
+    }
+}
+
+impl From<FsError> for HsmError {
+    fn from(e: FsError) -> Self {
+        HsmError::Fs(e)
+    }
+}
+
+pub type HsmResult<T> = Result<T, HsmError>;

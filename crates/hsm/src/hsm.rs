@@ -1,0 +1,477 @@
+//! File-level HSM: migrate / recall against the archive file system, and
+//! the per-node recall daemons with their assignment policies (§6.2).
+
+use crate::agent::{DataPath, StorageAgent};
+use crate::error::{HsmError, HsmResult};
+use crate::server::TsmServer;
+use copra_cluster::{FtaCluster, NodeId};
+use copra_pfs::{HsmState, Pfs};
+use copra_simtime::{DataSize, SimInstant};
+use copra_vfs::Ino;
+use serde::{Deserialize, Serialize};
+
+/// How recall requests are assigned to the per-node recall daemons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecallPolicy {
+    /// TSM's stock behaviour: requests land on whichever daemon is next
+    /// (round-robin here). Files of one tape bounce between nodes, and
+    /// every bounce rewinds the tape and re-verifies its label (§6.2).
+    Scatter,
+    /// The paper's proposed fix: all recalls for a given tape are handled
+    /// by the same machine.
+    TapeAffinity,
+}
+
+/// One recall request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecallRequest {
+    pub ino: Ino,
+}
+
+/// Result of a batch recall.
+#[derive(Debug, Clone)]
+pub struct RecallOutcome {
+    /// Per-file completion instants, in request order.
+    pub completions: Vec<(Ino, SimInstant)>,
+    /// When the whole batch drained.
+    pub makespan: SimInstant,
+}
+
+/// The HSM service for one archive file system.
+#[derive(Clone)]
+pub struct Hsm {
+    pfs: Pfs,
+    server: TsmServer,
+    cluster: FtaCluster,
+    agents: Vec<StorageAgent>,
+}
+
+impl Hsm {
+    /// One storage agent (and recall daemon) per cluster node, as in the
+    /// paper's deployment.
+    pub fn new(pfs: Pfs, server: TsmServer, cluster: FtaCluster) -> Self {
+        let agents = cluster
+            .nodes()
+            .map(|n| StorageAgent::new(n, cluster.clone(), server.clone()))
+            .collect();
+        Hsm {
+            pfs,
+            server,
+            cluster,
+            agents,
+        }
+    }
+
+    pub fn pfs(&self) -> &Pfs {
+        &self.pfs
+    }
+
+    pub fn server(&self) -> &TsmServer {
+        &self.server
+    }
+
+    pub fn cluster(&self) -> &FtaCluster {
+        &self.cluster
+    }
+
+    pub fn agent(&self, node: NodeId) -> &StorageAgent {
+        &self.agents[node.0 as usize]
+    }
+
+    /// Migrate one file to tape via the agent on `node`: read from the
+    /// archive pool, store as one TSM object, mark the file premigrated,
+    /// and (optionally) punch the hole so only the stub remains.
+    ///
+    /// One file = one tape transaction — precisely the §6.1 behaviour.
+    pub fn migrate_file(
+        &self,
+        ino: Ino,
+        node: NodeId,
+        data_path: DataPath,
+        ready: SimInstant,
+        punch: bool,
+    ) -> HsmResult<(u64, SimInstant)> {
+        let state = self.pfs.hsm_state(ino)?;
+        match state {
+            HsmState::Resident => {}
+            HsmState::Premigrated => {
+                // Tape copy already valid; optionally just punch.
+                if punch {
+                    self.pfs.punch_hole(ino)?;
+                }
+                let objid = self
+                    .pfs
+                    .hsm_objid(ino)?
+                    .ok_or(HsmError::NoSuchObject(0))?;
+                return Ok((objid, ready));
+            }
+            HsmState::Migrated => {
+                return Err(HsmError::WrongState {
+                    ino: ino.0,
+                    state: state.to_string(),
+                    needed: "resident".to_string(),
+                })
+            }
+        }
+        let path = self.pfs.path_of(ino)?;
+        let content = self.pfs.vfs().peek_content(ino)?;
+        let len = DataSize::from_bytes(content.len());
+        let r = self.pfs.charge_read(ino, ready, len);
+        let (objid, t) = self.agent(node).store(&path, ino.0, content, r.end, data_path)?;
+        self.pfs.mark_premigrated(ino, objid)?;
+        if punch {
+            self.pfs.punch_hole(ino)?;
+        }
+        Ok((objid, t))
+    }
+
+    /// Like [`Hsm::migrate_file`], but the object is steered to the
+    /// co-location group's volume (§4 feature list item 5) — restoring a
+    /// whole group then needs the fewest mounts.
+    pub fn migrate_file_collocated(
+        &self,
+        ino: Ino,
+        node: NodeId,
+        data_path: DataPath,
+        ready: SimInstant,
+        punch: bool,
+        group: &str,
+    ) -> HsmResult<(u64, SimInstant)> {
+        let state = self.pfs.hsm_state(ino)?;
+        if state != HsmState::Resident {
+            return Err(HsmError::WrongState {
+                ino: ino.0,
+                state: state.to_string(),
+                needed: "resident".to_string(),
+            });
+        }
+        let path = self.pfs.path_of(ino)?;
+        let content = self.pfs.vfs().peek_content(ino)?;
+        let len = DataSize::from_bytes(content.len());
+        let r = self.pfs.charge_read(ino, ready, len);
+        let (objid, t) =
+            self.agent(node)
+                .store_collocated(&path, ino.0, content, r.end, data_path, group)?;
+        self.pfs.mark_premigrated(ino, objid)?;
+        if punch {
+            self.pfs.punch_hole(ino)?;
+        }
+        Ok((objid, t))
+    }
+
+    /// Like [`Hsm::migrate_file`], but additionally writes `extra_copies`
+    /// copies of the object onto *distinct volumes* (§3.1-7's "multiple
+    /// copies" requirement). Recall transparently falls back to a copy if
+    /// the primary is deleted or its media fails.
+    pub fn migrate_file_with_copies(
+        &self,
+        ino: Ino,
+        node: NodeId,
+        data_path: DataPath,
+        ready: SimInstant,
+        punch: bool,
+        extra_copies: u32,
+    ) -> HsmResult<(u64, SimInstant)> {
+        let (primary, mut cursor) = self.migrate_file(ino, node, data_path, ready, false)?;
+        if extra_copies > 0 {
+            let path = self.pfs.path_of(ino)?;
+            let content = self.pfs.vfs().peek_content(ino)?;
+            let mut used = vec![self.server.get(primary)?.addr.tape];
+            for _ in 0..extra_copies {
+                let r = self
+                    .pfs
+                    .charge_read(ino, cursor, DataSize::from_bytes(content.len()));
+                let (copy, t) = self.agent(node).store_copy(
+                    &path,
+                    ino.0,
+                    content.clone(),
+                    r.end,
+                    data_path,
+                    &used,
+                )?;
+                cursor = t;
+                used.push(self.server.get(copy)?.addr.tape);
+                self.server.register_copy(primary, copy);
+            }
+        }
+        if punch {
+            self.pfs.punch_hole(ino)?;
+        }
+        Ok((primary, cursor))
+    }
+
+    /// Recall one migrated file through the daemon on `node`: fetch from
+    /// tape, write back into the archive pool, restore the stub.
+    pub fn recall_file(
+        &self,
+        ino: Ino,
+        node: NodeId,
+        data_path: DataPath,
+        ready: SimInstant,
+    ) -> HsmResult<SimInstant> {
+        let state = self.pfs.hsm_state(ino)?;
+        if state != HsmState::Migrated {
+            return Err(HsmError::WrongState {
+                ino: ino.0,
+                state: state.to_string(),
+                needed: "migrated".to_string(),
+            });
+        }
+        let objid = self
+            .pfs
+            .hsm_objid(ino)?
+            .ok_or(HsmError::NoSuchObject(0))?;
+        let (content, t) = self.agent(node).fetch(objid, ready, data_path)?;
+        let len = DataSize::from_bytes(content.len());
+        let w = self.pfs.charge_write(ino, t, len);
+        self.pfs.restore_stub(ino, content)?;
+        Ok(w.end)
+    }
+
+    /// Batch recall through the per-node daemons under an assignment
+    /// policy. Requests are processed in the given order (PFTool sorts
+    /// them into tape order *before* calling this — that separation is the
+    /// paper's §4.2.5 design).
+    pub fn recall_batch(
+        &self,
+        requests: &[RecallRequest],
+        policy: RecallPolicy,
+        data_path: DataPath,
+        ready: SimInstant,
+    ) -> HsmResult<RecallOutcome> {
+        let nodes = self.cluster.node_count() as u32;
+        // Resolve each request's tape up front (a metadata query).
+        let mut resolved = Vec::with_capacity(requests.len());
+        for req in requests {
+            let objid = self
+                .pfs
+                .hsm_objid(req.ino)?
+                .ok_or(HsmError::NoSuchObject(0))?;
+            let obj = self.server.get(objid)?;
+            resolved.push((req.ino, obj.addr.tape));
+        }
+        // Assign a node to each request.
+        let assignments: Vec<NodeId> = match policy {
+            RecallPolicy::Scatter => (0..resolved.len())
+                .map(|i| NodeId(i as u32 % nodes))
+                .collect(),
+            RecallPolicy::TapeAffinity => {
+                // Tape → node, round-robin over distinct tapes in first-
+                // appearance order.
+                let mut tape_to_node = rustc_hash::FxHashMap::default();
+                let mut next = 0u32;
+                resolved
+                    .iter()
+                    .map(|(_, tape)| {
+                        *tape_to_node.entry(*tape).or_insert_with(|| {
+                            let n = NodeId(next % nodes);
+                            next += 1;
+                            n
+                        })
+                    })
+                    .collect()
+            }
+        };
+        let mut completions = Vec::with_capacity(resolved.len());
+        let mut makespan = ready;
+        for ((ino, _), node) in resolved.iter().zip(assignments) {
+            let end = self.recall_file(*ino, node, data_path, ready)?;
+            completions.push((*ino, end));
+            makespan = makespan.max(end);
+        }
+        Ok(RecallOutcome {
+            completions,
+            makespan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copra_cluster::ClusterConfig;
+    use copra_pfs::{PfsBuilder, PoolConfig, ReadOutcome};
+    use copra_simtime::Clock;
+    use copra_tape::{TapeLibrary, TapeTiming};
+    use copra_vfs::Content;
+
+    fn setup(nodes: usize, drives: usize, tapes: usize) -> Hsm {
+        let clock = Clock::new();
+        let pfs = PfsBuilder::new("archive", clock)
+            .pool(PoolConfig::fast_disk("fast", 4, DataSize::tb(100)))
+            .pool(PoolConfig::external("tape"))
+            .build();
+        let cluster = FtaCluster::new(ClusterConfig::tiny(nodes));
+        let server = TsmServer::roadrunner(TapeLibrary::new(drives, tapes, TapeTiming::lto4()));
+        Hsm::new(pfs, server, cluster)
+    }
+
+    #[test]
+    fn migrate_punch_recall_roundtrip() {
+        let hsm = setup(2, 2, 4);
+        let pfs = hsm.pfs().clone();
+        pfs.mkdir_p("/proj").unwrap();
+        let content = Content::synthetic(5, 100 << 20);
+        let ino = pfs.create_file("/proj/f", 0, content.clone()).unwrap();
+
+        let (objid, t1) = hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, true)
+            .unwrap();
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Migrated);
+        assert!(hsm.server().contains(objid));
+        assert!(matches!(
+            pfs.read(ino, 0, 1).unwrap(),
+            ReadOutcome::NeedsRecall { .. }
+        ));
+
+        let t2 = hsm
+            .recall_file(ino, NodeId(1), DataPath::LanFree, t1)
+            .unwrap();
+        assert!(t2 > t1);
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Premigrated);
+        match pfs.read(ino, 0, content.len()).unwrap() {
+            ReadOutcome::Data(c) => assert!(c.eq_content(&content)),
+            other => panic!("expected data after recall: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migrate_premigrated_just_punches() {
+        let hsm = setup(1, 1, 2);
+        let pfs = hsm.pfs().clone();
+        let ino = pfs.create_file("/f", 0, Content::synthetic(1, 1 << 20)).unwrap();
+        let (objid, t) = hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, false)
+            .unwrap();
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Premigrated);
+        let (objid2, t2) = hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, t, true)
+            .unwrap();
+        assert_eq!(objid, objid2);
+        assert_eq!(t2, t, "no new tape transaction");
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Migrated);
+        assert_eq!(hsm.server().db_len(), 1);
+    }
+
+    #[test]
+    fn recall_of_resident_file_is_rejected() {
+        let hsm = setup(1, 1, 2);
+        let ino = hsm
+            .pfs()
+            .create_file("/f", 0, Content::synthetic(1, 100))
+            .unwrap();
+        assert!(matches!(
+            hsm.recall_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH),
+            Err(HsmError::WrongState { .. })
+        ));
+    }
+
+    /// The §6.2 experiment in miniature: recalls of one tape scattered
+    /// across nodes thrash (rewind + label verify per hand-off); affinity
+    /// recalls stream.
+    #[test]
+    fn scatter_thrashes_affinity_streams() {
+        let run = |policy: RecallPolicy| -> (SimInstant, u64) {
+            let hsm = setup(4, 2, 4);
+            let pfs = hsm.pfs().clone();
+            let mut inos = Vec::new();
+            let mut cursor = SimInstant::EPOCH;
+            for i in 0..12u64 {
+                let ino = pfs
+                    .create_file(&format!("/f{i}"), 0, Content::synthetic(i, 200 << 20))
+                    .unwrap();
+                let (_, t) = hsm
+                    .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+                    .unwrap();
+                cursor = t;
+                inos.push(ino);
+            }
+            let requests: Vec<RecallRequest> =
+                inos.iter().map(|&ino| RecallRequest { ino }).collect();
+            let out = hsm
+                .recall_batch(&requests, policy, DataPath::LanFree, cursor)
+                .unwrap();
+            let handoffs = hsm.server().library().stats().totals.handoffs;
+            (out.makespan, handoffs)
+        };
+        let (scatter_end, scatter_handoffs) = run(RecallPolicy::Scatter);
+        let (affinity_end, affinity_handoffs) = run(RecallPolicy::TapeAffinity);
+        assert!(scatter_handoffs >= 10, "scatter handoffs {scatter_handoffs}");
+        assert_eq!(affinity_handoffs, 0, "affinity should never hand off");
+        assert!(
+            scatter_end > affinity_end,
+            "scatter {scatter_end} vs affinity {affinity_end}"
+        );
+    }
+
+    /// §4 feature list item 5: a group's files land on one volume; a
+    /// different group lands elsewhere; restoring a group touches one tape.
+    #[test]
+    fn collocation_groups_share_volumes() {
+        let hsm = setup(2, 2, 8);
+        let pfs = hsm.pfs().clone();
+        let mut cursor = SimInstant::EPOCH;
+        let mut by_group: std::collections::BTreeMap<&str, Vec<copra_vfs::Ino>> =
+            Default::default();
+        pfs.mkdir_p("/projA").unwrap();
+        pfs.mkdir_p("/projB").unwrap();
+        // Interleave two projects' migrations — the adversarial order.
+        for i in 0..12u64 {
+            let group = if i % 2 == 0 { "projA" } else { "projB" };
+            let ino = pfs
+                .create_file(&format!("/{group}/f{i}"), 0, Content::synthetic(i, 2_000_000))
+                .unwrap();
+            let (_, t) = hsm
+                .migrate_file_collocated(ino, NodeId(0), DataPath::LanFree, cursor, true, group)
+                .unwrap();
+            cursor = t;
+            by_group.entry(group).or_default().push(ino);
+        }
+        // Each group's objects sit on exactly one volume, and the two
+        // groups' volumes differ.
+        let mut group_tapes = Vec::new();
+        for (group, inos) in &by_group {
+            let tapes: std::collections::BTreeSet<u32> = inos
+                .iter()
+                .map(|ino| {
+                    let objid = pfs.hsm_objid(*ino).unwrap().unwrap();
+                    hsm.server().get(objid).unwrap().addr.tape.0
+                })
+                .collect();
+            assert_eq!(tapes.len(), 1, "{group} scattered over {tapes:?}");
+            group_tapes.push(*tapes.iter().next().unwrap());
+        }
+        assert_ne!(group_tapes[0], group_tapes[1]);
+        assert_eq!(
+            hsm.server().collocation_volume("projA").map(|t| t.0),
+            Some(group_tapes[0])
+        );
+    }
+
+    #[test]
+    fn recall_batch_reports_per_file_completions() {
+        let hsm = setup(2, 2, 4);
+        let pfs = hsm.pfs().clone();
+        let mut cursor = SimInstant::EPOCH;
+        let mut inos = Vec::new();
+        for i in 0..3u64 {
+            let ino = pfs
+                .create_file(&format!("/f{i}"), 0, Content::synthetic(i, 1 << 20))
+                .unwrap();
+            let (_, t) = hsm
+                .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+                .unwrap();
+            cursor = t;
+            inos.push(ino);
+        }
+        let reqs: Vec<_> = inos.iter().map(|&ino| RecallRequest { ino }).collect();
+        let out = hsm
+            .recall_batch(&reqs, RecallPolicy::TapeAffinity, DataPath::LanFree, cursor)
+            .unwrap();
+        assert_eq!(out.completions.len(), 3);
+        assert!(out.completions.iter().all(|(_, t)| *t <= out.makespan));
+        assert!(inos
+            .iter()
+            .all(|&ino| pfs.hsm_state(ino).unwrap() == HsmState::Premigrated));
+    }
+}

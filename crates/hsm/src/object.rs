@@ -1,0 +1,82 @@
+//! TSM object records (the authoritative server-side view).
+
+use copra_simtime::SimInstant;
+use copra_tape::TapeAddress;
+use serde::{Deserialize, Serialize};
+
+/// How an object's bytes sit on tape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// One file = one tape record (classic HSM migration, §6.1's problem
+    /// case for small files).
+    Simple,
+    /// A container holding many small files in one tape transaction
+    /// (the aggregation fix). Members reference it.
+    Container { member_count: u32 },
+    /// A member of an aggregated container: its bytes are `[offset,
+    /// offset+len)` inside the container's tape record.
+    Member { container: u64, offset: u64 },
+}
+
+/// One object in the TSM server database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TsmObject {
+    pub objid: u64,
+    /// Archive-file-system path at store time (TSM keys on node+filespace+
+    /// path; we keep the path).
+    pub path: String,
+    /// GPFS file id (inode) the object belongs to; 0 for containers.
+    pub fs_ino: u64,
+    /// Where the bytes live. For members this is the *container's* record.
+    pub addr: TapeAddress,
+    /// Object length (member length for members).
+    pub len: u64,
+    pub stored_at: SimInstant,
+    pub kind: ObjectKind,
+}
+
+impl TsmObject {
+    /// True if deleting this object should drop the tape record itself.
+    /// Members never own the record; a container's record dies when the
+    /// container object is deleted.
+    pub fn owns_tape_record(&self) -> bool {
+        !matches!(self.kind, ObjectKind::Member { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copra_tape::TapeId;
+
+    #[test]
+    fn record_ownership() {
+        let addr = TapeAddress {
+            tape: TapeId(0),
+            seq: 0,
+        };
+        let simple = TsmObject {
+            objid: 1,
+            path: "/f".into(),
+            fs_ino: 9,
+            addr,
+            len: 10,
+            stored_at: SimInstant::EPOCH,
+            kind: ObjectKind::Simple,
+        };
+        assert!(simple.owns_tape_record());
+        let member = TsmObject {
+            kind: ObjectKind::Member {
+                container: 1,
+                offset: 0,
+            },
+            ..simple.clone()
+        };
+        assert!(!member.owns_tape_record());
+        let container = TsmObject {
+            kind: ObjectKind::Container { member_count: 3 },
+            ..simple
+        };
+        assert!(container.owns_tape_record());
+    }
+}

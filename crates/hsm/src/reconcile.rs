@@ -1,0 +1,191 @@
+//! Reconciliation — the classic orphan cleanup the integration avoids.
+//!
+//! When a migrated file is deleted from the file system, only its metadata
+//! dies; the tape object is orphaned. Stock TSM reconciliation walks the
+//! directory tree and compares file by file against the server DB — §4.2.6
+//! calls the overhead "unacceptable" for archives with 10⁷–10⁸ files. We
+//! keep it (a) as the correctness baseline the synchronous deleter is
+//! checked against and (b) as the T-SYNCDEL benchmark baseline.
+
+use crate::error::HsmResult;
+use crate::server::TsmServer;
+use copra_pfs::Pfs;
+use copra_simtime::SimInstant;
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// What a reconcile pass found.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReconcileReport {
+    /// Files examined on the file system.
+    pub fs_files: usize,
+    /// Objects examined in the server DB.
+    pub db_objects: usize,
+    /// Object ids present in the DB but referenced by no live file.
+    pub orphans: Vec<u64>,
+    /// Simulated completion time of the pass.
+    pub end: SimInstant,
+}
+
+/// Tree-walk reconciliation: compare every file-system file against the
+/// server DB, then flag DB file-objects nothing references. Charges one
+/// server metadata transaction per compared item — the cost the paper
+/// complains about. When `fix` is set, orphans are deleted from the server
+/// (and their tape records dropped).
+pub fn reconcile(
+    pfs: &Pfs,
+    server: &TsmServer,
+    ready: SimInstant,
+    fix: bool,
+) -> HsmResult<ReconcileReport> {
+    let mut cursor = ready;
+    // Phase 1: walk the tree, collecting every object id a live file still
+    // references (current copies and orphaned-by-overwrite markers do NOT
+    // count — an overwrite makes the old object garbage).
+    let mut referenced: FxHashSet<u64> = FxHashSet::default();
+    let entries = pfs.walk("/")?;
+    let mut fs_files = 0usize;
+    for e in &entries {
+        if !e.attr.is_file() {
+            continue;
+        }
+        fs_files += 1;
+        cursor = server.meta_op(cursor); // per-file compare transaction
+        if let Some(objid) = e
+            .attr
+            .xattr(copra_pfs::HsmState::XATTR_OBJID)
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            referenced.insert(objid);
+        }
+    }
+    // Phase 2: sweep the DB for file-objects nothing references.
+    let mut orphans = Vec::new();
+    let objects = server.objects();
+    let db_objects = objects.len();
+    for obj in objects {
+        cursor = server.meta_op(cursor);
+        let is_file_object = obj.fs_ino != 0;
+        if is_file_object && !referenced.contains(&obj.objid) {
+            orphans.push(obj.objid);
+        }
+    }
+    if fix {
+        for &objid in &orphans {
+            cursor = server.delete_object(objid, cursor)?;
+        }
+    }
+    Ok(ReconcileReport {
+        fs_files,
+        db_objects,
+        orphans,
+        end: cursor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::DataPath;
+    use crate::hsm::Hsm;
+    use copra_cluster::{ClusterConfig, FtaCluster, NodeId};
+    use copra_pfs::{PfsBuilder, PoolConfig};
+    use copra_simtime::{Clock, DataSize};
+    use copra_tape::{TapeLibrary, TapeTiming};
+    use copra_vfs::Content;
+
+    fn setup() -> Hsm {
+        let pfs = PfsBuilder::new("archive", Clock::new())
+            .pool(PoolConfig::fast_disk("fast", 4, DataSize::tb(100)))
+            .build();
+        let cluster = FtaCluster::new(ClusterConfig::tiny(2));
+        let server = TsmServer::roadrunner(TapeLibrary::new(2, 8, TapeTiming::lto4()));
+        Hsm::new(pfs, server, cluster)
+    }
+
+    #[test]
+    fn clean_system_reconciles_clean() {
+        let hsm = setup();
+        let pfs = hsm.pfs().clone();
+        let mut cursor = SimInstant::EPOCH;
+        for i in 0..5u64 {
+            let ino = pfs
+                .create_file(&format!("/f{i}"), 0, Content::synthetic(i, 1 << 20))
+                .unwrap();
+            let (_, t) = hsm
+                .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+                .unwrap();
+            cursor = t;
+        }
+        let report = reconcile(&pfs, hsm.server(), cursor, false).unwrap();
+        assert_eq!(report.fs_files, 5);
+        assert_eq!(report.db_objects, 5);
+        assert!(report.orphans.is_empty());
+        assert!(report.end > cursor, "reconcile costs simulated time");
+    }
+
+    #[test]
+    fn unlink_orphans_are_found_and_fixed() {
+        let hsm = setup();
+        let pfs = hsm.pfs().clone();
+        let mut cursor = SimInstant::EPOCH;
+        let mut objids = Vec::new();
+        for i in 0..4u64 {
+            let ino = pfs
+                .create_file(&format!("/f{i}"), 0, Content::synthetic(i, 1 << 20))
+                .unwrap();
+            let (objid, t) = hsm
+                .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+                .unwrap();
+            cursor = t;
+            objids.push(objid);
+        }
+        // Delete two files from the FS only — classic orphan creation.
+        pfs.unlink("/f1").unwrap();
+        pfs.unlink("/f3").unwrap();
+        let report = reconcile(&pfs, hsm.server(), cursor, false).unwrap();
+        let mut expect = vec![objids[1], objids[3]];
+        expect.sort_unstable();
+        let mut got = report.orphans.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        // fix=true removes them from the server and the tape
+        let report = reconcile(&pfs, hsm.server(), report.end, true).unwrap();
+        assert_eq!(report.orphans.len(), 2);
+        assert_eq!(hsm.server().db_len(), 2);
+        let report = reconcile(&pfs, hsm.server(), report.end, false).unwrap();
+        assert!(report.orphans.is_empty());
+    }
+
+    #[test]
+    fn overwrite_orphans_are_found() {
+        // §6.3: the synchronous deleter can't see truncate/overwrite;
+        // reconcile must.
+        let hsm = setup();
+        let pfs = hsm.pfs().clone();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 1 << 20))
+            .unwrap();
+        let (objid, t) = hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, false)
+            .unwrap();
+        // Overwrite while premigrated: the old tape copy becomes stale.
+        pfs.write_at(ino, 0, Content::literal(&b"fresh data"[..]))
+            .unwrap();
+        let report = reconcile(&pfs, hsm.server(), t, false).unwrap();
+        assert_eq!(report.orphans, vec![objid]);
+    }
+
+    #[test]
+    fn reconcile_cost_scales_with_tree_size() {
+        let hsm = setup();
+        let pfs = hsm.pfs().clone();
+        for i in 0..50u64 {
+            pfs.create_file(&format!("/f{i}"), 0, Content::synthetic(i, 10))
+                .unwrap();
+        }
+        let r = reconcile(&pfs, hsm.server(), SimInstant::EPOCH, false).unwrap();
+        // 50 per-file transactions at 2 ms each
+        assert!(r.end.as_secs_f64() >= 0.1 - 1e-9, "{}", r.end.as_secs_f64());
+    }
+}

@@ -1,0 +1,302 @@
+//! # copra-mpirt — a miniature message-passing runtime
+//!
+//! PFTool is "built upon MPI" (§4.1.1): one Manager process, one
+//! OutPutProc, ReadDir processes, Workers, TapeProc processes and a
+//! WatchDog, all exchanging messages. This crate provides the subset of
+//! MPI semantics that process model needs, on OS threads:
+//!
+//! * a fixed-size **world** of ranks launched together ([`run`] /
+//!   [`run_with_results`]);
+//! * typed point-to-point **send/recv** with FIFO ordering per sender pair
+//!   (crossbeam channels);
+//! * a world-wide **barrier**.
+//!
+//! Messages are a caller-chosen type `T`, so the whole protocol is checked
+//! at compile time — the one honest improvement over `MPI_BYTE` buffers we
+//! allow ourselves. Ranks run under `std::thread::scope`, so they can
+//! borrow the surrounding environment (file systems, tape library handles)
+//! exactly the way PFTool's processes share a mounted environment.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Every peer rank has terminated; no message can ever arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+/// A rank's communicator handle.
+pub struct Comm<T> {
+    rank: usize,
+    size: usize,
+    txs: Arc<Vec<Sender<(usize, T)>>>,
+    rx: Receiver<(usize, T)>,
+    barrier: Arc<Barrier>,
+}
+
+impl<T: Send> Comm<T> {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to `to`. Never blocks (unbounded buffering, like MPI
+    /// eager sends). Returns `false` if the destination has already
+    /// terminated and its mailbox is gone.
+    pub fn send(&self, to: usize, msg: T) -> bool {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        self.txs[to].send((self.rank, msg)).is_ok()
+    }
+
+    /// Blocking receive from any source: `(source rank, message)`.
+    /// `None` once every other rank has terminated and the mailbox is
+    /// drained (no message can ever arrive again).
+    pub fn recv(&self) -> Option<(usize, T)> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(usize, T)> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receive with a timeout; `Ok(None)` on timeout,
+    /// `Err(Disconnected)` when the world has shut down.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(usize, T)>, Disconnected> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
+        }
+    }
+
+    /// World-wide barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+fn make_world<T: Send>(size: usize) -> Vec<Comm<T>> {
+    assert!(size > 0, "world needs at least one rank");
+    let mut txs = Vec::with_capacity(size);
+    let mut rxs = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let txs = Arc::new(txs);
+    let barrier = Arc::new(Barrier::new(size));
+    rxs.into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Comm {
+            rank,
+            size,
+            txs: txs.clone(),
+            rx,
+            barrier: barrier.clone(),
+        })
+        .collect()
+}
+
+/// Launch a world of `size` ranks, each running `body(comm)`, and join
+/// them. `body` may borrow from the caller's scope.
+///
+/// Panics in any rank propagate after all ranks have been joined.
+pub fn run<T, F>(size: usize, body: F)
+where
+    T: Send,
+    F: Fn(Comm<T>) + Send + Sync,
+{
+    run_with_results(size, &body);
+}
+
+/// Like [`run`], returning each rank's result, indexed by rank.
+pub fn run_with_results<T, R, F>(size: usize, body: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Comm<T>) -> R + Send + Sync,
+{
+    let comms = make_world::<T>(size);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(size);
+    results.resize_with(size, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| scope.spawn(|| body(comm)))
+            .collect();
+        for (slot, h) in results.iter_mut().zip(handles) {
+            match h.join() {
+                Ok(r) => *slot = Some(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("rank joined")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let results = run_with_results::<u64, u64, _>(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 42);
+                let (from, v) = comm.recv().unwrap();
+                assert_eq!(from, 1);
+                v
+            } else {
+                let (_, v) = comm.recv().unwrap();
+                comm.send(0, v + 1);
+                0
+            }
+        });
+        assert_eq!(results[0], 43);
+    }
+
+    #[test]
+    fn fifo_per_sender_pair() {
+        run::<u64, _>(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100 {
+                    comm.send(1, i);
+                }
+            } else {
+                let mut last = None;
+                for _ in 0..100 {
+                    let (_, v) = comm.recv().unwrap();
+                    if let Some(prev) = last {
+                        assert!(v > prev, "messages reordered: {prev} then {v}");
+                    }
+                    last = Some(v);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn manager_worker_pattern() {
+        // rank 0 hands out work, workers return squares, manager sums.
+        #[derive(Debug)]
+        enum Msg {
+            Job(u64),
+            Result(u64),
+            Stop,
+        }
+        let results = run_with_results::<Msg, u64, _>(4, |comm| {
+            if comm.rank() == 0 {
+                let jobs: Vec<u64> = (1..=30).collect();
+                let mut next = 0usize;
+                // Prime one job per worker.
+                for w in 1..comm.size() {
+                    comm.send(w, Msg::Job(jobs[next]));
+                    next += 1;
+                }
+                let mut sum = 0;
+                let mut received = 0;
+                while received < jobs.len() {
+                    let (from, msg) = comm.recv().unwrap();
+                    match msg {
+                        Msg::Result(v) => {
+                            sum += v;
+                            received += 1;
+                            if next < jobs.len() {
+                                comm.send(from, Msg::Job(jobs[next]));
+                                next += 1;
+                            } else {
+                                comm.send(from, Msg::Stop);
+                            }
+                        }
+                        _ => unreachable!("manager got {msg:?}"),
+                    }
+                }
+                sum
+            } else {
+                let mut done = 0;
+                loop {
+                    match comm.recv() {
+                        Some((_, Msg::Job(v))) => {
+                            comm.send(0, Msg::Result(v * v));
+                            done += 1;
+                        }
+                        Some((_, Msg::Stop)) | None => break,
+                        Some((_, other)) => unreachable!("worker got {other:?}"),
+                    }
+                }
+                done
+            }
+        });
+        let expected: u64 = (1..=30u64).map(|v| v * v).sum();
+        assert_eq!(results[0], expected);
+        assert_eq!(results[1..].iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        run::<(), _>(8, |comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(before.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn recv_returns_none_after_world_drains() {
+        run::<u8, _>(3, |comm| {
+            if comm.rank() == 0 {
+                // Receive the two goodbye messages, then the channel drains.
+                assert!(comm.recv().is_some());
+                assert!(comm.recv().is_some());
+                // Peers are gone; but our own tx keeps the channel open, so
+                // try_recv sees empty rather than disconnect.
+                assert!(comm.try_recv().is_none());
+            } else {
+                comm.send(0, comm.rank() as u8);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        run::<u8, _>(2, |comm| {
+            if comm.rank() == 0 {
+                let r = comm.recv_timeout(Duration::from_millis(10));
+                assert_eq!(r, Ok(None));
+                comm.send(1, 1);
+            } else {
+                let (_, v) = comm.recv().unwrap();
+                assert_eq!(v, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let data = [1u64, 2, 3];
+        let results = run_with_results::<(), u64, _>(3, |comm| data[comm.rank()]);
+        assert_eq!(results, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send to rank 5")]
+    fn send_out_of_range_panics() {
+        run::<u8, _>(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(5, 1);
+            }
+        });
+    }
+}

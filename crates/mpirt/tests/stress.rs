@@ -1,0 +1,110 @@
+//! Stress tests: the runtime under wide worlds and heavy message traffic.
+
+use copra_mpirt::{run_with_results, Comm};
+use std::time::Duration;
+
+/// All-to-all: every rank sends one tagged message to every other rank and
+/// must receive exactly one from each.
+#[test]
+fn all_to_all_delivery_is_exact() {
+    let size = 16;
+    let results = run_with_results::<(usize, u64), Vec<u64>, _>(size, |comm: Comm<(usize, u64)>| {
+        let me = comm.rank();
+        for peer in 0..comm.size() {
+            if peer != me {
+                comm.send(peer, (me, ((me as u64) << 32) | peer as u64));
+            }
+        }
+        let mut got = vec![None; comm.size()];
+        for _ in 0..comm.size() - 1 {
+            let (from, (claimed_from, payload)) = comm.recv().unwrap();
+            assert_eq!(from, claimed_from);
+            assert_eq!(payload, ((from as u64) << 32) | me as u64);
+            assert!(got[from].is_none(), "duplicate from {from}");
+            got[from] = Some(payload);
+        }
+        got.into_iter().flatten().collect()
+    });
+    for (rank, got) in results.iter().enumerate() {
+        assert_eq!(got.len(), size - 1, "rank {rank} missed messages");
+    }
+}
+
+/// A manager fanning 10k jobs over 15 workers loses nothing and the sum
+/// checks out (the PFTool dispatch pattern at volume).
+#[test]
+fn ten_thousand_jobs_round_trip() {
+    #[derive(Debug)]
+    enum M {
+        Job(u64),
+        Done(u64),
+        Stop,
+    }
+    const JOBS: u64 = 10_000;
+    let results = run_with_results::<M, u64, _>(16, |comm| {
+        if comm.rank() == 0 {
+            let mut next = 0u64;
+            for w in 1..comm.size() {
+                comm.send(w, M::Job(next));
+                next += 1;
+            }
+            let mut sum = 0u64;
+            let mut done = 0u64;
+            while done < JOBS {
+                let (from, m) = comm.recv().unwrap();
+                match m {
+                    M::Done(v) => {
+                        sum += v;
+                        done += 1;
+                        if next < JOBS {
+                            comm.send(from, M::Job(next));
+                            next += 1;
+                        } else {
+                            comm.send(from, M::Stop);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            sum
+        } else {
+            loop {
+                match comm.recv() {
+                    Some((_, M::Job(v))) => {
+                        comm.send(0, M::Done(v * 3 + 1));
+                    }
+                    Some((_, M::Stop)) | None => break 0,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    });
+    let expected: u64 = (0..JOBS).map(|v| v * 3 + 1).sum();
+    assert_eq!(results[0], expected);
+}
+
+/// recv_timeout keeps a rank responsive while peers are silent, and the
+/// barrier still lines everyone up afterwards.
+#[test]
+fn timeouts_do_not_wedge_the_world() {
+    run_with_results::<u8, (), _>(8, |comm| {
+        if comm.rank() != 0 {
+            // Sit quietly through a few timeouts first.
+            for _ in 0..3 {
+                match comm.recv_timeout(Duration::from_micros(200)) {
+                    Ok(None) => {}
+                    Ok(Some(_)) => break,
+                    Err(_) => return,
+                }
+            }
+        }
+        comm.barrier();
+        if comm.rank() == 0 {
+            for r in 1..comm.size() {
+                comm.send(r, 1);
+            }
+        } else {
+            assert_eq!(comm.recv().map(|(_, v)| v), Some(1));
+        }
+    });
+}

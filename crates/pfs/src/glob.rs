@@ -1,0 +1,70 @@
+//! Minimal shell-style wildcard matching for policy rules.
+//!
+//! GPFS policy `LIKE` clauses and fileset patterns reduce to `*` / `?`
+//! matching in practice; that's all we implement.
+
+/// Match `name` against `pattern`, where `*` matches any run (including
+/// empty) and `?` matches exactly one byte. Matching is over bytes; policy
+/// patterns and names are ASCII in this system.
+pub fn wildcard_match(pattern: &str, name: &str) -> bool {
+    let p = pattern.as_bytes();
+    let n = name.as_bytes();
+    // Classic two-pointer with backtracking to the last '*'.
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((spi, sni)) = star {
+            pi = spi + 1;
+            ni = sni + 1;
+            star = Some((spi, sni + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::wildcard_match;
+
+    #[test]
+    fn literal_match() {
+        assert!(wildcard_match("file.dat", "file.dat"));
+        assert!(!wildcard_match("file.dat", "file.dax"));
+        assert!(!wildcard_match("file", "file.dat"));
+    }
+
+    #[test]
+    fn star_matches_runs() {
+        assert!(wildcard_match("*.dat", "run-0042.dat"));
+        assert!(wildcard_match("ckpt*", "ckpt"));
+        assert!(wildcard_match("*", ""));
+        assert!(wildcard_match("a*b*c", "aXXbYYc"));
+        assert!(!wildcard_match("a*b*c", "aXXbYY"));
+    }
+
+    #[test]
+    fn question_matches_one() {
+        assert!(wildcard_match("f?le", "file"));
+        assert!(!wildcard_match("f?le", "fle"));
+        assert!(!wildcard_match("?", ""));
+    }
+
+    #[test]
+    fn backtracking_cases() {
+        assert!(wildcard_match("*aab", "aaab"));
+        assert!(wildcard_match("a*a*a", "aaaa"));
+        assert!(!wildcard_match("a*a*a", "aa"));
+        assert!(wildcard_match("**x**", "x"));
+    }
+}

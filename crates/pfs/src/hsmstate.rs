@@ -1,0 +1,88 @@
+//! HSM residency state of a managed file.
+//!
+//! TSM's space management (HSM for GPFS) distinguishes three states, which
+//! the integration relies on throughout (§4.2.2):
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Residency state recorded in the `hsm.state` extended attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HsmState {
+    /// Data lives only on file-system disk.
+    Resident,
+    /// Data is on disk *and* a valid copy exists on tape (migration done,
+    /// hole not punched yet).
+    Premigrated,
+    /// Data lives only on tape; the on-disk inode is a stub.
+    Migrated,
+}
+
+impl HsmState {
+    /// Name of the extended attribute carrying this state.
+    pub const XATTR: &'static str = "hsm.state";
+    /// Extended attribute carrying the TSM object id for non-resident files.
+    pub const XATTR_OBJID: &'static str = "hsm.objid";
+    /// Extended attribute carrying the logical size of a punched stub.
+    pub const XATTR_STUB_SIZE: &'static str = "hsm.stub.size";
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HsmState::Resident => "resident",
+            HsmState::Premigrated => "premigrated",
+            HsmState::Migrated => "migrated",
+        }
+    }
+
+    /// True if a tape copy exists.
+    pub fn on_tape(self) -> bool {
+        matches!(self, HsmState::Premigrated | HsmState::Migrated)
+    }
+
+    /// True if the data can be read straight from disk.
+    pub fn on_disk(self) -> bool {
+        matches!(self, HsmState::Resident | HsmState::Premigrated)
+    }
+}
+
+impl fmt::Display for HsmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for HsmState {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "resident" => Ok(HsmState::Resident),
+            "premigrated" => Ok(HsmState::Premigrated),
+            "migrated" => Ok(HsmState::Migrated),
+            other => Err(format!("unknown hsm state: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [HsmState::Resident, HsmState::Premigrated, HsmState::Migrated] {
+            assert_eq!(s.as_str().parse::<HsmState>().unwrap(), s);
+        }
+        assert!("bogus".parse::<HsmState>().is_err());
+    }
+
+    #[test]
+    fn residency_predicates() {
+        assert!(HsmState::Resident.on_disk());
+        assert!(!HsmState::Resident.on_tape());
+        assert!(HsmState::Premigrated.on_disk());
+        assert!(HsmState::Premigrated.on_tape());
+        assert!(!HsmState::Migrated.on_disk());
+        assert!(HsmState::Migrated.on_tape());
+    }
+}

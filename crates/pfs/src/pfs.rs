@@ -1,0 +1,768 @@
+//! The parallel file system proper: a [`copra_vfs::Vfs`] namespace plus
+//! storage pools, placement policy, and DMAPI-style managed regions.
+
+use crate::hsmstate::HsmState;
+use crate::policy::{FileRecord, PolicyEngine, Rule};
+use crate::pool::{PoolConfig, PoolId, StoragePool};
+use copra_simtime::{Clock, DataSize, Reservation, SimDuration, SimInstant, Timeline};
+use copra_vfs::{Content, FsError, FsResult, Ino, InodeAttr, Vfs, WalkEntry};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Result of reading a managed file.
+#[derive(Debug, Clone)]
+pub enum ReadOutcome {
+    /// Data was resident on disk.
+    Data(Content),
+    /// The file is a punched stub; the caller must drive a recall through
+    /// the HSM (this is the DMAPI read event).
+    NeedsRecall { ino: Ino, objid: u64 },
+}
+
+struct PfsShared {
+    vfs: Vfs,
+    pools: Vec<StoragePool>,
+    pool_by_name: FxHashMap<String, PoolId>,
+    placement: PolicyEngine,
+    file_pools: RwLock<FxHashMap<u64, PoolId>>,
+    default_pool: PoolId,
+    /// The metadata service path: file create/stat/unlink transactions
+    /// serialize here in simulated time. GPFS's own benchmark claim — one
+    /// million inodes scanned in ten minutes (§4.2.1) — corresponds to
+    /// roughly 1.7k metadata ops/s, which the default latency reflects.
+    meta: Timeline,
+}
+
+/// A mounted parallel file system (archive or scratch). Cheap to clone.
+#[derive(Clone)]
+pub struct Pfs {
+    shared: Arc<PfsShared>,
+}
+
+/// Builder for [`Pfs`].
+pub struct PfsBuilder {
+    name: String,
+    clock: Clock,
+    pools: Vec<PoolConfig>,
+    placement: Vec<Rule>,
+    meta_latency: SimDuration,
+}
+
+impl PfsBuilder {
+    pub fn new(name: impl Into<String>, clock: Clock) -> Self {
+        PfsBuilder {
+            name: name.into(),
+            clock,
+            pools: Vec::new(),
+            placement: Vec::new(),
+            meta_latency: SimDuration::from_micros(600),
+        }
+    }
+
+    /// Per-metadata-transaction latency (create/stat/unlink).
+    pub fn meta_latency(mut self, latency: SimDuration) -> Self {
+        self.meta_latency = latency;
+        self
+    }
+
+    /// Add a pool. The first internal pool added becomes the default
+    /// placement target.
+    pub fn pool(mut self, config: PoolConfig) -> Self {
+        self.pools.push(config);
+        self
+    }
+
+    /// Placement rules (only `Action::Place` rules are consulted).
+    pub fn placement(mut self, rules: Vec<Rule>) -> Self {
+        self.placement = rules;
+        self
+    }
+
+    pub fn build(self) -> Pfs {
+        assert!(
+            self.pools.iter().any(|p| !p.external),
+            "a Pfs needs at least one internal pool"
+        );
+        let pools: Vec<StoragePool> = self
+            .pools
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| StoragePool::new(PoolId(i as u32), cfg))
+            .collect();
+        let pool_by_name = pools
+            .iter()
+            .map(|p| (p.name().to_string(), p.id()))
+            .collect();
+        let default_pool = pools
+            .iter()
+            .find(|p| !p.is_external())
+            .expect("checked above")
+            .id();
+        let meta = Timeline::latency_only(format!("{}-meta", self.name), self.meta_latency);
+        Pfs {
+            shared: Arc::new(PfsShared {
+                vfs: Vfs::new(self.name, self.clock),
+                pools,
+                pool_by_name,
+                placement: PolicyEngine::new(self.placement),
+                file_pools: RwLock::new(FxHashMap::default()),
+                default_pool,
+                meta,
+            }),
+        }
+    }
+}
+
+impl Pfs {
+    /// A scratch-style file system: one big internal pool, no placement
+    /// rules (PanFS stand-in).
+    pub fn scratch(name: &str, clock: Clock, devices: usize) -> Pfs {
+        PfsBuilder::new(name, clock)
+            .pool(PoolConfig::fast_disk("scratch", devices, DataSize::tb(2000)))
+            .build()
+    }
+
+    pub fn name(&self) -> &str {
+        self.shared.vfs.name()
+    }
+
+    pub fn clock(&self) -> &Clock {
+        self.shared.vfs.clock()
+    }
+
+    /// Escape hatch to the raw namespace (tests and internal movers).
+    pub fn vfs(&self) -> &Vfs {
+        &self.shared.vfs
+    }
+
+    // ----- pools ----------------------------------------------------------
+
+    pub fn pools(&self) -> &[StoragePool] {
+        &self.shared.pools
+    }
+
+    pub fn pool(&self, id: PoolId) -> &StoragePool {
+        &self.shared.pools[id.0 as usize]
+    }
+
+    pub fn pool_by_name(&self, name: &str) -> Option<&StoragePool> {
+        self.shared
+            .pool_by_name
+            .get(name)
+            .map(|id| self.pool(*id))
+    }
+
+    /// Pool a file currently resides in.
+    pub fn pool_of(&self, ino: Ino) -> PoolId {
+        self.shared
+            .file_pools
+            .read()
+            .get(&ino.0)
+            .copied()
+            .unwrap_or(self.shared.default_pool)
+    }
+
+    /// Move a file's *placement* between internal pools (ILM tiering within
+    /// the file system). Charges a read on the old pool and a write on the
+    /// new one; returns the write reservation.
+    pub fn move_to_pool(&self, ino: Ino, to: &str, ready: SimInstant) -> FsResult<Reservation> {
+        let to_id = *self
+            .shared
+            .pool_by_name
+            .get(to)
+            .ok_or_else(|| FsError::NotFound(format!("pool {to}")))?;
+        if self.pool(to_id).is_external() {
+            return Err(FsError::PermissionDenied(
+                "use the HSM to migrate to external pools".to_string(),
+            ));
+        }
+        // A punched stub occupies no disk: tiering it moves metadata only.
+        let on_disk = if self.hsm_state(ino)? == HsmState::Migrated {
+            0
+        } else {
+            self.shared.vfs.stat_ino(ino)?.size
+        };
+        let size = DataSize::from_bytes(on_disk);
+        let from_id = self.pool_of(ino);
+        if from_id == to_id {
+            return Ok(Reservation {
+                start: ready,
+                end: ready,
+            });
+        }
+        let r_read = self.pool(from_id).charge_io(ready, size);
+        let r_write = self.pool(to_id).charge_io(r_read.end, size);
+        self.pool(from_id).account_remove(size);
+        self.pool(to_id).account_add(size);
+        self.shared.file_pools.write().insert(ino.0, to_id);
+        Ok(r_write)
+    }
+
+    /// Charge one metadata transaction (create / stat / unlink) on this
+    /// file system's metadata service.
+    pub fn charge_meta(&self, ready: SimInstant) -> Reservation {
+        self.shared.meta.transfer(ready, DataSize::ZERO)
+    }
+
+    /// Charge a data read of `bytes` for `ino` against its pool's devices.
+    pub fn charge_read(&self, ino: Ino, ready: SimInstant, bytes: DataSize) -> Reservation {
+        self.pool(self.pool_of(ino)).charge_io(ready, bytes)
+    }
+
+    /// Charge a data write of `bytes` for `ino` against its pool's devices.
+    pub fn charge_write(&self, ino: Ino, ready: SimInstant, bytes: DataSize) -> Reservation {
+        self.pool(self.pool_of(ino)).charge_io(ready, bytes)
+    }
+
+    // ----- namespace ops (delegation + pool/HSM bookkeeping) --------------
+
+    pub fn mkdir_p(&self, path: &str) -> FsResult<Ino> {
+        self.shared.vfs.mkdir_p(path)
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.shared.vfs.exists(path)
+    }
+
+    pub fn resolve(&self, path: &str) -> FsResult<Ino> {
+        self.shared.vfs.resolve(path)
+    }
+
+    pub fn path_of(&self, ino: Ino) -> FsResult<String> {
+        self.shared.vfs.path_of(ino)
+    }
+
+    pub fn readdir(&self, path: &str) -> FsResult<Vec<copra_vfs::DirEntry>> {
+        self.shared.vfs.readdir(path)
+    }
+
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.shared.vfs.rename(from, to)
+    }
+
+    pub fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.shared.vfs.rmdir(path)
+    }
+
+    pub fn get_xattr(&self, ino: Ino, key: &str) -> FsResult<Option<String>> {
+        self.shared.vfs.get_xattr(ino, key)
+    }
+
+    pub fn set_xattr(&self, ino: Ino, key: &str, value: &str) -> FsResult<()> {
+        self.shared.vfs.set_xattr(ino, key, value)
+    }
+
+    pub fn utimes(&self, ino: Ino, mtime: SimInstant, atime: SimInstant) -> FsResult<()> {
+        self.shared.vfs.utimes(ino, mtime, atime)
+    }
+
+    /// Create a file, applying placement policy to choose its pool.
+    pub fn create_file(&self, path: &str, uid: u32, content: Content) -> FsResult<Ino> {
+        let size = content.len();
+        self.create_file_with_hint(path, uid, content, size)
+    }
+
+    /// Create a file whose placement is decided by `size_hint` rather than
+    /// the initial content length. PFTool pre-creates destination files
+    /// empty (workers then fill chunks in parallel); the hint keeps the
+    /// placement rules seeing the eventual size.
+    pub fn create_file_with_hint(
+        &self,
+        path: &str,
+        uid: u32,
+        content: Content,
+        size_hint: u64,
+    ) -> FsResult<Ino> {
+        let actual = content.len();
+        let ino = self.shared.vfs.create(path, uid, content)?;
+        let now = self.clock().now();
+        let rec = FileRecord {
+            path: path.to_string(),
+            ino,
+            size: size_hint,
+            uid,
+            mtime: now,
+            atime: now,
+            pool: String::new(),
+            hsm: HsmState::Resident,
+        };
+        let pool_id = self
+            .shared
+            .placement
+            .place(&rec, now)
+            .and_then(|name| self.shared.pool_by_name.get(name).copied())
+            .unwrap_or(self.shared.default_pool);
+        self.pool(pool_id).account_add(DataSize::from_bytes(actual));
+        self.shared.file_pools.write().insert(ino.0, pool_id);
+        Ok(ino)
+    }
+
+    /// HSM residency state of a file (Resident if unannotated).
+    pub fn hsm_state(&self, ino: Ino) -> FsResult<HsmState> {
+        Ok(self
+            .shared
+            .vfs
+            .get_xattr(ino, HsmState::XATTR)?
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(HsmState::Resident))
+    }
+
+    /// TSM object id recorded on the file, if any.
+    pub fn hsm_objid(&self, ino: Ino) -> FsResult<Option<u64>> {
+        Ok(self
+            .shared
+            .vfs
+            .get_xattr(ino, HsmState::XATTR_OBJID)?
+            .and_then(|s| s.parse().ok()))
+    }
+
+    /// Logical size: the pre-punch size for stubs, the on-disk size
+    /// otherwise.
+    pub fn logical_size(&self, ino: Ino) -> FsResult<u64> {
+        let attr = self.shared.vfs.stat_ino(ino)?;
+        Ok(Self::overlay_size(&attr))
+    }
+
+    fn overlay_size(attr: &InodeAttr) -> u64 {
+        attr.xattr(HsmState::XATTR_STUB_SIZE)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(attr.size)
+    }
+
+    /// `stat` with the stub-size overlay applied.
+    pub fn stat(&self, path: &str) -> FsResult<InodeAttr> {
+        let mut attr = self.shared.vfs.stat(path)?;
+        attr.size = Self::overlay_size(&attr);
+        Ok(attr)
+    }
+
+    pub fn stat_ino(&self, ino: Ino) -> FsResult<InodeAttr> {
+        let mut attr = self.shared.vfs.stat_ino(ino)?;
+        attr.size = Self::overlay_size(&attr);
+        Ok(attr)
+    }
+
+    /// Recursive walk with stub-size overlay.
+    pub fn walk(&self, path: &str) -> FsResult<Vec<WalkEntry>> {
+        let mut entries = self.shared.vfs.walk(path)?;
+        for e in &mut entries {
+            e.attr.size = Self::overlay_size(&e.attr);
+        }
+        Ok(entries)
+    }
+
+    /// Read file data, honouring managed regions: a migrated stub yields
+    /// [`ReadOutcome::NeedsRecall`] (the DMAPI read event) instead of data.
+    pub fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<ReadOutcome> {
+        match self.hsm_state(ino)? {
+            HsmState::Migrated => {
+                let objid = self.hsm_objid(ino)?.ok_or_else(|| {
+                    FsError::PermissionDenied(format!("stub {ino} has no hsm.objid"))
+                })?;
+                Ok(ReadOutcome::NeedsRecall { ino, objid })
+            }
+            _ => Ok(ReadOutcome::Data(self.shared.vfs.read(ino, offset, len)?)),
+        }
+    }
+
+    /// Read a whole resident file; error if it needs recall.
+    pub fn read_resident(&self, path: &str) -> FsResult<Content> {
+        let ino = self.resolve(path)?;
+        let size = self.stat_ino(ino)?.size;
+        match self.read(ino, 0, size)? {
+            ReadOutcome::Data(c) => Ok(c),
+            ReadOutcome::NeedsRecall { .. } => Err(FsError::PermissionDenied(format!(
+                "{path} is migrated to tape; recall required"
+            ))),
+        }
+    }
+
+    /// Overwrite part of a file. Mutating a premigrated/migrated file makes
+    /// the tape copy stale: the file returns to `Resident` and the old
+    /// object id is parked in `hsm.orphan.objid` — exactly the §6.3
+    /// situation the synchronous deleter cannot see and reconciliation (or
+    /// the FUSE truncate interceptor) must clean up.
+    pub fn write_at(&self, ino: Ino, offset: u64, patch: Content) -> FsResult<()> {
+        self.orphan_tape_copy_on_mutation(ino)?;
+        let old = self.shared.vfs.stat_ino(ino)?.size;
+        self.shared.vfs.write_at(ino, offset, patch)?;
+        let new = self.shared.vfs.stat_ino(ino)?.size;
+        self.pool(self.pool_of(ino))
+            .account_resize(DataSize::from_bytes(old), DataSize::from_bytes(new));
+        Ok(())
+    }
+
+    /// Truncate; same staleness handling as [`Pfs::write_at`].
+    pub fn truncate(&self, ino: Ino, new_len: u64) -> FsResult<()> {
+        self.orphan_tape_copy_on_mutation(ino)?;
+        let old = self.shared.vfs.stat_ino(ino)?.size;
+        self.shared.vfs.truncate(ino, new_len)?;
+        self.pool(self.pool_of(ino))
+            .account_resize(DataSize::from_bytes(old), DataSize::from_bytes(new_len));
+        Ok(())
+    }
+
+    fn orphan_tape_copy_on_mutation(&self, ino: Ino) -> FsResult<()> {
+        let state = self.hsm_state(ino)?;
+        if state == HsmState::Migrated {
+            return Err(FsError::PermissionDenied(format!(
+                "{ino} is a migrated stub; recall before writing"
+            )));
+        }
+        if state == HsmState::Premigrated {
+            if let Some(objid) = self.hsm_objid(ino)? {
+                self.shared
+                    .vfs
+                    .set_xattr(ino, "hsm.orphan.objid", &objid.to_string())?;
+            }
+            self.shared.vfs.remove_xattr(ino, HsmState::XATTR_OBJID)?;
+            self.shared
+                .vfs
+                .set_xattr(ino, HsmState::XATTR, HsmState::Resident.as_str())?;
+        }
+        Ok(())
+    }
+
+    /// Unlink, returning the final attributes (pool accounting updated).
+    pub fn unlink(&self, path: &str) -> FsResult<InodeAttr> {
+        let ino = self.resolve(path)?;
+        let pool = self.pool_of(ino);
+        let mut attr = self.shared.vfs.unlink(path)?;
+        attr.size = Self::overlay_size(&attr);
+        // A punched stub occupies ~0 disk; account what was on disk.
+        let on_disk = if attr.xattr(HsmState::XATTR_STUB_SIZE).is_some() {
+            0
+        } else {
+            attr.size
+        };
+        self.pool(pool).account_remove(DataSize::from_bytes(on_disk));
+        self.shared.file_pools.write().remove(&ino.0);
+        Ok(attr)
+    }
+
+    // ----- DMAPI surface used by the HSM ----------------------------------
+
+    /// Record that a valid tape copy exists (state → Premigrated).
+    pub fn mark_premigrated(&self, ino: Ino, objid: u64) -> FsResult<()> {
+        self.shared
+            .vfs
+            .set_xattr(ino, HsmState::XATTR_OBJID, &objid.to_string())?;
+        self.shared
+            .vfs
+            .set_xattr(ino, HsmState::XATTR, HsmState::Premigrated.as_str())
+    }
+
+    /// Punch the managed region: drop on-disk data for a premigrated file,
+    /// leaving a stub that still `stat`s at its logical size.
+    pub fn punch_hole(&self, ino: Ino) -> FsResult<()> {
+        let state = self.hsm_state(ino)?;
+        if state != HsmState::Premigrated {
+            return Err(FsError::PermissionDenied(format!(
+                "punch_hole on {ino} in state {state} (need premigrated)"
+            )));
+        }
+        let size = self.shared.vfs.stat_ino(ino)?.size;
+        self.shared
+            .vfs
+            .set_xattr(ino, HsmState::XATTR_STUB_SIZE, &size.to_string())?;
+        self.shared.vfs.set_content(ino, Content::empty())?;
+        self.shared
+            .vfs
+            .set_xattr(ino, HsmState::XATTR, HsmState::Migrated.as_str())?;
+        self.pool(self.pool_of(ino))
+            .account_resize(DataSize::from_bytes(size), DataSize::ZERO);
+        Ok(())
+    }
+
+    /// Refill a stub with data recalled from tape (state → Premigrated:
+    /// disk and tape copies both valid).
+    pub fn restore_stub(&self, ino: Ino, content: Content) -> FsResult<()> {
+        let state = self.hsm_state(ino)?;
+        if state != HsmState::Migrated {
+            return Err(FsError::PermissionDenied(format!(
+                "restore_stub on {ino} in state {state} (need migrated)"
+            )));
+        }
+        let logical: u64 = self
+            .shared
+            .vfs
+            .get_xattr(ino, HsmState::XATTR_STUB_SIZE)?
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        if content.len() != logical {
+            return Err(FsError::InvalidRange {
+                len: logical,
+                offset: 0,
+                requested: content.len(),
+            });
+        }
+        let size = content.len();
+        self.shared.vfs.set_content(ino, content)?;
+        self.shared.vfs.remove_xattr(ino, HsmState::XATTR_STUB_SIZE)?;
+        self.shared
+            .vfs
+            .set_xattr(ino, HsmState::XATTR, HsmState::Premigrated.as_str())?;
+        self.pool(self.pool_of(ino))
+            .account_resize(DataSize::ZERO, DataSize::from_bytes(size));
+        Ok(())
+    }
+
+    // ----- policy scan -----------------------------------------------------
+
+    /// Snapshot of every regular file as policy-visible records.
+    pub fn scan_records(&self) -> Vec<FileRecord> {
+        self.walk("/")
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|e| e.attr.is_file())
+            .map(|e| {
+                let hsm = e
+                    .attr
+                    .xattr(HsmState::XATTR)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(HsmState::Resident);
+                let pool = self.pool(self.pool_of(e.attr.ino)).name().to_string();
+                FileRecord {
+                    path: e.path,
+                    ino: e.attr.ino,
+                    size: e.attr.size,
+                    uid: e.attr.uid,
+                    mtime: e.attr.mtime,
+                    atime: e.attr.atime,
+                    pool,
+                    hsm,
+                }
+            })
+            .collect()
+    }
+
+    /// Run a policy over the current namespace.
+    pub fn run_policy(&self, engine: &PolicyEngine) -> crate::policy::ScanReport {
+        let records = self.scan_records();
+        engine.scan(&records, self.clock().now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Action, Cmp, Predicate};
+    use copra_simtime::Bandwidth;
+    use copra_simtime::SimDuration;
+
+    fn archive_fs() -> Pfs {
+        PfsBuilder::new("archive", Clock::new())
+            .pool(PoolConfig::fast_disk("fast", 4, DataSize::tb(100)))
+            .pool(PoolConfig::slow_disk("slow", 2, DataSize::tb(100)))
+            .pool(PoolConfig::external("tape"))
+            .placement(vec![
+                Rule {
+                    name: "small-to-slow".to_string(),
+                    action: Action::Place {
+                        pool: "slow".to_string(),
+                    },
+                    predicate: Predicate::SizeBytes(Cmp::Lt, 1 << 20),
+                },
+                Rule {
+                    name: "default-fast".to_string(),
+                    action: Action::Place {
+                        pool: "fast".to_string(),
+                    },
+                    predicate: Predicate::True,
+                },
+            ])
+            .build()
+    }
+
+    #[test]
+    fn placement_routes_by_size() {
+        let pfs = archive_fs();
+        pfs.mkdir_p("/d").unwrap();
+        let small = pfs
+            .create_file("/d/small", 0, Content::synthetic(1, 1000))
+            .unwrap();
+        let big = pfs
+            .create_file("/d/big", 0, Content::synthetic(2, 10 << 20))
+            .unwrap();
+        assert_eq!(pfs.pool(pfs.pool_of(small)).name(), "slow");
+        assert_eq!(pfs.pool(pfs.pool_of(big)).name(), "fast");
+        assert_eq!(pfs.pool_by_name("slow").unwrap().usage().files, 1);
+        assert_eq!(pfs.pool_by_name("fast").unwrap().usage().used, DataSize::from_bytes(10 << 20));
+    }
+
+    #[test]
+    fn hsm_lifecycle_resident_premigrated_migrated_recall() {
+        let pfs = archive_fs();
+        pfs.mkdir_p("/d").unwrap();
+        let content = Content::synthetic(9, 5 << 20);
+        let ino = pfs.create_file("/d/f", 0, content.clone()).unwrap();
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Resident);
+
+        pfs.mark_premigrated(ino, 777).unwrap();
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Premigrated);
+        assert_eq!(pfs.hsm_objid(ino).unwrap(), Some(777));
+        // data still readable
+        assert!(matches!(pfs.read(ino, 0, 10).unwrap(), ReadOutcome::Data(_)));
+
+        pfs.punch_hole(ino).unwrap();
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Migrated);
+        // stat still shows logical size
+        assert_eq!(pfs.stat("/d/f").unwrap().size, 5 << 20);
+        // reads raise the DMAPI event
+        match pfs.read(ino, 0, 10).unwrap() {
+            ReadOutcome::NeedsRecall { objid, .. } => assert_eq!(objid, 777),
+            other => panic!("expected NeedsRecall, got {other:?}"),
+        }
+        // disk usage dropped to zero for this file
+        assert_eq!(pfs.pool_by_name("fast").unwrap().usage().used, DataSize::ZERO);
+
+        pfs.restore_stub(ino, content.clone()).unwrap();
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Premigrated);
+        match pfs.read(ino, 0, content.len()).unwrap() {
+            ReadOutcome::Data(c) => assert!(c.eq_content(&content)),
+            other => panic!("expected data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn punch_hole_requires_premigrated() {
+        let pfs = archive_fs();
+        let ino = pfs.create_file("/f", 0, Content::synthetic(1, 100)).unwrap();
+        assert!(pfs.punch_hole(ino).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_length() {
+        let pfs = archive_fs();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 100))
+            .unwrap();
+        pfs.mark_premigrated(ino, 1).unwrap();
+        pfs.punch_hole(ino).unwrap();
+        assert!(matches!(
+            pfs.restore_stub(ino, Content::synthetic(1, 99)),
+            Err(FsError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn overwrite_of_premigrated_orphans_tape_copy() {
+        let pfs = archive_fs();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 2 << 20))
+            .unwrap();
+        pfs.mark_premigrated(ino, 55).unwrap();
+        pfs.write_at(ino, 0, Content::literal(&b"new"[..])).unwrap();
+        assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Resident);
+        assert_eq!(pfs.hsm_objid(ino).unwrap(), None);
+        assert_eq!(
+            pfs.get_xattr(ino, "hsm.orphan.objid").unwrap().as_deref(),
+            Some("55")
+        );
+    }
+
+    #[test]
+    fn writes_to_migrated_stub_are_rejected() {
+        let pfs = archive_fs();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 100))
+            .unwrap();
+        pfs.mark_premigrated(ino, 1).unwrap();
+        pfs.punch_hole(ino).unwrap();
+        assert!(pfs.write_at(ino, 0, Content::literal(&b"x"[..])).is_err());
+        assert!(pfs.truncate(ino, 0).is_err());
+    }
+
+    #[test]
+    fn unlink_of_stub_accounts_zero_disk() {
+        let pfs = archive_fs();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 3 << 20))
+            .unwrap();
+        pfs.mark_premigrated(ino, 1).unwrap();
+        pfs.punch_hole(ino).unwrap();
+        let before = pfs.pool_by_name("fast").unwrap().usage().used;
+        let attr = pfs.unlink("/f").unwrap();
+        assert_eq!(attr.size, 3 << 20); // logical size survives in the attr
+        assert_eq!(pfs.pool_by_name("fast").unwrap().usage().used, before);
+    }
+
+    #[test]
+    fn move_between_internal_pools() {
+        let pfs = archive_fs();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 10 << 20))
+            .unwrap();
+        assert_eq!(pfs.pool(pfs.pool_of(ino)).name(), "fast");
+        let r = pfs.move_to_pool(ino, "slow", SimInstant::EPOCH).unwrap();
+        assert!(r.end > SimInstant::EPOCH);
+        assert_eq!(pfs.pool(pfs.pool_of(ino)).name(), "slow");
+        assert!(pfs.move_to_pool(ino, "tape", SimInstant::EPOCH).is_err());
+        // idempotent same-pool move is free
+        let r2 = pfs.move_to_pool(ino, "slow", SimInstant::from_secs(5)).unwrap();
+        assert_eq!(r2.start, r2.end);
+    }
+
+    #[test]
+    fn scan_records_reflect_state() {
+        let clock = Clock::new();
+        let pfs = PfsBuilder::new("a", clock.clone())
+            .pool(PoolConfig::fast_disk("fast", 1, DataSize::tb(1)))
+            .build();
+        pfs.mkdir_p("/proj").unwrap();
+        let ino = pfs
+            .create_file("/proj/x.dat", 42, Content::synthetic(1, 1000))
+            .unwrap();
+        pfs.mark_premigrated(ino, 3).unwrap();
+        let recs = pfs.scan_records();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.path, "/proj/x.dat");
+        assert_eq!(r.uid, 42);
+        assert_eq!(r.size, 1000);
+        assert_eq!(r.pool, "fast");
+        assert_eq!(r.hsm, HsmState::Premigrated);
+    }
+
+    #[test]
+    fn policy_scan_over_pfs() {
+        let clock = Clock::new();
+        let pfs = PfsBuilder::new("a", clock.clone())
+            .pool(PoolConfig::fast_disk("fast", 1, DataSize::tb(1)))
+            .build();
+        pfs.mkdir_p("/d").unwrap();
+        for i in 0..10 {
+            pfs.create_file(&format!("/d/f{i}"), 0, Content::synthetic(i, 100 + i))
+                .unwrap();
+        }
+        clock.advance_to(SimInstant::from_secs(3600));
+        let engine = PolicyEngine::new(vec![Rule::list(
+            "aged",
+            "candidates",
+            Predicate::MtimeAge(Cmp::Ge, SimDuration::from_secs(60)),
+        )]);
+        let report = pfs.run_policy(&engine);
+        assert_eq!(report.scanned, 10);
+        assert_eq!(report.lists["candidates"].len(), 10);
+    }
+
+    #[test]
+    fn read_charges_pool_devices() {
+        let pfs = PfsBuilder::new("a", Clock::new())
+            .pool(PoolConfig {
+                name: "fast".to_string(),
+                devices: 1,
+                device_bandwidth: Bandwidth::mb_per_sec(100),
+                device_latency: SimDuration::ZERO,
+                capacity: DataSize::tb(1),
+                external: false,
+            })
+            .build();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 100 << 20))
+            .unwrap();
+        let r = pfs.charge_read(ino, SimInstant::EPOCH, DataSize::from_bytes(100 << 20));
+        assert!((r.duration().as_secs_f64() - (100 << 20) as f64 / 100e6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests: pool accounting and HSM state machine invariants under
+//! arbitrary operation sequences.
+
+use copra_pfs::{Cmp, HsmState, Pfs, PfsBuilder, PoolConfig, Predicate, Rule};
+use copra_simtime::{Clock, DataSize};
+use copra_vfs::{Content, Ino};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn archive() -> Pfs {
+    PfsBuilder::new("a", Clock::new())
+        .pool(PoolConfig::fast_disk("fast", 2, DataSize::tb(1)))
+        .pool(PoolConfig::slow_disk("slow", 2, DataSize::tb(1)))
+        .placement(vec![
+            Rule {
+                name: "small".into(),
+                action: copra_pfs::Action::Place {
+                    pool: "slow".into(),
+                },
+                predicate: Predicate::SizeBytes(Cmp::Lt, 1000),
+            },
+            Rule {
+                name: "rest".into(),
+                action: copra_pfs::Action::Place {
+                    pool: "fast".into(),
+                },
+                predicate: Predicate::True,
+            },
+        ])
+        .build()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8, u32),
+    WriteAt(u8, u32, u32),
+    Truncate(u8, u32),
+    Unlink(u8),
+    Premigrate(u8),
+    Punch(u8),
+    Restore(u8),
+    MovePool(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..12, 0u32..100_000).prop_map(|(f, s)| Op::Create(f, s)),
+            (0u8..12, 0u32..50_000, 0u32..50_000).prop_map(|(f, o, l)| Op::WriteAt(f, o, l)),
+            (0u8..12, 0u32..120_000).prop_map(|(f, s)| Op::Truncate(f, s)),
+            (0u8..12).prop_map(Op::Unlink),
+            (0u8..12).prop_map(Op::Premigrate),
+            (0u8..12).prop_map(Op::Punch),
+            (0u8..12).prop_map(Op::Restore),
+            (0u8..12).prop_map(Op::MovePool),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any sequence of namespace + DMAPI operations:
+    /// * per-pool `used` equals the sum of on-disk bytes of its files;
+    /// * logical sizes survive punch/restore;
+    /// * the HSM state machine only takes legal transitions.
+    #[test]
+    fn pool_accounting_matches_reality(ops in ops()) {
+        let pfs = archive();
+        let mut files: HashMap<u8, (Ino, u64 /*logical*/, HsmState)> = HashMap::new();
+        let mut next_objid = 1u64;
+        for op in ops {
+            match op {
+                Op::Create(f, size) => {
+                    if files.contains_key(&f) {
+                        continue;
+                    }
+                    let ino = pfs
+                        .create_file(&format!("/f{f}"), 0, Content::synthetic(f as u64, size as u64))
+                        .unwrap();
+                    files.insert(f, (ino, size as u64, HsmState::Resident));
+                }
+                Op::WriteAt(f, off, len) => {
+                    if let Some((ino, logical, state)) = files.get_mut(&f) {
+                        if *state == HsmState::Migrated {
+                            prop_assert!(pfs
+                                .write_at(*ino, off as u64, Content::synthetic(9, len as u64))
+                                .is_err());
+                            continue;
+                        }
+                        pfs.write_at(*ino, off as u64, Content::synthetic(9, len as u64))
+                            .unwrap();
+                        *logical = (*logical).max(off as u64 + len as u64);
+                        *state = HsmState::Resident; // mutation orphans tape copy
+                    }
+                }
+                Op::Truncate(f, size) => {
+                    if let Some((ino, logical, state)) = files.get_mut(&f) {
+                        if *state == HsmState::Migrated {
+                            prop_assert!(pfs.truncate(*ino, size as u64).is_err());
+                            continue;
+                        }
+                        pfs.truncate(*ino, size as u64).unwrap();
+                        *logical = size as u64;
+                        *state = HsmState::Resident;
+                    }
+                }
+                Op::Unlink(f) => {
+                    if let Some((_, logical, _)) = files.get(&f) {
+                        let attr = pfs.unlink(&format!("/f{f}")).unwrap();
+                        prop_assert_eq!(attr.size, *logical);
+                        files.remove(&f);
+                    }
+                }
+                Op::Premigrate(f) => {
+                    if let Some((ino, _, state)) = files.get_mut(&f) {
+                        if *state == HsmState::Resident {
+                            pfs.mark_premigrated(*ino, next_objid).unwrap();
+                            next_objid += 1;
+                            *state = HsmState::Premigrated;
+                        }
+                    }
+                }
+                Op::Punch(f) => {
+                    if let Some((ino, _, state)) = files.get_mut(&f) {
+                        let r = pfs.punch_hole(*ino);
+                        if *state == HsmState::Premigrated {
+                            r.unwrap();
+                            *state = HsmState::Migrated;
+                        } else {
+                            prop_assert!(r.is_err());
+                        }
+                    }
+                }
+                Op::Restore(f) => {
+                    if let Some((ino, logical, state)) = files.get_mut(&f) {
+                        let content = Content::synthetic(1, *logical);
+                        let r = pfs.restore_stub(*ino, content);
+                        if *state == HsmState::Migrated {
+                            r.unwrap();
+                            *state = HsmState::Premigrated;
+                        } else {
+                            prop_assert!(r.is_err());
+                        }
+                    }
+                }
+                Op::MovePool(f) => {
+                    if let Some((ino, _, _)) = files.get(&f) {
+                        let target = if pfs.pool(pfs.pool_of(*ino)).name() == "fast" {
+                            "slow"
+                        } else {
+                            "fast"
+                        };
+                        pfs.move_to_pool(*ino, target, copra_simtime::SimInstant::EPOCH)
+                            .unwrap();
+                    }
+                }
+            }
+            // Invariants after every step.
+            let mut per_pool: HashMap<String, u64> = HashMap::new();
+            for (f, (ino, logical, state)) in &files {
+                let attr = pfs.stat(&format!("/f{f}")).unwrap();
+                prop_assert_eq!(attr.size, *logical, "logical size of f{}", f);
+                prop_assert_eq!(pfs.hsm_state(*ino).unwrap(), *state);
+                let on_disk = if *state == HsmState::Migrated { 0 } else { *logical };
+                *per_pool
+                    .entry(pfs.pool(pfs.pool_of(*ino)).name().to_string())
+                    .or_default() += on_disk;
+            }
+            for pool in pfs.pools() {
+                let want = per_pool.get(pool.name()).copied().unwrap_or(0);
+                prop_assert_eq!(
+                    pool.usage().used.as_bytes(),
+                    want,
+                    "pool {} accounting",
+                    pool.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The three PFTool commands (§4.1.3): `pfls`, `pfcp`, `pfcm`.
+
+use crate::config::PftoolConfig;
+use crate::engine::{Engine, Op};
+use crate::report::{CompareReport, CopyReport, ListReport};
+use crate::view::FsView;
+use copra_cluster::NodeId;
+
+fn machine_list(view: &FsView, nodes: &[NodeId]) -> Vec<NodeId> {
+    if nodes.is_empty() {
+        view.cluster.nodes().collect()
+    } else {
+        nodes.to_vec()
+    }
+}
+
+/// Parallel tree walk + list (`pfls`). `nodes` is the MPI machine list
+/// (empty = every cluster node, in id order).
+pub fn pfls(src: &FsView, path: &str, config: &PftoolConfig, nodes: &[NodeId]) -> ListReport {
+    let engine = Engine {
+        config,
+        op: Op::List,
+        src,
+        dst: None,
+        src_root: path.to_string(),
+        dst_root: None,
+        nodes: machine_list(src, nodes),
+    };
+    let (stats, lines) = engine.run();
+    ListReport { stats, lines }
+}
+
+/// Parallel tree copy (`pfcp`): walk `src_path` on `src` and reproduce it
+/// at `dst_path` on `dst`, moving file data in parallel (chunked for large
+/// files, fuse-chunked N-to-N for very large ones, via tape restore for
+/// migrated sources).
+pub fn pfcp(
+    src: &FsView,
+    src_path: &str,
+    dst: &FsView,
+    dst_path: &str,
+    config: &PftoolConfig,
+    nodes: &[NodeId],
+) -> CopyReport {
+    let engine = Engine {
+        config,
+        op: Op::Copy,
+        src,
+        dst: Some(dst),
+        src_root: src_path.to_string(),
+        dst_root: Some(dst_path.to_string()),
+        nodes: machine_list(src, nodes),
+    };
+    let (stats, _) = engine.run();
+    CopyReport { stats }
+}
+
+/// Parallel tree compare (`pfcm`): byte-content comparison of the two
+/// trees; users run it to verify data integrity after a copy.
+pub fn pfcm(
+    src: &FsView,
+    src_path: &str,
+    dst: &FsView,
+    dst_path: &str,
+    config: &PftoolConfig,
+    nodes: &[NodeId],
+) -> CompareReport {
+    let engine = Engine {
+        config,
+        op: Op::Compare,
+        src,
+        dst: Some(dst),
+        src_root: src_path.to_string(),
+        dst_root: Some(dst_path.to_string()),
+        nodes: machine_list(src, nodes),
+    };
+    let (stats, lines) = engine.run();
+    let mismatches = lines
+        .into_iter()
+        .filter_map(|l| l.strip_prefix("MISMATCH ").map(str::to_string))
+        .collect();
+    CompareReport { stats, mismatches }
+}

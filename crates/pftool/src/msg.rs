@@ -1,0 +1,136 @@
+//! The PFTool message protocol (Manager ↔ everyone else).
+
+use copra_pfs::HsmState;
+use copra_simtime::SimInstant;
+use copra_vfs::Ino;
+use serde::{Deserialize, Serialize};
+
+/// Stat output for one file, as Workers report it back to the Manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    pub path: String,
+    pub ino: Ino,
+    /// Logical size (stub overlay applied).
+    pub size: u64,
+    pub uid: u32,
+    pub mtime: SimInstant,
+    pub hsm: HsmState,
+    /// True if this is a fuse-chunked logical file (reported by the walk,
+    /// not by plain stat).
+    pub chunked: bool,
+}
+
+/// How the destination of a copy sub-job is materialized.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DstMode {
+    /// Write into a pre-created file at `dst_offset` (plain-file chunk or
+    /// whole-file copy).
+    WriteAt,
+    /// Create the destination file outright (fuse chunk files); the
+    /// worker records the chunk fingerprint xattr.
+    CreateChunk { uid: u32 },
+}
+
+/// One unit of data movement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyJob {
+    /// Physical file to read (may be a fuse chunk file).
+    pub src_path: String,
+    pub src_offset: u64,
+    pub len: u64,
+    /// Physical file to write.
+    pub dst_path: String,
+    pub dst_offset: u64,
+    pub dst_mode: DstMode,
+    /// Simulated instant the data became available (run start, or the end
+    /// of the tape restore that produced it).
+    pub ready: SimInstant,
+}
+
+/// One unit of comparison (`pfcm`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompareJob {
+    pub src_path: String,
+    pub dst_path: String,
+    pub offset: u64,
+    pub len: u64,
+    pub ready: SimInstant,
+}
+
+/// A batch of restores for ONE tape, handed to one TapeProc (the TapeCQ
+/// binding that prevents §6.2 thrashing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TapeJob {
+    pub tape: u32,
+    /// (path, ino, parent logical file) in the order they should be
+    /// restored. `parent` is set for fuse chunk restores.
+    pub files: Vec<(String, Ino, Option<String>)>,
+    pub ready: SimInstant,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone)]
+pub enum PfMsg {
+    // --- pull protocol ---------------------------------------------------
+    /// Any non-manager process asking for work.
+    RequestWork,
+    // --- tree walk ---------------------------------------------------------
+    ReadDirJob {
+        path: String,
+        ready: SimInstant,
+    },
+    DirDone {
+        /// Sub-directories found (absolute source paths).
+        dirs: Vec<String>,
+        /// Plain files found.
+        files: Vec<String>,
+        /// Fuse-chunked logical files found (treated as single files).
+        chunked: Vec<String>,
+        ready: SimInstant,
+        err: Option<String>,
+    },
+    // --- stat --------------------------------------------------------------
+    StatJob {
+        path: String,
+        chunked: bool,
+        ready: SimInstant,
+    },
+    StatDone {
+        meta: Option<FileMeta>,
+        ready: SimInstant,
+        err: Option<String>,
+    },
+    // --- data movement -------------------------------------------------------
+    Copy(CopyJob),
+    CopyDone {
+        bytes: u64,
+        end: SimInstant,
+        err: Option<String>,
+    },
+    Compare(CompareJob),
+    CompareDone {
+        path: String,
+        equal: bool,
+        bytes: u64,
+        end: SimInstant,
+        err: Option<String>,
+    },
+    // --- tape restore ---------------------------------------------------------
+    Tape(TapeJob),
+    TapeDone {
+        /// (path, restore-completion instant, parent logical file) per
+        /// file actually restored.
+        restored: Vec<(String, SimInstant, Option<String>)>,
+        err: Option<String>,
+    },
+    // --- output / watchdog -----------------------------------------------------
+    OutputLine(String),
+    Progress {
+        files: u64,
+        bytes: u64,
+    },
+    /// WatchDog → Manager: no progress for longer than the stall limit.
+    Stalled,
+    // --- control -----------------------------------------------------------------
+    Shutdown,
+}

@@ -1,0 +1,186 @@
+//! The Manager's work queues (Figure 3): DirQ, NameQ, CopyQ and the
+//! per-tape TapeCQ set.
+
+use crate::msg::{CompareJob, CopyJob};
+use copra_simtime::SimInstant;
+use copra_vfs::Ino;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A worker-executable unit sitting in the CopyQ.
+#[derive(Debug, Clone)]
+pub enum WorkerJob {
+    Copy(CopyJob),
+    Compare(CompareJob),
+}
+
+/// One entry waiting in a tape queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapeEntry {
+    pub seq: u32,
+    pub path: String,
+    pub ino: Ino,
+    /// For a fuse chunk restore: the logical file the chunk belongs to.
+    /// The manager re-queues the logical file once every chunk is back.
+    pub parent: Option<String>,
+}
+
+/// The per-tape restore queues (§4.1.2-2): entries for one tape are kept
+/// together and, when ordering is enabled, in ascending tape-sequence
+/// order so the volume reads front-to-back.
+#[derive(Debug, Default)]
+pub struct TapeQueues {
+    queues: BTreeMap<u32, VecDeque<TapeEntry>>,
+    ordering: bool,
+    len: usize,
+}
+
+impl TapeQueues {
+    pub fn new(ordering: bool) -> Self {
+        TapeQueues {
+            queues: BTreeMap::new(),
+            ordering,
+            len: 0,
+        }
+    }
+
+    /// Insert an entry into its tape's queue.
+    pub fn push(&mut self, tape: u32, entry: TapeEntry) {
+        let q = self.queues.entry(tape).or_default();
+        if self.ordering {
+            // binary search by seq keeps each queue sorted as it fills
+            let pos = q.partition_point(|e| e.seq <= entry.seq);
+            q.insert(pos, entry);
+        } else {
+            q.push_back(entry);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return one whole tape's queue (lowest tape id first) —
+    /// the unit of TapeProc assignment.
+    pub fn pop_tape(&mut self) -> Option<(u32, Vec<TapeEntry>)> {
+        let tape = *self.queues.keys().next()?;
+        let q = self.queues.remove(&tape)?;
+        self.len -= q.len();
+        Some((tape, q.into_iter().collect()))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn tape_count(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+/// All manager-side queues.
+#[derive(Debug)]
+pub struct ManagerQueues {
+    /// Directories awaiting expansion.
+    pub dirq: VecDeque<(String, SimInstant)>,
+    /// Files awaiting stat: (path, is_chunked, ready).
+    pub nameq: VecDeque<(String, bool, SimInstant)>,
+    /// Data-movement jobs awaiting a worker.
+    pub copyq: VecDeque<WorkerJob>,
+    /// Per-tape restore queues.
+    pub tapecq: TapeQueues,
+}
+
+impl ManagerQueues {
+    pub fn new(tape_ordering: bool) -> Self {
+        ManagerQueues {
+            dirq: VecDeque::new(),
+            nameq: VecDeque::new(),
+            copyq: VecDeque::new(),
+            tapecq: TapeQueues::new(tape_ordering),
+        }
+    }
+
+    /// True when nothing is queued anywhere.
+    pub fn all_empty(&self) -> bool {
+        self.dirq.is_empty()
+            && self.nameq.is_empty()
+            && self.copyq.is_empty()
+            && self.tapecq.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u32) -> TapeEntry {
+        TapeEntry {
+            seq,
+            path: format!("/f{seq}"),
+            ino: Ino(seq as u64 + 1),
+            parent: None,
+        }
+    }
+
+    #[test]
+    fn ordered_queue_sorts_by_seq() {
+        let mut tq = TapeQueues::new(true);
+        for seq in [5, 1, 9, 3, 7] {
+            tq.push(0, entry(seq));
+        }
+        let (_, q) = tq.pop_tape().unwrap();
+        let seqs: Vec<u32> = q.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 3, 5, 7, 9]);
+        assert!(tq.is_empty());
+    }
+
+    #[test]
+    fn unordered_queue_preserves_arrival() {
+        let mut tq = TapeQueues::new(false);
+        for seq in [5, 1, 9] {
+            tq.push(0, entry(seq));
+        }
+        let (_, q) = tq.pop_tape().unwrap();
+        let seqs: Vec<u32> = q.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 1, 9]);
+    }
+
+    #[test]
+    fn tapes_pop_in_id_order_and_stay_separate() {
+        let mut tq = TapeQueues::new(true);
+        tq.push(3, entry(1));
+        tq.push(1, entry(2));
+        tq.push(1, entry(1));
+        assert_eq!(tq.len(), 3);
+        assert_eq!(tq.tape_count(), 2);
+        let (tape, q) = tq.pop_tape().unwrap();
+        assert_eq!(tape, 1);
+        assert_eq!(q.len(), 2);
+        let (tape, _) = tq.pop_tape().unwrap();
+        assert_eq!(tape, 3);
+        assert!(tq.pop_tape().is_none());
+    }
+
+    #[test]
+    fn duplicate_seqs_keep_stable_order() {
+        let mut tq = TapeQueues::new(true);
+        let mut a = entry(4);
+        a.path = "/first".into();
+        let mut b = entry(4);
+        b.path = "/second".into();
+        tq.push(0, a);
+        tq.push(0, b);
+        let (_, q) = tq.pop_tape().unwrap();
+        assert_eq!(q[0].path, "/first");
+        assert_eq!(q[1].path, "/second");
+    }
+
+    #[test]
+    fn manager_queues_emptiness() {
+        let mut q = ManagerQueues::new(true);
+        assert!(q.all_empty());
+        q.nameq.push_back(("/f".into(), false, SimInstant::EPOCH));
+        assert!(!q.all_empty());
+    }
+}

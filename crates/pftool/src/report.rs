@@ -1,0 +1,131 @@
+//! Run reports — "a performance report is generated after finishing each
+//! parallel archive job" (§4.1.1). These feed Figures 8–11 directly.
+
+use copra_simtime::{rate::achieved_rate, DataSize, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// One WatchDog progress sample — "the current and historical statistics
+/// of PFTool such as total number of files copied, number of files copied
+/// in the past T minutes" (§4.1.1 WatchDog (a)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSample {
+    /// Real seconds since the run started.
+    pub wall_secs: f64,
+    /// Cumulative files completed at this sample.
+    pub files: u64,
+    /// Cumulative bytes completed at this sample.
+    pub bytes: u64,
+}
+
+/// Statistics common to every PFTool run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Regular files processed (copied / listed / compared).
+    pub files: u64,
+    /// Directories traversed.
+    pub dirs: u64,
+    /// Payload bytes moved (or compared).
+    pub bytes: u64,
+    /// Files skipped by restart logic (§4.5).
+    pub skipped_files: u64,
+    /// Bytes skipped by restart logic.
+    pub skipped_bytes: u64,
+    /// Files restored from tape before copying.
+    pub tape_restores: u64,
+    /// Simulated start of the run.
+    pub sim_start: SimInstant,
+    /// Simulated completion (max over all device reservations).
+    pub sim_end: SimInstant,
+    /// Real (host) seconds the run took — the machinery's own speed.
+    pub wall_seconds: f64,
+    /// Errors encountered (path, message).
+    pub errors: Vec<(String, String)>,
+    /// True if the WatchDog force-terminated the run.
+    pub aborted: bool,
+    /// The WatchDog's progress history (sampled at its check interval).
+    pub progress_samples: Vec<ProgressSample>,
+}
+
+impl RunStats {
+    /// Achieved data rate in simulated MB/s (the Figure 10 metric).
+    pub fn rate_mb_s(&self) -> f64 {
+        achieved_rate(
+            DataSize::from_bytes(self.bytes),
+            self.sim_end.saturating_since(self.sim_start),
+        )
+        .as_mb_per_sec_f64()
+    }
+
+    /// Simulated elapsed seconds.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_end.saturating_since(self.sim_start).as_secs_f64()
+    }
+
+    /// Average file size in MB (the Figure 11 metric).
+    pub fn avg_file_mb(&self) -> f64 {
+        if self.files == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.files as f64 / 1e6
+        }
+    }
+
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty() && !self.aborted
+    }
+}
+
+/// `pfls` result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ListReport {
+    pub stats: RunStats,
+    /// One formatted line per entry, in output order.
+    pub lines: Vec<String>,
+}
+
+/// `pfcp` result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CopyReport {
+    pub stats: RunStats,
+}
+
+/// `pfcm` result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompareReport {
+    pub stats: RunStats,
+    /// Paths whose contents differ between source and destination.
+    pub mismatches: Vec<String>,
+}
+
+impl CompareReport {
+    pub fn identical(&self) -> bool {
+        self.mismatches.is_empty() && self.stats.ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_and_averages() {
+        let stats = RunStats {
+            files: 4,
+            bytes: 400_000_000,
+            sim_start: SimInstant::from_secs(10),
+            sim_end: SimInstant::from_secs(20),
+            ..RunStats::default()
+        };
+        assert!((stats.rate_mb_s() - 40.0).abs() < 1e-9);
+        assert!((stats.avg_file_mb() - 100.0).abs() < 1e-9);
+        assert!((stats.sim_seconds() - 10.0).abs() < 1e-9);
+        assert!(stats.ok());
+    }
+
+    #[test]
+    fn zero_cases() {
+        let stats = RunStats::default();
+        assert_eq!(stats.rate_mb_s(), 0.0);
+        assert_eq!(stats.avg_file_mb(), 0.0);
+    }
+}

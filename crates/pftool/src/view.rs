@@ -1,0 +1,69 @@
+//! File-system views: what one side of a PFTool operation can see.
+
+use copra_cluster::FtaCluster;
+use copra_fuse::ArchiveFuse;
+use copra_hsm::Hsm;
+use copra_metadb::TsmCatalog;
+use copra_pfs::Pfs;
+use std::sync::Arc;
+
+/// One side (source or destination) of a PFTool run.
+///
+/// Every FTA node in the paper mounts the scratch global file system, the
+/// archive GPFS, and the ArchiveFUSE overlay (§5.1); a view bundles the
+/// handles PFTool needs on one of those mounts:
+///
+/// * the [`Pfs`] itself,
+/// * optionally the fuse overlay (archive side only — very large files are
+///   written/read through it),
+/// * optionally the [`Hsm`] (archive side only — lets TapeProcs restore
+///   migrated files).
+#[derive(Clone)]
+pub struct FsView {
+    pub pfs: Pfs,
+    pub fuse: Option<ArchiveFuse>,
+    pub hsm: Option<Hsm>,
+    /// The indexed TSM-export replica PFTool queries for (tape id,
+    /// sequence id) when ordering restores (§4.2.5). Archive side only.
+    pub catalog: Option<Arc<TsmCatalog>>,
+    /// The cluster whose nodes run this view's data movers.
+    pub cluster: FtaCluster,
+}
+
+impl FsView {
+    /// A plain (scratch) view.
+    pub fn plain(pfs: Pfs, cluster: FtaCluster) -> Self {
+        FsView {
+            pfs,
+            fuse: None,
+            hsm: None,
+            catalog: None,
+            cluster,
+        }
+    }
+
+    /// A full archive view with fuse overlay, HSM and catalog replica.
+    pub fn archive(
+        pfs: Pfs,
+        fuse: ArchiveFuse,
+        hsm: Hsm,
+        catalog: Arc<TsmCatalog>,
+        cluster: FtaCluster,
+    ) -> Self {
+        FsView {
+            pfs,
+            fuse: Some(fuse),
+            hsm: Some(hsm),
+            catalog: Some(catalog),
+            cluster,
+        }
+    }
+
+    /// Is `path` a fuse-chunked logical file on this view?
+    pub fn is_chunked(&self, path: &str) -> bool {
+        self.fuse
+            .as_ref()
+            .map(|f| f.is_chunked(path).unwrap_or(false))
+            .unwrap_or(false)
+    }
+}

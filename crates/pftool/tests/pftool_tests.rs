@@ -1,0 +1,490 @@
+//! End-to-end tests of the PFTool engine over the full substrate stack.
+
+use copra_cluster::{ClusterConfig, FtaCluster, NodeId};
+use copra_fuse::ArchiveFuse;
+use copra_hsm::{DataPath, Hsm, TsmServer};
+use copra_metadb::TsmCatalog;
+use copra_pfs::{Pfs, PfsBuilder, PoolConfig};
+use copra_pftool::{pfcm, pfcp, pfls, FsView, PftoolConfig};
+use copra_simtime::{Clock, DataSize, SimInstant};
+use copra_tape::{TapeLibrary, TapeTiming};
+use copra_vfs::Content;
+use std::sync::Arc;
+
+/// A full test rig: scratch FS, archive FS with HSM + fuse + catalog, one
+/// cluster, one tape library.
+struct Rig {
+    clock: Clock,
+    scratch: FsView,
+    archive: FsView,
+    hsm: Hsm,
+    catalog: Arc<TsmCatalog>,
+}
+
+fn rig() -> Rig {
+    let clock = Clock::new();
+    let cluster = FtaCluster::new(ClusterConfig::tiny(4));
+    let scratch_pfs = Pfs::scratch("scratch", clock.clone(), 8);
+    let archive_pfs = PfsBuilder::new("archive", clock.clone())
+        .pool(PoolConfig::fast_disk("fast", 8, DataSize::tb(100)))
+        .pool(PoolConfig::external("tape"))
+        .build();
+    let library = TapeLibrary::new(4, 16, TapeTiming::lto4());
+    let server = TsmServer::roadrunner(library);
+    let hsm = Hsm::new(archive_pfs.clone(), server, cluster.clone());
+    // Small fuse threshold so tests exercise chunking cheaply.
+    let fuse = ArchiveFuse::new(archive_pfs.clone(), DataSize::mb(200), DataSize::mb(50));
+    let catalog = Arc::new(TsmCatalog::new());
+    let scratch = FsView::plain(scratch_pfs, cluster.clone());
+    let archive = FsView::archive(
+        archive_pfs,
+        fuse,
+        hsm.clone(),
+        catalog.clone(),
+        cluster,
+    );
+    Rig {
+        clock,
+        scratch,
+        archive,
+        hsm,
+        catalog,
+    }
+}
+
+fn populate_tree(pfs: &Pfs) -> (usize, u64) {
+    pfs.mkdir_p("/proj/run1").unwrap();
+    pfs.mkdir_p("/proj/run2/deep").unwrap();
+    let mut files = 0;
+    let mut bytes = 0;
+    for (i, (path, size)) in [
+        ("/proj/a.dat", 3_000_000u64),
+        ("/proj/run1/b.dat", 12_000_000),
+        ("/proj/run1/c.dat", 500),
+        ("/proj/run2/d.dat", 7_000_000),
+        ("/proj/run2/deep/e.dat", 64),
+        ("/proj/run2/deep/empty", 0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        pfs.create_file(path, 1000 + i as u32, Content::synthetic(i as u64 + 1, *size))
+            .unwrap();
+        files += 1;
+        bytes += size;
+    }
+    (files, bytes)
+}
+
+fn cfg() -> PftoolConfig {
+    PftoolConfig::test_small()
+}
+
+#[test]
+fn pfls_lists_whole_tree() {
+    let r = rig();
+    let (files, bytes) = populate_tree(&r.scratch.pfs);
+    let report = pfls(&r.scratch, "/proj", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.files as usize, files);
+    assert_eq!(report.stats.bytes, bytes);
+    assert_eq!(report.stats.dirs, 3); // run1, run2, run2/deep
+    let file_lines = report.lines.iter().filter(|l| l.starts_with("f ")).count();
+    assert_eq!(file_lines, files);
+}
+
+#[test]
+fn pfcp_copies_tree_and_pfcm_verifies() {
+    let r = rig();
+    let (files, bytes) = populate_tree(&r.scratch.pfs);
+    let report = pfcp(&r.scratch, "/proj", &r.archive, "/arch/proj", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.files as usize, files);
+    assert_eq!(report.stats.bytes, bytes);
+    assert!(report.stats.sim_end > report.stats.sim_start);
+
+    // Spot-check one file byte-for-byte.
+    let src = r.scratch.pfs.read_resident("/proj/run1/b.dat").unwrap();
+    let dst = r
+        .archive
+        .pfs
+        .read_resident("/arch/proj/run1/b.dat")
+        .unwrap();
+    assert!(src.eq_content(&dst));
+
+    // pfcm agrees.
+    let cmp = pfcm(&r.scratch, "/proj", &r.archive, "/arch/proj", &cfg(), &[]);
+    assert!(cmp.identical(), "{:?} / {:?}", cmp.mismatches, cmp.stats.errors);
+    assert_eq!(cmp.stats.files as usize, files);
+}
+
+#[test]
+fn pfcm_detects_corruption() {
+    let r = rig();
+    populate_tree(&r.scratch.pfs);
+    pfcp(&r.scratch, "/proj", &r.archive, "/arch/proj", &cfg(), &[]);
+    // Corrupt one byte range at the destination.
+    let ino = r.archive.pfs.resolve("/arch/proj/run2/d.dat").unwrap();
+    r.archive
+        .pfs
+        .write_at(ino, 1_000_000, Content::literal(&b"XYZZY"[..]))
+        .unwrap();
+    let cmp = pfcm(&r.scratch, "/proj", &r.archive, "/arch/proj", &cfg(), &[]);
+    assert_eq!(cmp.mismatches, vec!["/proj/run2/d.dat".to_string()]);
+    assert!(!cmp.identical());
+}
+
+#[test]
+fn large_file_copies_in_parallel_chunks() {
+    let r = rig();
+    r.scratch.pfs.mkdir_p("/proj").unwrap();
+    // 100 MB with a 64 MB threshold and 16 MB chunks → 7 chunk jobs.
+    r.scratch
+        .pfs
+        .create_file("/proj/big.dat", 0, Content::synthetic(9, 100_000_000))
+        .unwrap();
+    let report = pfcp(&r.scratch, "/proj", &r.archive, "/dst", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.bytes, 100_000_000);
+    let src = r.scratch.pfs.read_resident("/proj/big.dat").unwrap();
+    let dst = r.archive.pfs.read_resident("/dst/big.dat").unwrap();
+    assert!(src.eq_content(&dst));
+
+    // More workers should cut simulated time vs a single worker.
+    let r2 = rig();
+    r2.scratch.pfs.mkdir_p("/proj").unwrap();
+    r2.scratch
+        .pfs
+        .create_file("/proj/big.dat", 0, Content::synthetic(9, 100_000_000))
+        .unwrap();
+    let solo = PftoolConfig {
+        workers: 1,
+        ..cfg()
+    };
+    let solo_report = pfcp(&r2.scratch, "/proj", &r2.archive, "/dst", &solo, &[]);
+    assert!(
+        report.stats.sim_seconds() < solo_report.stats.sim_seconds(),
+        "parallel {} vs solo {}",
+        report.stats.sim_seconds(),
+        solo_report.stats.sim_seconds()
+    );
+}
+
+#[test]
+fn very_large_file_lands_fuse_chunked() {
+    let r = rig();
+    r.scratch.pfs.mkdir_p("/proj").unwrap();
+    // 250 MB ≥ the rig's 200 MB fuse threshold → chunked dst (50 MB chunks).
+    let content = Content::synthetic(11, 250_000_000);
+    r.scratch
+        .pfs
+        .create_file("/proj/huge.dat", 7, content.clone())
+        .unwrap();
+    let report = pfcp(&r.scratch, "/proj", &r.archive, "/dst", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    let fuse = r.archive.fuse.as_ref().unwrap();
+    assert!(fuse.is_chunked("/dst/huge.dat").unwrap());
+    let chunks = fuse.chunks("/dst/huge.dat").unwrap();
+    assert_eq!(chunks.len(), 5);
+    match fuse.read_file("/dst/huge.dat").unwrap() {
+        copra_fuse::FuseRead::Data(c) => assert!(c.eq_content(&content)),
+        other => panic!("{other:?}"),
+    }
+    // pfcm verifies the chunked destination against the plain source.
+    let cmp = pfcm(&r.scratch, "/proj", &r.archive, "/dst", &cfg(), &[]);
+    assert!(cmp.identical(), "{:?}", cmp.mismatches);
+}
+
+/// Copy-back from the archive when files are migrated to tape: the manager
+/// routes them through the TapeCQs and TapeProcs, then copies.
+#[test]
+fn migrated_sources_are_restored_then_copied() {
+    let r = rig();
+    let apfs = &r.archive.pfs;
+    apfs.mkdir_p("/arch").unwrap();
+    let mut cursor = SimInstant::EPOCH;
+    let mut originals = Vec::new();
+    for i in 0..6u64 {
+        let path = format!("/arch/f{i}.dat");
+        let content = Content::synthetic(100 + i, 5_000_000);
+        let ino = apfs.create_file(&path, 0, content.clone()).unwrap();
+        let (_, t) = r
+            .hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+            .unwrap();
+        cursor = t;
+        originals.push((path, content));
+    }
+    r.clock.advance_to(cursor);
+    // Export the TSM DB into the indexed replica PFTool queries.
+    r.hsm.server().export(&r.catalog);
+
+    let report = pfcp(&r.archive, "/arch", &r.scratch, "/restore", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.tape_restores, 6);
+    assert_eq!(report.stats.files, 6);
+    for (path, content) in &originals {
+        let dst = path.replace("/arch", "/restore");
+        let got = r.scratch.pfs.read_resident(&dst).unwrap();
+        assert!(got.eq_content(content), "{path} corrupted");
+    }
+}
+
+/// §4.1.2-2: tape-ordered recall beats unordered recall of the same files.
+#[test]
+fn tape_ordering_reduces_restore_time() {
+    let run = |ordering: bool| -> f64 {
+        let r = rig();
+        let apfs = &r.archive.pfs;
+        apfs.mkdir_p("/arch").unwrap();
+        let mut cursor = SimInstant::EPOCH;
+        // Write 16 files to tape through one agent (same volume, ascending
+        // seq); then list them in a scrambled order via directory naming.
+        let scramble = [11u64, 3, 14, 7, 0, 9, 2, 15, 5, 12, 1, 8, 13, 4, 10, 6];
+        for i in scramble {
+            let path = format!("/arch/f{i:02}.dat");
+            let ino = apfs
+                .create_file(&path, 0, Content::synthetic(i, 50_000_000))
+                .unwrap();
+            let (_, t) = r
+                .hsm
+                .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+                .unwrap();
+            cursor = t;
+        }
+        r.clock.advance_to(cursor);
+        r.hsm.server().export(&r.catalog);
+        let config = PftoolConfig {
+            tape_ordering: ordering,
+            tape_procs: 1,
+            ..cfg()
+        };
+        let report = pfcp(&r.archive, "/arch", &r.scratch, "/restore", &config, &[]);
+        assert!(report.stats.ok(), "{:?}", report.stats.errors);
+        assert_eq!(report.stats.tape_restores, 16);
+        report.stats.sim_seconds()
+    };
+    let ordered = run(true);
+    let unordered = run(false);
+    assert!(
+        ordered < unordered,
+        "ordered {ordered}s should beat unordered {unordered}s"
+    );
+}
+
+/// §4.5: restart skips files already complete at the destination.
+#[test]
+fn restart_skips_up_to_date_files() {
+    let r = rig();
+    let (files, bytes) = populate_tree(&r.scratch.pfs);
+    let first = pfcp(&r.scratch, "/proj", &r.archive, "/arch", &cfg(), &[]);
+    assert!(first.stats.ok());
+    // Advance time so destination mtimes are >= source mtimes from the
+    // copy, then re-run with restart on.
+    r.clock.advance_to(SimInstant::from_secs(10_000));
+    let config = PftoolConfig {
+        restart: true,
+        ..cfg()
+    };
+    let second = pfcp(&r.scratch, "/proj", &r.archive, "/arch", &config, &[]);
+    assert!(second.stats.ok(), "{:?}", second.stats.errors);
+    assert_eq!(second.stats.skipped_files as usize, files);
+    assert_eq!(second.stats.skipped_bytes, bytes);
+    assert_eq!(second.stats.bytes, 0, "nothing should be re-sent");
+}
+
+/// §4.5 chunk marking: only stale chunks of a very large file are resent.
+#[test]
+fn restart_resends_only_stale_chunks() {
+    let r = rig();
+    r.scratch.pfs.mkdir_p("/proj").unwrap();
+    let content = Content::synthetic(21, 250_000_000); // 5 fuse chunks
+    r.scratch
+        .pfs
+        .create_file("/proj/huge.dat", 0, content.clone())
+        .unwrap();
+    let first = pfcp(&r.scratch, "/proj", &r.archive, "/dst", &cfg(), &[]);
+    assert!(first.stats.ok());
+
+    // Corrupt one destination chunk (fingerprint mismatch) and delete
+    // another — both must be re-sent, the other three skipped.
+    let fuse = r.archive.fuse.as_ref().unwrap();
+    let chunks = fuse.chunks("/dst/huge.dat").unwrap();
+    let corrupt = r.archive.pfs.resolve(&chunks[1].path).unwrap();
+    r.archive
+        .pfs
+        .set_xattr(corrupt, copra_fuse::XATTR_FPRINT, "999")
+        .unwrap();
+    r.archive.pfs.unlink(&chunks[3].path).unwrap();
+
+    let config = PftoolConfig {
+        restart: true,
+        ..cfg()
+    };
+    let second = pfcp(&r.scratch, "/proj", &r.archive, "/dst", &config, &[]);
+    assert!(second.stats.ok(), "{:?}", second.stats.errors);
+    assert_eq!(second.stats.bytes, 100_000_000, "two 50 MB chunks resent");
+    assert_eq!(second.stats.skipped_bytes, 150_000_000);
+    match fuse.read_file("/dst/huge.dat").unwrap() {
+        copra_fuse::FuseRead::Data(c) => assert!(c.eq_content(&content)),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// The WatchDog force-terminates a run whose movers hang: with copies
+/// injected to take 50 ms of real time each and a 5 ms stall budget, the
+/// dog barks during the first wave and the manager drops the queued work.
+#[test]
+fn watchdog_aborts_stalled_run() {
+    let r = rig();
+    r.scratch.pfs.mkdir_p("/proj").unwrap();
+    for i in 0..40u64 {
+        r.scratch
+            .pfs
+            .create_file(&format!("/proj/f{i:04}"), 0, Content::synthetic(i, 1000))
+            .unwrap();
+    }
+    let config = PftoolConfig {
+        workers: 2,
+        watchdog_interval: std::time::Duration::from_millis(1),
+        watchdog_stall: std::time::Duration::from_millis(5),
+        inject_copy_delay: Some(std::time::Duration::from_millis(50)),
+        ..cfg()
+    };
+    let report = pfcp(&r.scratch, "/proj", &r.archive, "/dst", &config, &[]);
+    assert!(report.stats.aborted, "watchdog should have aborted the run");
+    assert!(
+        report.stats.bytes < 40 * 1000,
+        "abort should have dropped queued copies"
+    );
+}
+
+#[test]
+fn single_file_copy_works() {
+    let r = rig();
+    r.scratch.pfs.mkdir_p("/d").unwrap();
+    let content = Content::synthetic(5, 1234);
+    r.scratch.pfs.create_file("/d/one", 9, content.clone()).unwrap();
+    let report = pfcp(&r.scratch, "/d/one", &r.archive, "/copied/one", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.files, 1);
+    let got = r.archive.pfs.read_resident("/copied/one").unwrap();
+    assert!(got.eq_content(&content));
+    assert_eq!(r.archive.pfs.stat("/copied/one").unwrap().uid, 9);
+}
+
+#[test]
+fn missing_source_reports_error() {
+    let r = rig();
+    let report = pfls(&r.scratch, "/nonexistent", &cfg(), &[]);
+    assert!(!report.stats.ok());
+    assert_eq!(report.stats.files, 0);
+}
+
+#[test]
+fn empty_directory_copy_is_clean() {
+    let r = rig();
+    r.scratch.pfs.mkdir_p("/empty").unwrap();
+    let report = pfcp(&r.scratch, "/empty", &r.archive, "/dst-empty", &cfg(), &[]);
+    assert!(report.stats.ok());
+    assert_eq!(report.stats.files, 0);
+    assert!(r.archive.pfs.exists("/dst-empty"));
+}
+
+/// Premigrated files (tape copy exists, data still on disk) copy straight
+/// from disk — no tape restore is triggered.
+#[test]
+fn premigrated_sources_copy_without_recall() {
+    let r = rig();
+    let apfs = &r.archive.pfs;
+    apfs.mkdir_p("/arch").unwrap();
+    let mut cursor = SimInstant::EPOCH;
+    for i in 0..4u64 {
+        let ino = apfs
+            .create_file(&format!("/arch/f{i}"), 0, Content::synthetic(i, 2_000_000))
+            .unwrap();
+        let (_, t) = r
+            .hsm
+            .migrate_file(ino, NodeId(0), copra_hsm::DataPath::LanFree, cursor, false)
+            .unwrap();
+        cursor = t;
+    }
+    r.clock.advance_to(cursor);
+    let mounts_before = r.hsm.server().library().stats().totals.mounts;
+    let report = pfcp(&r.archive, "/arch", &r.scratch, "/back", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.files, 4);
+    assert_eq!(report.stats.tape_restores, 0, "no recall needed");
+    assert_eq!(
+        r.hsm.server().library().stats().totals.mounts,
+        mounts_before,
+        "no tape activity at all"
+    );
+}
+
+/// pfls is tape-aware output: stubs list with their logical size and
+/// `migrated` residency, without touching a single tape.
+#[test]
+fn pfls_shows_residency_without_recalling() {
+    let r = rig();
+    let apfs = &r.archive.pfs;
+    apfs.mkdir_p("/arch").unwrap();
+    let ino = apfs
+        .create_file("/arch/stub.dat", 7, Content::synthetic(1, 5_000_000))
+        .unwrap();
+    let (_, t) = r
+        .hsm
+        .migrate_file(ino, NodeId(0), copra_hsm::DataPath::LanFree, SimInstant::EPOCH, true)
+        .unwrap();
+    apfs.create_file("/arch/hot.dat", 7, Content::synthetic(2, 1000))
+        .unwrap();
+    r.clock.advance_to(t);
+    let reads_before = r.hsm.server().library().stats().totals.bytes_read;
+    let report = pfls(&r.archive, "/arch", &cfg(), &[]);
+    assert!(report.stats.ok());
+    assert_eq!(report.stats.files, 2);
+    // logical size reported for the stub
+    assert_eq!(report.stats.bytes, 5_001_000);
+    let stub_line = report
+        .lines
+        .iter()
+        .find(|l| l.contains("stub.dat"))
+        .unwrap();
+    assert!(stub_line.contains("5000000"), "{stub_line}");
+    assert!(stub_line.contains("migrated"), "{stub_line}");
+    let hot_line = report.lines.iter().find(|l| l.contains("hot.dat")).unwrap();
+    assert!(hot_line.contains("resident"), "{hot_line}");
+    assert_eq!(
+        r.hsm.server().library().stats().totals.bytes_read,
+        reads_before,
+        "listing must not read tape"
+    );
+}
+
+/// Chunked fuse files with migrated chunks restore through the TapeCQs and
+/// reassemble correctly on retrieval.
+#[test]
+fn chunked_file_with_migrated_chunks_restores() {
+    let r = rig();
+    let fuse = r.archive.fuse.as_ref().unwrap();
+    r.archive.pfs.mkdir_p("/arch").unwrap();
+    let content = Content::synthetic(31, 250_000_000); // 5 x 50 MB chunks
+    fuse.write_file("/arch/big.bin", 0, content.clone()).unwrap();
+    // Migrate all chunks to tape.
+    let mut cursor = SimInstant::EPOCH;
+    for c in fuse.chunks("/arch/big.bin").unwrap() {
+        let (_, t) = r
+            .hsm
+            .migrate_file(c.ino, NodeId(0), copra_hsm::DataPath::LanFree, cursor, true)
+            .unwrap();
+        cursor = t;
+    }
+    r.clock.advance_to(cursor);
+    r.hsm.server().export(&r.catalog);
+    let report = pfcp(&r.archive, "/arch", &r.scratch, "/back", &cfg(), &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.tape_restores, 5);
+    assert_eq!(report.stats.files, 1, "one logical file");
+    let got = r.scratch.pfs.read_resident("/back/big.bin").unwrap();
+    assert!(got.eq_content(&content));
+}

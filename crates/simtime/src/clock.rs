@@ -1,0 +1,105 @@
+//! A shared monotone simulated clock.
+//!
+//! Components that need a loose notion of "now" (the WatchDog's stall
+//! detector, the LoadManager's refresh period, job arrival processes) read
+//! and advance a [`Clock`]. The clock is monotone: `advance_to` with an
+//! earlier instant is a no-op, so concurrent workers can publish their
+//! completion times in any order.
+
+use crate::time::{SimDuration, SimInstant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared monotone simulated clock (cheap to clone; handles share state).
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    now_nanos: Arc<AtomicU64>,
+}
+
+impl Clock {
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Construct starting at a given instant.
+    pub fn starting_at(at: SimInstant) -> Self {
+        let c = Clock::new();
+        c.advance_to(at);
+        c
+    }
+
+    pub fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(self.now_nanos.load(Ordering::Acquire))
+    }
+
+    /// Move the clock forward to `at`; never moves backwards. Returns the
+    /// clock value after the call.
+    pub fn advance_to(&self, at: SimInstant) -> SimInstant {
+        let target = at.as_nanos();
+        let mut cur = self.now_nanos.load(Ordering::Relaxed);
+        while cur < target {
+            match self.now_nanos.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return at,
+                Err(observed) => cur = observed,
+            }
+        }
+        SimInstant::from_nanos(cur)
+    }
+
+    /// Advance by a delta from the current reading.
+    pub fn advance_by(&self, delta: SimDuration) -> SimInstant {
+        // Not atomic w.r.t. concurrent advances, but monotonicity is
+        // preserved by advance_to.
+        self.advance_to(self.now() + delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn starts_at_epoch() {
+        assert_eq!(Clock::new().now(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let c = Clock::new();
+        c.advance_to(SimInstant::from_secs(10));
+        c.advance_to(SimInstant::from_secs(5));
+        assert_eq!(c.now(), SimInstant::from_secs(10));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Clock::new();
+        let c2 = c.clone();
+        c.advance_to(SimInstant::from_secs(3));
+        assert_eq!(c2.now(), SimInstant::from_secs(3));
+    }
+
+    #[test]
+    fn concurrent_advances_settle_at_max() {
+        let c = Clock::new();
+        let mut handles = Vec::new();
+        for i in 1..=8u64 {
+            let c = c.clone();
+            handles.push(thread::spawn(move || {
+                for j in 0..1000u64 {
+                    c.advance_to(SimInstant::from_nanos(i * 1000 + j));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), SimInstant::from_nanos(8 * 1000 + 999));
+    }
+}

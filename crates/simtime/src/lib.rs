@@ -1,0 +1,29 @@
+//! # copra-simtime — virtual-time substrate
+//!
+//! Every performance number in the `copra` reproduction is computed in
+//! *simulated* time: devices (tape drives, NICs, disk pools, the TSM server
+//! CPU) are modelled as FIFO **timelines** that operations reserve intervals
+//! on. Real threads carry [`SimInstant`] stamps through the data path; a
+//! job's simulated completion time is the maximum over the reservations it
+//! made.
+//!
+//! The model is deliberately simple — a timeline is a single mutex-protected
+//! "next free instant" plus accounting counters — because the phenomena the
+//! paper reports (tape-drive thrashing, small-file backhitch collapse,
+//! network-trunk saturation at ~75 %, single-server bottlenecks) are all
+//! first-order queueing effects of finite-rate resources, not subtle ones.
+//!
+//! The crate has no dependency on the rest of the workspace and no notion of
+//! files or tapes; it only knows about time, rates and resources.
+
+pub mod clock;
+pub mod pool;
+pub mod rate;
+pub mod time;
+pub mod timeline;
+
+pub use clock::Clock;
+pub use pool::TimelinePool;
+pub use rate::{Bandwidth, DataSize};
+pub use time::{SimDuration, SimInstant};
+pub use timeline::{Reservation, Timeline, TimelineStats};

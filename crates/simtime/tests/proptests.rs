@@ -1,0 +1,98 @@
+//! Property tests for the virtual-time substrate invariants.
+
+use copra_simtime::{Bandwidth, Clock, DataSize, SimDuration, SimInstant, Timeline, TimelinePool};
+use proptest::prelude::*;
+
+proptest! {
+    /// Reservations on one timeline never overlap and never start before
+    /// their ready time, regardless of the (possibly out-of-order) ready
+    /// times requested — gap-filling may *backfill* idle slots, but never
+    /// double-books the resource.
+    #[test]
+    fn reservations_are_disjoint(
+        ops in prop::collection::vec((0u64..1_000_000, 1u64..10_000_000), 1..64)
+    ) {
+        let t = Timeline::new("r", Bandwidth::from_bytes_per_sec(1_000_000), SimDuration::ZERO);
+        let mut granted: Vec<(u64, u64)> = Vec::new();
+        for (ready_ns, bytes) in ops {
+            let r = t.transfer(SimInstant::from_nanos(ready_ns), DataSize::from_bytes(bytes));
+            prop_assert!(r.end > r.start);
+            prop_assert!(r.start >= SimInstant::from_nanos(ready_ns));
+            granted.push((r.start.as_nanos(), r.end.as_nanos()));
+        }
+        granted.sort_unstable();
+        for w in granted.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    /// Backfill: a later-issued op with an earlier ready time lands in the
+    /// idle gap instead of queueing behind the far future.
+    #[test]
+    fn backfill_uses_idle_gaps(gap_start in 0u64..1_000, dur in 1u64..500) {
+        let t = Timeline::new("r", Bandwidth::from_bytes_per_sec(1_000_000_000), SimDuration::ZERO);
+        // Reserve far in the future first.
+        let far = t.reserve(SimInstant::from_secs(1_000_000), SimDuration::from_secs(10));
+        prop_assert_eq!(far.start, SimInstant::from_secs(1_000_000));
+        // Now an op ready much earlier must not wait for it.
+        let r = t.reserve(SimInstant::from_nanos(gap_start), SimDuration::from_nanos(dur));
+        prop_assert_eq!(r.start, SimInstant::from_nanos(gap_start));
+    }
+
+    /// Busy time equals the sum of granted durations; bytes accumulate.
+    #[test]
+    fn accounting_is_exact(
+        ops in prop::collection::vec(0u64..5_000_000, 1..40)
+    ) {
+        let t = Timeline::new("r", Bandwidth::mb_per_sec(100), SimDuration::from_micros(10));
+        let mut busy = SimDuration::ZERO;
+        let mut total = 0u64;
+        for bytes in ops {
+            let r = t.transfer(SimInstant::EPOCH, DataSize::from_bytes(bytes));
+            busy += r.duration();
+            total += bytes;
+        }
+        let s = t.stats();
+        prop_assert_eq!(s.busy, busy);
+        prop_assert_eq!(s.bytes, DataSize::from_bytes(total));
+        // With all ops ready at the epoch, the timeline is never idle, so
+        // next_free == total busy time.
+        prop_assert_eq!(s.next_free, SimInstant::EPOCH + busy);
+    }
+
+    /// time_for is additive in bytes (within rounding) and monotone.
+    #[test]
+    fn time_for_monotone_additive(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let bw = Bandwidth::mb_per_sec(120);
+        let ta = bw.time_for(DataSize::from_bytes(a));
+        let tb = bw.time_for(DataSize::from_bytes(b));
+        let tab = bw.time_for(DataSize::from_bytes(a + b));
+        prop_assert!(tab >= ta.max(tb));
+        let sum = (ta + tb).as_nanos() as i128;
+        prop_assert!((tab.as_nanos() as i128 - sum).abs() <= 2, "rounding drift");
+    }
+
+    /// A pool's makespan for identical tasks is within one task of the ideal
+    /// ceiling(n/k) schedule (all tasks ready at the epoch).
+    #[test]
+    fn pool_dispatch_near_optimal(n in 1usize..64, k in 1usize..8) {
+        let pool = TimelinePool::new("d", k, Bandwidth::mb_per_sec(100), SimDuration::ZERO);
+        for _ in 0..n {
+            pool.transfer_earliest(SimInstant::EPOCH, DataSize::mb(100));
+        }
+        let rounds = n.div_ceil(k) as u64;
+        prop_assert_eq!(pool.drain_time(), SimInstant::from_secs(rounds));
+    }
+
+    /// Clock settles at the max of all advances.
+    #[test]
+    fn clock_is_max_register(vals in prop::collection::vec(0u64..1u64<<48, 1..50)) {
+        let c = Clock::new();
+        let mut max = 0;
+        for v in &vals {
+            c.advance_to(SimInstant::from_nanos(*v));
+            max = max.max(*v);
+        }
+        prop_assert_eq!(c.now(), SimInstant::from_nanos(max));
+    }
+}

@@ -1,0 +1,787 @@
+//! The tape library: drives, robot, and the operations HSM movers issue.
+//!
+//! Every operation returns the simulated instant at which it completes;
+//! durations are computed from drive mechanics (mount, locate, backhitch,
+//! hand-off rewinds) and reserved FIFO on the owning drive's timeline, so
+//! concurrent movers queue realistically.
+
+use crate::cartridge::{Cartridge, TapeAddress, TapeId};
+use crate::timing::TapeTiming;
+use copra_simtime::{DataSize, SimDuration, SimInstant, Timeline};
+use copra_vfs::Content;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Drive identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DriveId(pub u32);
+
+impl fmt::Display for DriveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "drive{}", self.0)
+    }
+}
+
+/// Why a tape operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TapeError {
+    NoSuchDrive(DriveId),
+    NoSuchTape(TapeId),
+    NotMounted(DriveId),
+    WrongTape {
+        drive: DriveId,
+        mounted: Option<TapeId>,
+        wanted: TapeId,
+    },
+    TapeInUse {
+        tape: TapeId,
+        drive: DriveId,
+    },
+    TapeFull(TapeId),
+    NoSuchRecord(TapeAddress),
+    ObjectDeleted(TapeAddress),
+    /// The record's media span is unreadable.
+    MediaError(TapeAddress),
+    /// Volume still holds live objects; reclamation must move them first.
+    VolumeNotEmpty(TapeId),
+}
+
+impl fmt::Display for TapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeError::NoSuchDrive(d) => write!(f, "no such drive: {d}"),
+            TapeError::NoSuchTape(t) => write!(f, "no such tape: {t}"),
+            TapeError::NotMounted(d) => write!(f, "no tape mounted in {d}"),
+            TapeError::WrongTape {
+                drive,
+                mounted,
+                wanted,
+            } => write!(f, "{drive} has {mounted:?} mounted, wanted {wanted}"),
+            TapeError::TapeInUse { tape, drive } => {
+                write!(f, "{tape} is mounted in {drive}")
+            }
+            TapeError::TapeFull(t) => write!(f, "tape full: {t}"),
+            TapeError::NoSuchRecord(a) => write!(f, "no record {} on {}", a.seq, a.tape),
+            TapeError::ObjectDeleted(a) => {
+                write!(f, "record {} on {} was deleted", a.seq, a.tape)
+            }
+            TapeError::MediaError(a) => {
+                write!(f, "media error reading record {} on {}", a.seq, a.tape)
+            }
+            TapeError::VolumeNotEmpty(t) => {
+                write!(f, "volume {t} still holds live objects")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TapeError {}
+
+/// Per-drive mechanical counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriveStats {
+    pub mounts: u64,
+    pub dismounts: u64,
+    pub label_verifies: u64,
+    pub rewinds: u64,
+    pub locates: u64,
+    pub backhitches: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub handoffs: u64,
+}
+
+/// Aggregate library counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LibraryStats {
+    pub per_drive: Vec<DriveStats>,
+    pub totals: DriveStats,
+    /// Latest completion instant across all drives.
+    pub drain: SimInstant,
+    /// Total busy time across all drives.
+    pub busy: SimDuration,
+}
+
+struct DriveState {
+    mounted: Option<TapeId>,
+    /// Byte position of the head on the mounted tape.
+    head_bytes: u64,
+    /// Storage agent (node) that last touched this drive's tape. A change
+    /// of agent forces rewind + label verification (§6.2).
+    last_agent: Option<u32>,
+    timeline: Timeline,
+    stats: DriveStats,
+}
+
+struct LibShared {
+    timing: TapeTiming,
+    robot: Timeline,
+    drives: Vec<Mutex<DriveState>>,
+    cartridges: Vec<Mutex<Cartridge>>,
+    /// tape -> drive currently holding it
+    mounted_in: Mutex<FxHashMap<u32, DriveId>>,
+}
+
+/// The library handle (cheap to clone).
+#[derive(Clone)]
+pub struct TapeLibrary {
+    shared: Arc<LibShared>,
+}
+
+impl TapeLibrary {
+    /// A library with `drives` drives and `tapes` scratch volumes.
+    pub fn new(drives: usize, tapes: usize, timing: TapeTiming) -> Self {
+        assert!(drives > 0 && tapes > 0, "library needs drives and tapes");
+        let drive_states = (0..drives)
+            .map(|i| {
+                Mutex::new(DriveState {
+                    mounted: None,
+                    head_bytes: 0,
+                    last_agent: None,
+                    timeline: Timeline::new(
+                        format!("tape-drive-{i}"),
+                        timing.stream,
+                        SimDuration::ZERO,
+                    ),
+                    stats: DriveStats::default(),
+                })
+            })
+            .collect();
+        let cartridges = (0..tapes)
+            .map(|i| Mutex::new(Cartridge::new(TapeId(i as u32), timing.capacity)))
+            .collect();
+        TapeLibrary {
+            shared: Arc::new(LibShared {
+                timing,
+                robot: Timeline::latency_only("robot", SimDuration::ZERO),
+                drives: drive_states,
+                cartridges,
+                mounted_in: Mutex::new(FxHashMap::default()),
+            }),
+        }
+    }
+
+    pub fn timing(&self) -> &TapeTiming {
+        &self.shared.timing
+    }
+
+    pub fn drive_count(&self) -> usize {
+        self.shared.drives.len()
+    }
+
+    pub fn tape_count(&self) -> usize {
+        self.shared.cartridges.len()
+    }
+
+    pub fn drives(&self) -> impl Iterator<Item = DriveId> {
+        (0..self.shared.drives.len() as u32).map(DriveId)
+    }
+
+    fn drive(&self, id: DriveId) -> Result<&Mutex<DriveState>, TapeError> {
+        self.shared
+            .drives
+            .get(id.0 as usize)
+            .ok_or(TapeError::NoSuchDrive(id))
+    }
+
+    fn cartridge(&self, id: TapeId) -> Result<&Mutex<Cartridge>, TapeError> {
+        self.shared
+            .cartridges
+            .get(id.0 as usize)
+            .ok_or(TapeError::NoSuchTape(id))
+    }
+
+    /// Inspect a cartridge (reconcile walks records this way).
+    pub fn with_cartridge<R>(
+        &self,
+        id: TapeId,
+        f: impl FnOnce(&Cartridge) -> R,
+    ) -> Result<R, TapeError> {
+        Ok(f(&self.cartridge(id)?.lock()))
+    }
+
+    /// Which tape a drive holds.
+    pub fn mounted_tape(&self, drive: DriveId) -> Result<Option<TapeId>, TapeError> {
+        Ok(self.drive(drive)?.lock().mounted)
+    }
+
+    /// Which drive holds a tape, if any.
+    pub fn drive_holding(&self, tape: TapeId) -> Option<DriveId> {
+        self.shared.mounted_in.lock().get(&tape.0).copied()
+    }
+
+    /// Volumes with at least `len` bytes of space, emptiest-first — the
+    /// simple scratch-pool allocator the HSM server uses.
+    pub fn tapes_with_space(&self, len: DataSize) -> Vec<TapeId> {
+        let mut v: Vec<(u64, TapeId)> = self
+            .shared
+            .cartridges
+            .iter()
+            .map(|c| {
+                let c = c.lock();
+                (c.bytes_written(), c.id())
+            })
+            .filter(|(written, id)| {
+                let cap = self.shared.timing.capacity.as_bytes();
+                written + len.as_bytes() <= cap && {
+                    let _ = id;
+                    true
+                }
+            })
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Mount `tape` in `drive` (dismounting whatever is there). No-op if
+    /// already mounted in that drive. Returns the completion instant.
+    pub fn mount(
+        &self,
+        drive: DriveId,
+        tape: TapeId,
+        ready: SimInstant,
+    ) -> Result<SimInstant, TapeError> {
+        let _ = self.cartridge(tape)?; // validate id
+        let mut st = self.drive(drive)?.lock();
+        if st.mounted == Some(tape) {
+            return Ok(ready);
+        }
+        {
+            let mounted_in = self.shared.mounted_in.lock();
+            if let Some(holder) = mounted_in.get(&tape.0) {
+                return Err(TapeError::TapeInUse {
+                    tape,
+                    drive: *holder,
+                });
+            }
+        }
+        let t = &self.shared.timing;
+        let mut cursor = ready;
+        // Dismount current volume: rewind + unload on the drive, robot put-away.
+        if let Some(old) = st.mounted {
+            let rewind = t.rewind_time(DataSize::from_bytes(st.head_bytes));
+            let r = st.timeline.reserve(cursor, rewind + t.unload);
+            cursor = r.end;
+            st.stats.rewinds += u64::from(!rewind.is_zero());
+            st.stats.dismounts += 1;
+            let r = self.shared.robot.reserve(cursor, t.robot_move);
+            cursor = r.end;
+            self.shared.mounted_in.lock().remove(&old.0);
+        }
+        // Robot fetches the new volume.
+        let r = self.shared.robot.reserve(cursor, t.robot_move);
+        cursor = r.end;
+        // Drive loads, threads and verifies the label.
+        let r = st.timeline.reserve(cursor, t.mount + t.label_verify);
+        cursor = r.end;
+        st.mounted = Some(tape);
+        st.head_bytes = 0;
+        st.last_agent = None;
+        st.stats.mounts += 1;
+        st.stats.label_verifies += 1;
+        self.shared.mounted_in.lock().insert(tape.0, drive);
+        Ok(cursor)
+    }
+
+    /// Dismount whatever the drive holds (rewind + unload + robot).
+    pub fn dismount(&self, drive: DriveId, ready: SimInstant) -> Result<SimInstant, TapeError> {
+        let mut st = self.drive(drive)?.lock();
+        let Some(old) = st.mounted else {
+            return Ok(ready);
+        };
+        let t = &self.shared.timing;
+        let rewind = t.rewind_time(DataSize::from_bytes(st.head_bytes));
+        let r = st.timeline.reserve(ready, rewind + t.unload);
+        st.stats.rewinds += u64::from(!rewind.is_zero());
+        st.stats.dismounts += 1;
+        let r2 = self.shared.robot.reserve(r.end, t.robot_move);
+        st.mounted = None;
+        st.head_bytes = 0;
+        st.last_agent = None;
+        self.shared.mounted_in.lock().remove(&old.0);
+        Ok(r2.end)
+    }
+
+    /// Mount `tape` somewhere convenient: the drive already holding it, an
+    /// idle empty drive, else the drive that frees up soonest. Returns
+    /// (drive, mount completion).
+    pub fn ensure_mounted(
+        &self,
+        tape: TapeId,
+        ready: SimInstant,
+    ) -> Result<(DriveId, SimInstant), TapeError> {
+        if let Some(d) = self.drive_holding(tape) {
+            return Ok((d, ready));
+        }
+        // Prefer an empty drive; otherwise evict from the one free soonest.
+        let mut candidates: Vec<(bool, SimInstant, u32)> = self
+            .shared
+            .drives
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let st = d.lock();
+                (st.mounted.is_some(), st.timeline.next_free(), i as u32)
+            })
+            .collect();
+        candidates.sort_unstable(); // occupied=false first, then earliest free, then id
+        let drive = DriveId(candidates[0].2);
+        let end = self.mount(drive, tape, ready)?;
+        Ok((drive, end))
+    }
+
+    /// Charge the §6.2 hand-off penalty if `agent` differs from the last
+    /// agent that used this drive's tape: the tape rewinds and the label is
+    /// re-verified even though it never physically dismounts.
+    fn agent_handoff(
+        st: &mut DriveState,
+        timing: &TapeTiming,
+        agent: u32,
+        ready: SimInstant,
+    ) -> SimInstant {
+        match st.last_agent {
+            Some(a) if a == agent => ready,
+            None => {
+                st.last_agent = Some(agent);
+                ready
+            }
+            Some(_) => {
+                let rewind = timing.rewind_time(DataSize::from_bytes(st.head_bytes));
+                let r = st
+                    .timeline
+                    .reserve(ready, rewind + timing.label_verify);
+                st.head_bytes = 0;
+                st.last_agent = Some(agent);
+                st.stats.handoffs += 1;
+                st.stats.rewinds += u64::from(!rewind.is_zero());
+                st.stats.label_verifies += 1;
+                r.end
+            }
+        }
+    }
+
+    /// Write an object at end-of-data of the tape in `drive`, as storage
+    /// agent `agent`. One object = one transaction (backhitch charged).
+    pub fn write_object(
+        &self,
+        drive: DriveId,
+        agent: u32,
+        objid: u64,
+        content: Content,
+        ready: SimInstant,
+    ) -> Result<(TapeAddress, SimInstant), TapeError> {
+        let len = content.len();
+        let mut st = self.drive(drive)?.lock();
+        let tape = st.mounted.ok_or(TapeError::NotMounted(drive))?;
+        let t = &self.shared.timing;
+        let cursor = Self::agent_handoff(&mut st, t, agent, ready);
+
+        let mut cart = self.cartridge(tape)?.lock();
+        let eod = cart.bytes_written();
+        let seq = cart
+            .append(objid, content)
+            .ok_or(TapeError::TapeFull(tape))?;
+        // Position to EOD if not already there, then backhitch + stream.
+        let dist = eod.abs_diff(st.head_bytes);
+        let locate = t.locate_time(DataSize::from_bytes(dist));
+        let r = st.timeline.transfer_with_overhead(
+            cursor,
+            DataSize::from_bytes(len),
+            locate + t.backhitch,
+        );
+        st.head_bytes = eod + len;
+        st.stats.locates += u64::from(dist > 0);
+        st.stats.backhitches += 1;
+        st.stats.bytes_written += len;
+        Ok((TapeAddress { tape, seq }, r.end))
+    }
+
+    /// Read the object at `addr` through `drive` as storage agent `agent`.
+    pub fn read_object(
+        &self,
+        drive: DriveId,
+        agent: u32,
+        addr: TapeAddress,
+        ready: SimInstant,
+    ) -> Result<(Content, SimInstant), TapeError> {
+        let mut st = self.drive(drive)?.lock();
+        let mounted = st.mounted;
+        if mounted != Some(addr.tape) {
+            return Err(TapeError::WrongTape {
+                drive,
+                mounted,
+                wanted: addr.tape,
+            });
+        }
+        let t = &self.shared.timing;
+        let cursor = Self::agent_handoff(&mut st, t, agent, ready);
+
+        let cart = self.cartridge(addr.tape)?.lock();
+        let rec = cart
+            .record(addr.seq)
+            .ok_or(TapeError::NoSuchRecord(addr))?;
+        if rec.damaged {
+            return Err(TapeError::MediaError(addr));
+        }
+        let content = rec
+            .content
+            .clone()
+            .ok_or(TapeError::ObjectDeleted(addr))?;
+        let dist = rec.start.abs_diff(st.head_bytes);
+        let locate = t.locate_time(DataSize::from_bytes(dist));
+        let r = st
+            .timeline
+            .transfer_with_overhead(cursor, DataSize::from_bytes(rec.len), locate);
+        st.head_bytes = rec.start + rec.len;
+        st.stats.locates += u64::from(dist > 0);
+        st.stats.bytes_read += rec.len;
+        Ok((content, r.end))
+    }
+
+    /// Read `len` bytes starting at `offset` within the record at `addr`
+    /// (used for members of aggregated containers, §6.1): the drive locates
+    /// to the member's position inside the record and streams only the
+    /// member's bytes.
+    pub fn read_object_range(
+        &self,
+        drive: DriveId,
+        agent: u32,
+        addr: TapeAddress,
+        offset: u64,
+        len: u64,
+        ready: SimInstant,
+    ) -> Result<(Content, SimInstant), TapeError> {
+        let mut st = self.drive(drive)?.lock();
+        let mounted = st.mounted;
+        if mounted != Some(addr.tape) {
+            return Err(TapeError::WrongTape {
+                drive,
+                mounted,
+                wanted: addr.tape,
+            });
+        }
+        let t = &self.shared.timing;
+        let cursor = Self::agent_handoff(&mut st, t, agent, ready);
+
+        let cart = self.cartridge(addr.tape)?.lock();
+        let rec = cart
+            .record(addr.seq)
+            .ok_or(TapeError::NoSuchRecord(addr))?;
+        if rec.damaged {
+            return Err(TapeError::MediaError(addr));
+        }
+        let content = rec
+            .content
+            .as_ref()
+            .ok_or(TapeError::ObjectDeleted(addr))?;
+        if offset + len > rec.len {
+            return Err(TapeError::NoSuchRecord(addr));
+        }
+        let slice = content.slice(offset, len);
+        let target = rec.start + offset;
+        let dist = target.abs_diff(st.head_bytes);
+        let locate = t.locate_time(DataSize::from_bytes(dist));
+        let r = st
+            .timeline
+            .transfer_with_overhead(cursor, DataSize::from_bytes(len), locate);
+        st.head_bytes = target + len;
+        st.stats.locates += u64::from(dist > 0);
+        st.stats.bytes_read += len;
+        Ok((slice, r.end))
+    }
+
+    /// Delete an object's record (a TSM database operation — no drive time;
+    /// the span stays occupied until volume reclamation).
+    pub fn delete_object(&self, addr: TapeAddress) -> Result<(), TapeError> {
+        let mut cart = self.cartridge(addr.tape)?.lock();
+        match cart.record(addr.seq) {
+            None => Err(TapeError::NoSuchRecord(addr)),
+            Some(r) if r.is_deleted() => Err(TapeError::ObjectDeleted(addr)),
+            Some(_) => {
+                cart.delete(addr.seq);
+                Ok(())
+            }
+        }
+    }
+
+    /// Failure injection / media aging: mark a record's span unreadable.
+    pub fn damage_record(&self, addr: TapeAddress) -> Result<(), TapeError> {
+        let mut cart = self.cartridge(addr.tape)?.lock();
+        if cart.damage(addr.seq) {
+            Ok(())
+        } else {
+            Err(TapeError::NoSuchRecord(addr))
+        }
+    }
+
+    /// Volumes whose dead-space fraction is at least `threshold` —
+    /// reclamation candidates.
+    pub fn reclaimable_volumes(&self, threshold: f64) -> Vec<TapeId> {
+        self.shared
+            .cartridges
+            .iter()
+            .filter_map(|c| {
+                let c = c.lock();
+                (c.bytes_written() > 0 && c.reclaimable_fraction() >= threshold)
+                    .then(|| c.id())
+            })
+            .collect()
+    }
+
+    /// Wipe a fully-dead volume back to scratch (must not be mounted and
+    /// must hold no live objects).
+    pub fn erase_volume(&self, tape: TapeId) -> Result<(), TapeError> {
+        if let Some(drive) = self.drive_holding(tape) {
+            return Err(TapeError::TapeInUse { tape, drive });
+        }
+        let mut cart = self.cartridge(tape)?.lock();
+        if cart.erase() {
+            Ok(())
+        } else {
+            Err(TapeError::VolumeNotEmpty(tape))
+        }
+    }
+
+    /// All live objects across the library: (address, objid, len), in
+    /// (tape, seq) order — the reconcile agent's view of tape truth.
+    pub fn live_objects(&self) -> Vec<(TapeAddress, u64, u64)> {
+        let mut out = Vec::new();
+        for c in &self.shared.cartridges {
+            let c = c.lock();
+            for r in c.records() {
+                if !r.is_deleted() {
+                    out.push((
+                        TapeAddress {
+                            tape: c.id(),
+                            seq: r.seq,
+                        },
+                        r.objid,
+                        r.len,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mechanical + time statistics.
+    pub fn stats(&self) -> LibraryStats {
+        let mut per_drive = Vec::with_capacity(self.shared.drives.len());
+        let mut totals = DriveStats::default();
+        let mut drain = SimInstant::EPOCH;
+        let mut busy = SimDuration::ZERO;
+        for d in &self.shared.drives {
+            let st = d.lock();
+            per_drive.push(st.stats);
+            totals.mounts += st.stats.mounts;
+            totals.dismounts += st.stats.dismounts;
+            totals.label_verifies += st.stats.label_verifies;
+            totals.rewinds += st.stats.rewinds;
+            totals.locates += st.stats.locates;
+            totals.backhitches += st.stats.backhitches;
+            totals.bytes_written += st.stats.bytes_written;
+            totals.bytes_read += st.stats.bytes_read;
+            totals.handoffs += st.stats.handoffs;
+            let tl = st.timeline.stats();
+            drain = drain.max(tl.next_free);
+            busy += tl.busy;
+        }
+        LibraryStats {
+            per_drive,
+            totals,
+            drain,
+            busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copra_simtime::Bandwidth;
+
+    fn lib() -> TapeLibrary {
+        TapeLibrary::new(2, 4, TapeTiming::lto4())
+    }
+
+    #[test]
+    fn mount_charges_robot_and_drive() {
+        let l = lib();
+        let end = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        // robot 8 + mount 15 + verify 3 = 26 s
+        assert_eq!(end, SimInstant::from_secs(26));
+        assert_eq!(l.mounted_tape(DriveId(0)).unwrap(), Some(TapeId(0)));
+        assert_eq!(l.drive_holding(TapeId(0)), Some(DriveId(0)));
+        // remount of same tape is free
+        assert_eq!(
+            l.mount(DriveId(0), TapeId(0), end).unwrap(),
+            end
+        );
+    }
+
+    #[test]
+    fn tape_cannot_be_in_two_drives() {
+        let l = lib();
+        l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        assert_eq!(
+            l.mount(DriveId(1), TapeId(0), SimInstant::EPOCH),
+            Err(TapeError::TapeInUse {
+                tape: TapeId(0),
+                drive: DriveId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let l = lib();
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let content = Content::synthetic(7, 10 << 20);
+        let (addr, t1) = l
+            .write_object(DriveId(0), 1, 42, content.clone(), t0)
+            .unwrap();
+        assert_eq!(addr, TapeAddress { tape: TapeId(0), seq: 0 });
+        assert!(t1 > t0);
+        let (back, t2) = l.read_object(DriveId(0), 1, addr, t1).unwrap();
+        assert!(back.eq_content(&content));
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn sequential_read_avoids_locates_but_backward_seeks() {
+        let l = TapeLibrary::new(1, 1, TapeTiming::lto4());
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let mut cursor = t0;
+        let mut addrs = Vec::new();
+        for i in 0..4u64 {
+            let (a, end) = l
+                .write_object(DriveId(0), 1, i, Content::synthetic(i, 50 << 20), cursor)
+                .unwrap();
+            addrs.push(a);
+            cursor = end;
+        }
+        let locates_after_write = l.stats().totals.locates;
+        // Head is at EOD. Read in order: first read locates back to 0, then
+        // the rest stream sequentially with no locate.
+        for a in &addrs {
+            let (_, end) = l.read_object(DriveId(0), 1, *a, cursor).unwrap();
+            cursor = end;
+        }
+        let s = l.stats();
+        assert_eq!(s.totals.locates - locates_after_write, 1);
+        // Reading backwards now seeks every time.
+        for a in addrs.iter().rev() {
+            let (_, end) = l.read_object(DriveId(0), 1, *a, cursor).unwrap();
+            cursor = end;
+        }
+        assert!(l.stats().totals.locates - s.totals.locates >= 3);
+    }
+
+    #[test]
+    fn agent_handoff_costs_rewind_and_verify() {
+        let l = TapeLibrary::new(1, 1, TapeTiming::lto4());
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let (a0, t1) = l
+            .write_object(DriveId(0), 1, 1, Content::synthetic(1, 100 << 20), t0)
+            .unwrap();
+        // same agent reads: no handoff
+        let (_, t2) = l.read_object(DriveId(0), 1, a0, t1).unwrap();
+        assert_eq!(l.stats().totals.handoffs, 0);
+        // different agent: handoff penalty
+        let (_, t3) = l.read_object(DriveId(0), 2, a0, t2).unwrap();
+        let s = l.stats();
+        assert_eq!(s.totals.handoffs, 1);
+        assert_eq!(s.totals.label_verifies, 2); // mount + handoff
+        assert!(t3 - t2 > t2 - t1, "handoff read should be slower");
+    }
+
+    #[test]
+    fn tape_full_reported() {
+        let timing = TapeTiming {
+            capacity: DataSize::mb(1),
+            ..TapeTiming::lto4()
+        };
+        let l = TapeLibrary::new(1, 1, timing);
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let r = l.write_object(DriveId(0), 1, 1, Content::synthetic(1, 2 << 20), t0);
+        assert_eq!(r.unwrap_err(), TapeError::TapeFull(TapeId(0)));
+    }
+
+    #[test]
+    fn delete_and_reconcile_view() {
+        let l = lib();
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let (a0, t1) = l
+            .write_object(DriveId(0), 1, 10, Content::synthetic(1, 1000), t0)
+            .unwrap();
+        let (a1, _) = l
+            .write_object(DriveId(0), 1, 11, Content::synthetic(2, 1000), t1)
+            .unwrap();
+        l.delete_object(a0).unwrap();
+        assert_eq!(l.delete_object(a0), Err(TapeError::ObjectDeleted(a0)));
+        let live = l.live_objects();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0, a1);
+        assert_eq!(live[0].1, 11);
+        assert!(matches!(
+            l.read_object(DriveId(0), 1, a0, t1),
+            Err(TapeError::ObjectDeleted(_))
+        ));
+    }
+
+    #[test]
+    fn dismount_then_remount_elsewhere() {
+        let l = lib();
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let t1 = l.dismount(DriveId(0), t0).unwrap();
+        assert!(t1 > t0);
+        assert_eq!(l.mounted_tape(DriveId(0)).unwrap(), None);
+        let t2 = l.mount(DriveId(1), TapeId(0), t1).unwrap();
+        assert!(t2 > t1);
+        assert_eq!(l.drive_holding(TapeId(0)), Some(DriveId(1)));
+    }
+
+    #[test]
+    fn mount_evicts_previous_volume() {
+        let l = lib();
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let t1 = l.mount(DriveId(0), TapeId(1), t0).unwrap();
+        // eviction costs unload + two robot moves + mount + verify
+        let min_expected = t0
+            + TapeTiming::lto4().unload
+            + TapeTiming::lto4().robot_move * 2
+            + TapeTiming::lto4().mount
+            + TapeTiming::lto4().label_verify;
+        assert_eq!(t1, min_expected);
+        assert_eq!(l.drive_holding(TapeId(0)), None);
+        assert_eq!(l.mounted_tape(DriveId(0)).unwrap(), Some(TapeId(1)));
+    }
+
+    #[test]
+    fn ensure_mounted_prefers_holder_then_empty() {
+        let l = lib();
+        let (d0, _) = l.ensure_mounted(TapeId(0), SimInstant::EPOCH).unwrap();
+        let (d0_again, t) = l.ensure_mounted(TapeId(0), SimInstant::from_secs(100)).unwrap();
+        assert_eq!(d0, d0_again);
+        assert_eq!(t, SimInstant::from_secs(100)); // already mounted: free
+        let (d1, _) = l.ensure_mounted(TapeId(1), SimInstant::EPOCH).unwrap();
+        assert_ne!(d0, d1, "second tape should go to the empty drive");
+    }
+
+    #[test]
+    fn tapes_with_space_sorted_emptiest_first() {
+        let timing = TapeTiming::frictionless(Bandwidth::mb_per_sec(100), DataSize::mb(10));
+        let l = TapeLibrary::new(1, 3, timing);
+        let t0 = l.mount(DriveId(0), TapeId(1), SimInstant::EPOCH).unwrap();
+        l.write_object(DriveId(0), 1, 1, Content::synthetic(1, 5 << 20), t0)
+            .unwrap();
+        let v = l.tapes_with_space(DataSize::mb(1));
+        assert_eq!(v[0], TapeId(0).min(TapeId(2)).min(TapeId(0)));
+        assert!(v.contains(&TapeId(1)));
+        // nothing fits 20 MB
+        assert!(l.tapes_with_space(DataSize::mb(20)).is_empty());
+    }
+}

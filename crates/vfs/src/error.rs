@@ -1,0 +1,56 @@
+//! Error type for VFS operations.
+
+use crate::inode::Ino;
+use std::fmt;
+
+pub type FsResult<T> = Result<T, FsError>;
+
+/// POSIX-flavoured failure modes surfaced by the virtual file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path or inode does not exist.
+    NotFound(String),
+    /// A non-final path component (or the target of a dir op) is not a
+    /// directory.
+    NotADirectory(String),
+    /// A file operation hit a directory.
+    IsADirectory(String),
+    /// Create without overwrite hit an existing entry.
+    AlreadyExists(String),
+    /// rmdir/rename-over of a non-empty directory.
+    DirectoryNotEmpty(String),
+    /// Malformed path (empty, relative, or containing empty components).
+    InvalidPath(String),
+    /// An inode handle outlived its file (e.g. unlinked underneath a scan).
+    StaleInode(Ino),
+    /// Read/write beyond EOF or with inconsistent ranges.
+    InvalidRange { len: u64, offset: u64, requested: u64 },
+    /// Operation rejected by a higher layer's policy (e.g. chroot jail,
+    /// managed-region protection).
+    PermissionDenied(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p:?}"),
+            FsError::StaleInode(ino) => write!(f, "stale inode: {ino:?}"),
+            FsError::InvalidRange {
+                len,
+                offset,
+                requested,
+            } => write!(
+                f,
+                "invalid range: offset {offset} + {requested} exceeds length {len}"
+            ),
+            FsError::PermissionDenied(what) => write!(f, "permission denied: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}

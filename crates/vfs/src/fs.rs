@@ -1,0 +1,831 @@
+//! The virtual file system: inode table + directory tree.
+//!
+//! One `Vfs` instance models one mounted file system (the scratch PFS, the
+//! archive PFS, or a tape object store image). All mutation goes through a
+//! single `RwLock`; operations are short descriptor manipulations, and the
+//! scan paths used by the ILM policy engine take the read lock only, so
+//! parallel scans (rayon) proceed concurrently.
+
+use crate::content::Content;
+use crate::error::{FsError, FsResult};
+use crate::inode::{FileType, Ino, InodeAttr};
+use crate::path::{is_under, join, normalize, parent_and_name, split};
+use copra_simtime::{Clock, SimInstant};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One entry returned by [`Vfs::readdir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    pub name: String,
+    pub ino: Ino,
+    pub ftype: FileType,
+}
+
+/// One entry returned by [`Vfs::walk`].
+#[derive(Debug, Clone)]
+pub struct WalkEntry {
+    pub path: String,
+    pub attr: InodeAttr,
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    File { content: Content },
+    Dir { entries: BTreeMap<String, Ino> },
+}
+
+#[derive(Debug)]
+struct Node {
+    parent: Option<Ino>,
+    name: String,
+    uid: u32,
+    mtime: SimInstant,
+    atime: SimInstant,
+    ctime: SimInstant,
+    xattrs: BTreeMap<String, String>,
+    kind: NodeKind,
+}
+
+impl Node {
+    fn ftype(&self) -> FileType {
+        match self.kind {
+            NodeKind::File { .. } => FileType::Regular,
+            NodeKind::Dir { .. } => FileType::Directory,
+        }
+    }
+
+    fn size(&self) -> u64 {
+        match &self.kind {
+            NodeKind::File { content } => content.len(),
+            NodeKind::Dir { .. } => 0,
+        }
+    }
+
+    fn attr(&self, ino: Ino) -> InodeAttr {
+        InodeAttr {
+            ino,
+            ftype: self.ftype(),
+            size: self.size(),
+            uid: self.uid,
+            mtime: self.mtime,
+            atime: self.atime,
+            ctime: self.ctime,
+            xattrs: self.xattrs.clone(),
+        }
+    }
+}
+
+struct State {
+    next_ino: u64,
+    nodes: FxHashMap<u64, Node>,
+}
+
+/// A mounted virtual file system. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Vfs {
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    name: String,
+    clock: Clock,
+    state: RwLock<State>,
+}
+
+const ROOT: Ino = Ino(1);
+
+impl Vfs {
+    /// Create an empty file system whose timestamps come from `clock`.
+    pub fn new(name: impl Into<String>, clock: Clock) -> Self {
+        let now = clock.now();
+        let mut nodes = FxHashMap::default();
+        nodes.insert(
+            ROOT.0,
+            Node {
+                parent: None,
+                name: String::new(),
+                uid: 0,
+                mtime: now,
+                atime: now,
+                ctime: now,
+                xattrs: BTreeMap::new(),
+                kind: NodeKind::Dir {
+                    entries: BTreeMap::new(),
+                },
+            },
+        );
+        Vfs {
+            shared: Arc::new(Shared {
+                name: name.into(),
+                clock,
+                state: RwLock::new(State { next_ino: 2, nodes }),
+            }),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.shared.clock
+    }
+
+    pub fn root(&self) -> Ino {
+        ROOT
+    }
+
+    fn now(&self) -> SimInstant {
+        self.shared.clock.now()
+    }
+
+    // ----- resolution ---------------------------------------------------
+
+    fn resolve_locked(state: &State, path: &str) -> FsResult<Ino> {
+        let norm = normalize(path)?;
+        let mut cur = ROOT;
+        for comp in split(&norm) {
+            let node = state.nodes.get(&cur.0).ok_or(FsError::StaleInode(cur))?;
+            match &node.kind {
+                NodeKind::Dir { entries } => {
+                    cur = *entries
+                        .get(comp)
+                        .ok_or_else(|| FsError::NotFound(norm.clone()))?;
+                }
+                NodeKind::File { .. } => return Err(FsError::NotADirectory(norm.clone())),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolve a path to an inode.
+    pub fn resolve(&self, path: &str) -> FsResult<Ino> {
+        Self::resolve_locked(&self.shared.state.read(), path)
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    /// Reconstruct the absolute path of a live inode.
+    pub fn path_of(&self, ino: Ino) -> FsResult<String> {
+        let state = self.shared.state.read();
+        let mut comps = Vec::new();
+        let mut cur = ino;
+        loop {
+            let node = state.nodes.get(&cur.0).ok_or(FsError::StaleInode(ino))?;
+            match node.parent {
+                Some(p) => {
+                    comps.push(node.name.clone());
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        if comps.is_empty() {
+            return Ok("/".to_string());
+        }
+        comps.reverse();
+        Ok(format!("/{}", comps.join("/")))
+    }
+
+    // ----- directory ops ------------------------------------------------
+
+    /// Create a single directory; parent must exist.
+    pub fn mkdir(&self, path: &str) -> FsResult<Ino> {
+        let (parent, name) = parent_and_name(path)?;
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let parent_ino = Self::resolve_locked(&state, &parent)?;
+        Self::insert_node(
+            &mut state,
+            parent_ino,
+            &name,
+            path,
+            Node {
+                parent: Some(parent_ino),
+                name: name.clone(),
+                uid: 0,
+                mtime: now,
+                atime: now,
+                ctime: now,
+                xattrs: BTreeMap::new(),
+                kind: NodeKind::Dir {
+                    entries: BTreeMap::new(),
+                },
+            },
+        )
+    }
+
+    /// Create a directory and any missing ancestors.
+    pub fn mkdir_p(&self, path: &str) -> FsResult<Ino> {
+        let norm = normalize(path)?;
+        let mut cur = "/".to_string();
+        let mut ino = ROOT;
+        for comp in split(&norm).map(str::to_string).collect::<Vec<_>>() {
+            cur = join(&cur, &comp);
+            ino = match self.resolve(&cur) {
+                Ok(i) => {
+                    let state = self.shared.state.read();
+                    let node = state.nodes.get(&i.0).ok_or(FsError::StaleInode(i))?;
+                    if node.ftype() != FileType::Directory {
+                        return Err(FsError::NotADirectory(cur.clone()));
+                    }
+                    i
+                }
+                Err(FsError::NotFound(_)) => self.mkdir(&cur)?,
+                Err(e) => return Err(e),
+            };
+        }
+        Ok(ino)
+    }
+
+    fn insert_node(
+        state: &mut State,
+        parent_ino: Ino,
+        name: &str,
+        full_path: &str,
+        node: Node,
+    ) -> FsResult<Ino> {
+        let ino = Ino(state.next_ino);
+        let parent = state
+            .nodes
+            .get_mut(&parent_ino.0)
+            .ok_or(FsError::StaleInode(parent_ino))?;
+        match &mut parent.kind {
+            NodeKind::Dir { entries } => {
+                if entries.contains_key(name) {
+                    return Err(FsError::AlreadyExists(full_path.to_string()));
+                }
+                entries.insert(name.to_string(), ino);
+            }
+            NodeKind::File { .. } => return Err(FsError::NotADirectory(full_path.to_string())),
+        }
+        parent.mtime = node.ctime;
+        state.next_ino += 1;
+        state.nodes.insert(ino.0, node);
+        Ok(ino)
+    }
+
+    /// List a directory in name order.
+    pub fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let state = self.shared.state.read();
+        let ino = Self::resolve_locked(&state, path)?;
+        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        match &node.kind {
+            NodeKind::Dir { entries } => Ok(entries
+                .iter()
+                .map(|(name, &child)| {
+                    let cnode = &state.nodes[&child.0];
+                    DirEntry {
+                        name: name.clone(),
+                        ino: child,
+                        ftype: cnode.ftype(),
+                    }
+                })
+                .collect()),
+            NodeKind::File { .. } => Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, path: &str) -> FsResult<()> {
+        let (parent, name) = parent_and_name(path)?;
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let parent_ino = Self::resolve_locked(&state, &parent)?;
+        let target = Self::resolve_locked(&state, path)?;
+        {
+            let node = state.nodes.get(&target.0).ok_or(FsError::StaleInode(target))?;
+            match &node.kind {
+                NodeKind::Dir { entries } => {
+                    if !entries.is_empty() {
+                        return Err(FsError::DirectoryNotEmpty(path.to_string()));
+                    }
+                }
+                NodeKind::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+            }
+        }
+        if let NodeKind::Dir { entries } = &mut state.nodes.get_mut(&parent_ino.0).unwrap().kind {
+            entries.remove(&name);
+        }
+        state.nodes.get_mut(&parent_ino.0).unwrap().mtime = now;
+        state.nodes.remove(&target.0);
+        Ok(())
+    }
+
+    // ----- file ops -----------------------------------------------------
+
+    /// Create a new file with the given content; fails if the path exists.
+    pub fn create(&self, path: &str, uid: u32, content: Content) -> FsResult<Ino> {
+        let (parent, name) = parent_and_name(path)?;
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let parent_ino = Self::resolve_locked(&state, &parent)?;
+        Self::insert_node(
+            &mut state,
+            parent_ino,
+            &name,
+            path,
+            Node {
+                parent: Some(parent_ino),
+                name: name.clone(),
+                uid,
+                mtime: now,
+                atime: now,
+                ctime: now,
+                xattrs: BTreeMap::new(),
+                kind: NodeKind::File { content },
+            },
+        )
+    }
+
+    /// Create or fully replace a file's content (open(O_TRUNC)+write+close).
+    pub fn write_file(&self, path: &str, uid: u32, content: Content) -> FsResult<Ino> {
+        match self.resolve(path) {
+            Ok(ino) => {
+                self.set_content(ino, content)?;
+                Ok(ino)
+            }
+            Err(FsError::NotFound(_)) => self.create(path, uid, content),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read `[offset, offset+len)` of a file. Updates atime.
+    pub fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<Content> {
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        match &node.kind {
+            NodeKind::File { content } => {
+                if offset + len > content.len() {
+                    return Err(FsError::InvalidRange {
+                        len: content.len(),
+                        offset,
+                        requested: len,
+                    });
+                }
+                let out = content.slice(offset, len);
+                node.atime = now;
+                Ok(out)
+            }
+            NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
+        }
+    }
+
+    /// Read a whole file.
+    pub fn read_all(&self, path: &str) -> FsResult<Content> {
+        let ino = self.resolve(path)?;
+        let size = self.stat_ino(ino)?.size;
+        self.read(ino, 0, size)
+    }
+
+    /// Overwrite `[offset, offset+patch.len())`, extending the file as
+    /// needed. Updates mtime.
+    pub fn write_at(&self, ino: Ino, offset: u64, patch: Content) -> FsResult<()> {
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        match &mut node.kind {
+            NodeKind::File { content } => {
+                content.write_at(offset, patch);
+                node.mtime = now;
+                Ok(())
+            }
+            NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
+        }
+    }
+
+    /// Replace the entire content (used by HSM stub/recall and fuse).
+    pub fn set_content(&self, ino: Ino, content: Content) -> FsResult<()> {
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        match &mut node.kind {
+            NodeKind::File { content: c } => {
+                *c = content;
+                node.mtime = now;
+                Ok(())
+            }
+            NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
+        }
+    }
+
+    /// Peek at content without touching atime (used by integrity compare and
+    /// the HSM data movers, which must not perturb policy-relevant times).
+    pub fn peek_content(&self, ino: Ino) -> FsResult<Content> {
+        let state = self.shared.state.read();
+        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        match &node.kind {
+            NodeKind::File { content } => Ok(content.clone()),
+            NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
+        }
+    }
+
+    /// Truncate a file to `new_len`. Updates mtime.
+    pub fn truncate(&self, ino: Ino, new_len: u64) -> FsResult<()> {
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        match &mut node.kind {
+            NodeKind::File { content } => {
+                content.truncate(new_len);
+                node.mtime = now;
+                Ok(())
+            }
+            NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
+        }
+    }
+
+    /// Unlink a file, returning its final attributes (the synchronous
+    /// deleter needs the ino and HSM xattrs of what was just removed).
+    pub fn unlink(&self, path: &str) -> FsResult<InodeAttr> {
+        let (parent, name) = parent_and_name(path)?;
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let parent_ino = Self::resolve_locked(&state, &parent)?;
+        let target = Self::resolve_locked(&state, path)?;
+        if state.nodes[&target.0].ftype() == FileType::Directory {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        if let NodeKind::Dir { entries } = &mut state.nodes.get_mut(&parent_ino.0).unwrap().kind {
+            entries.remove(&name);
+        }
+        state.nodes.get_mut(&parent_ino.0).unwrap().mtime = now;
+        let node = state.nodes.remove(&target.0).unwrap();
+        Ok(node.attr(target))
+    }
+
+    /// Rename a file or directory. The destination must not exist (the
+    /// archive tools never clobber via rename; the trashcan generates fresh
+    /// names).
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let (from_parent, from_name) = parent_and_name(from)?;
+        let (to_parent, to_name) = parent_and_name(to)?;
+        let norm_from = normalize(from)?;
+        let norm_to = normalize(to)?;
+        if is_under(&norm_to, &norm_from) {
+            return Err(FsError::InvalidPath(format!(
+                "cannot rename {norm_from} into itself ({norm_to})"
+            )));
+        }
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let from_parent_ino = Self::resolve_locked(&state, &from_parent)?;
+        let to_parent_ino = Self::resolve_locked(&state, &to_parent)?;
+        let target = Self::resolve_locked(&state, from)?;
+        // destination must not exist
+        if Self::resolve_locked(&state, to).is_ok() {
+            return Err(FsError::AlreadyExists(to.to_string()));
+        }
+        if state.nodes[&to_parent_ino.0].ftype() != FileType::Directory {
+            return Err(FsError::NotADirectory(to_parent));
+        }
+        if let NodeKind::Dir { entries } =
+            &mut state.nodes.get_mut(&from_parent_ino.0).unwrap().kind
+        {
+            entries.remove(&from_name);
+        }
+        if let NodeKind::Dir { entries } = &mut state.nodes.get_mut(&to_parent_ino.0).unwrap().kind
+        {
+            entries.insert(to_name.clone(), target);
+        }
+        state.nodes.get_mut(&from_parent_ino.0).unwrap().mtime = now;
+        state.nodes.get_mut(&to_parent_ino.0).unwrap().mtime = now;
+        let node = state.nodes.get_mut(&target.0).unwrap();
+        node.parent = Some(to_parent_ino);
+        node.name = to_name;
+        node.ctime = now;
+        Ok(())
+    }
+
+    // ----- attributes ---------------------------------------------------
+
+    pub fn stat(&self, path: &str) -> FsResult<InodeAttr> {
+        let state = self.shared.state.read();
+        let ino = Self::resolve_locked(&state, path)?;
+        Ok(state.nodes[&ino.0].attr(ino))
+    }
+
+    pub fn stat_ino(&self, ino: Ino) -> FsResult<InodeAttr> {
+        let state = self.shared.state.read();
+        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        Ok(node.attr(ino))
+    }
+
+    pub fn set_xattr(&self, ino: Ino, key: &str, value: &str) -> FsResult<()> {
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        node.xattrs.insert(key.to_string(), value.to_string());
+        node.ctime = now;
+        Ok(())
+    }
+
+    pub fn remove_xattr(&self, ino: Ino, key: &str) -> FsResult<()> {
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        node.xattrs.remove(key);
+        node.ctime = now;
+        Ok(())
+    }
+
+    pub fn get_xattr(&self, ino: Ino, key: &str) -> FsResult<Option<String>> {
+        let state = self.shared.state.read();
+        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        Ok(node.xattrs.get(key).cloned())
+    }
+
+    /// Set the owner uid.
+    pub fn chown(&self, ino: Ino, uid: u32) -> FsResult<()> {
+        let now = self.now();
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        node.uid = uid;
+        node.ctime = now;
+        Ok(())
+    }
+
+    /// Backdate mtime/atime (workload generators age files for ILM tests).
+    pub fn utimes(&self, ino: Ino, mtime: SimInstant, atime: SimInstant) -> FsResult<()> {
+        let mut state = self.shared.state.write();
+        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        node.mtime = mtime;
+        node.atime = atime;
+        Ok(())
+    }
+
+    // ----- traversal & accounting ----------------------------------------
+
+    /// Depth-first recursive walk from `path` (inclusive), entries in
+    /// deterministic name order.
+    pub fn walk(&self, path: &str) -> FsResult<Vec<WalkEntry>> {
+        let state = self.shared.state.read();
+        let root_ino = Self::resolve_locked(&state, path)?;
+        let norm = normalize(path)?;
+        let mut out = Vec::new();
+        let mut stack = vec![(norm, root_ino)];
+        while let Some((p, ino)) = stack.pop() {
+            let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+            out.push(WalkEntry {
+                path: p.clone(),
+                attr: node.attr(ino),
+            });
+            if let NodeKind::Dir { entries } = &node.kind {
+                // push in reverse name order so iteration pops in name order
+                for (name, &child) in entries.iter().rev() {
+                    stack.push((join(&p, name), child));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Snapshot of every live inode's attributes plus its path — the input
+    /// to the ILM policy engine's parallel scan. Takes the read lock once.
+    pub fn inode_snapshot(&self) -> Vec<(String, InodeAttr)> {
+        self.walk("/")
+            .map(|v| v.into_iter().map(|e| (e.path, e.attr)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of live inodes (including directories).
+    pub fn inode_count(&self) -> usize {
+        self.shared.state.read().nodes.len()
+    }
+
+    /// Total logical bytes across all regular files.
+    pub fn total_bytes(&self) -> u64 {
+        let state = self.shared.state.read();
+        state
+            .nodes
+            .values()
+            .map(|n| match &n.kind {
+                NodeKind::File { content } => content.len(),
+                NodeKind::Dir { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::Content;
+
+    fn fs() -> Vfs {
+        Vfs::new("test", Clock::new())
+    }
+
+    #[test]
+    fn mkdir_and_resolve() {
+        let v = fs();
+        v.mkdir("/a").unwrap();
+        v.mkdir("/a/b").unwrap();
+        assert!(v.exists("/a/b"));
+        assert!(!v.exists("/a/c"));
+        assert_eq!(v.stat("/a/b").unwrap().ftype, FileType::Directory);
+    }
+
+    #[test]
+    fn mkdir_requires_parent() {
+        let v = fs();
+        assert!(matches!(v.mkdir("/a/b"), Err(FsError::NotFound(_))));
+        v.mkdir_p("/a/b/c/d").unwrap();
+        assert!(v.exists("/a/b/c/d"));
+        // mkdir_p is idempotent
+        v.mkdir_p("/a/b/c/d").unwrap();
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let v = fs();
+        v.mkdir("/data").unwrap();
+        let ino = v
+            .create("/data/f", 1000, Content::literal(&b"hello"[..]))
+            .unwrap();
+        let c = v.read(ino, 1, 3).unwrap();
+        assert_eq!(&c.materialize()[..], b"ell");
+        assert_eq!(v.stat("/data/f").unwrap().size, 5);
+        assert_eq!(v.stat("/data/f").unwrap().uid, 1000);
+    }
+
+    #[test]
+    fn create_refuses_duplicates_and_bad_parents() {
+        let v = fs();
+        v.mkdir("/d").unwrap();
+        v.create("/d/f", 0, Content::empty()).unwrap();
+        assert!(matches!(
+            v.create("/d/f", 0, Content::empty()),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            v.create("/d/f/g", 0, Content::empty()),
+            Err(FsError::NotADirectory(_))
+        ));
+        assert!(matches!(
+            v.create("/nodir/f", 0, Content::empty()),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn read_past_eof_rejected() {
+        let v = fs();
+        let ino = v.create("/f", 0, Content::literal(&b"abc"[..])).unwrap();
+        assert!(matches!(
+            v.read(ino, 2, 5),
+            Err(FsError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn write_at_and_truncate() {
+        let v = fs();
+        let ino = v.create("/f", 0, Content::literal(&b"aaaaaa"[..])).unwrap();
+        v.write_at(ino, 2, Content::literal(&b"XX"[..])).unwrap();
+        assert_eq!(&v.read_all("/f").unwrap().materialize()[..], b"aaXXaa");
+        v.truncate(ino, 3).unwrap();
+        assert_eq!(&v.read_all("/f").unwrap().materialize()[..], b"aaX");
+    }
+
+    #[test]
+    fn unlink_returns_attrs_and_removes() {
+        let v = fs();
+        let ino = v.create("/f", 7, Content::literal(&b"abc"[..])).unwrap();
+        v.set_xattr(ino, "hsm.objid", "42").unwrap();
+        let attr = v.unlink("/f").unwrap();
+        assert_eq!(attr.ino, ino);
+        assert_eq!(attr.uid, 7);
+        assert_eq!(attr.xattr("hsm.objid"), Some("42"));
+        assert!(!v.exists("/f"));
+        assert!(matches!(v.stat_ino(ino), Err(FsError::StaleInode(_))));
+    }
+
+    #[test]
+    fn unlink_rejects_directories() {
+        let v = fs();
+        v.mkdir("/d").unwrap();
+        assert!(matches!(v.unlink("/d"), Err(FsError::IsADirectory(_))));
+        v.rmdir("/d").unwrap();
+        assert!(!v.exists("/d"));
+    }
+
+    #[test]
+    fn rmdir_refuses_nonempty() {
+        let v = fs();
+        v.mkdir_p("/d/e").unwrap();
+        assert!(matches!(v.rmdir("/d"), Err(FsError::DirectoryNotEmpty(_))));
+        v.rmdir("/d/e").unwrap();
+        v.rmdir("/d").unwrap();
+    }
+
+    #[test]
+    fn rename_moves_subtree() {
+        let v = fs();
+        v.mkdir_p("/a/b").unwrap();
+        v.create("/a/b/f", 0, Content::literal(&b"x"[..])).unwrap();
+        v.mkdir("/dst").unwrap();
+        v.rename("/a/b", "/dst/b2").unwrap();
+        assert!(v.exists("/dst/b2/f"));
+        assert!(!v.exists("/a/b"));
+        assert_eq!(v.path_of(v.resolve("/dst/b2/f").unwrap()).unwrap(), "/dst/b2/f");
+    }
+
+    #[test]
+    fn rename_refuses_clobber_and_cycles() {
+        let v = fs();
+        v.mkdir("/a").unwrap();
+        v.mkdir("/b").unwrap();
+        assert!(matches!(
+            v.rename("/a", "/b"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            v.rename("/a", "/a/sub"),
+            Err(FsError::InvalidPath(_))
+        ));
+    }
+
+    #[test]
+    fn readdir_sorted() {
+        let v = fs();
+        v.mkdir("/d").unwrap();
+        for name in ["zz", "aa", "mm"] {
+            v.create(&format!("/d/{name}"), 0, Content::empty()).unwrap();
+        }
+        let names: Vec<_> = v.readdir("/d").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn walk_is_depth_first_name_ordered() {
+        let v = fs();
+        v.mkdir_p("/a/x").unwrap();
+        v.mkdir_p("/b").unwrap();
+        v.create("/a/f", 0, Content::empty()).unwrap();
+        v.create("/a/x/g", 0, Content::empty()).unwrap();
+        let paths: Vec<_> = v.walk("/").unwrap().into_iter().map(|e| e.path).collect();
+        assert_eq!(paths, vec!["/", "/a", "/a/f", "/a/x", "/a/x/g", "/b"]);
+    }
+
+    #[test]
+    fn xattrs_roundtrip() {
+        let v = fs();
+        let ino = v.create("/f", 0, Content::empty()).unwrap();
+        v.set_xattr(ino, "k", "v").unwrap();
+        assert_eq!(v.get_xattr(ino, "k").unwrap().as_deref(), Some("v"));
+        v.remove_xattr(ino, "k").unwrap();
+        assert_eq!(v.get_xattr(ino, "k").unwrap(), None);
+    }
+
+    #[test]
+    fn times_update_as_expected() {
+        let clock = Clock::new();
+        let v = Vfs::new("t", clock.clone());
+        let ino = v.create("/f", 0, Content::literal(&b"abc"[..])).unwrap();
+        let t0 = v.stat_ino(ino).unwrap();
+        clock.advance_to(SimInstant::from_secs(100));
+        v.read(ino, 0, 1).unwrap();
+        let t1 = v.stat_ino(ino).unwrap();
+        assert_eq!(t1.mtime, t0.mtime);
+        assert_eq!(t1.atime, SimInstant::from_secs(100));
+        clock.advance_to(SimInstant::from_secs(200));
+        v.write_at(ino, 0, Content::literal(&b"z"[..])).unwrap();
+        assert_eq!(v.stat_ino(ino).unwrap().mtime, SimInstant::from_secs(200));
+    }
+
+    #[test]
+    fn accounting() {
+        let v = fs();
+        v.mkdir("/d").unwrap();
+        v.create("/d/a", 0, Content::synthetic(1, 1000)).unwrap();
+        v.create("/d/b", 0, Content::synthetic(2, 500)).unwrap();
+        assert_eq!(v.total_bytes(), 1500);
+        assert_eq!(v.inode_count(), 4); // root, /d, two files
+    }
+
+    #[test]
+    fn peek_does_not_touch_atime() {
+        let clock = Clock::new();
+        let v = Vfs::new("t", clock.clone());
+        let ino = v.create("/f", 0, Content::literal(&b"abc"[..])).unwrap();
+        clock.advance_to(SimInstant::from_secs(5));
+        v.peek_content(ino).unwrap();
+        assert_eq!(v.stat_ino(ino).unwrap().atime, SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn write_file_creates_or_replaces() {
+        let v = fs();
+        v.write_file("/f", 0, Content::literal(&b"one"[..])).unwrap();
+        v.write_file("/f", 0, Content::literal(&b"two!"[..])).unwrap();
+        assert_eq!(&v.read_all("/f").unwrap().materialize()[..], b"two!");
+        assert_eq!(v.stat("/f").unwrap().size, 4);
+    }
+}

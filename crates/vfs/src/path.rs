@@ -1,0 +1,138 @@
+//! Absolute-path helpers.
+//!
+//! The VFS uses plain `&str` paths that are always absolute (`/a/b/c`).
+//! These helpers normalize, split and join them; resolution itself lives in
+//! [`crate::fs`].
+
+use crate::error::{FsError, FsResult};
+
+/// Validate and normalize a path: must be absolute, no empty components, no
+/// `.`/`..` (the archive tools never produce them), trailing slash stripped.
+/// Returns the normalized form.
+pub fn normalize(path: &str) -> FsResult<String> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath(path.to_string()));
+    }
+    let mut out = String::with_capacity(path.len());
+    for comp in path.split('/').filter(|c| !c.is_empty()) {
+        if comp == "." || comp == ".." {
+            return Err(FsError::InvalidPath(path.to_string()));
+        }
+        out.push('/');
+        out.push_str(comp);
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    Ok(out)
+}
+
+/// Split a normalized path into components.
+pub fn split(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty())
+}
+
+/// Parent path and final name of a normalized non-root path.
+pub fn parent_and_name(path: &str) -> FsResult<(String, String)> {
+    let norm = normalize(path)?;
+    if norm == "/" {
+        return Err(FsError::InvalidPath("/ has no parent".to_string()));
+    }
+    let idx = norm.rfind('/').expect("normalized path contains /");
+    let parent = if idx == 0 { "/".to_string() } else { norm[..idx].to_string() };
+    let name = norm[idx + 1..].to_string();
+    Ok((parent, name))
+}
+
+/// Join a base path and a child name.
+pub fn join(base: &str, name: &str) -> String {
+    if base == "/" {
+        format!("/{name}")
+    } else {
+        format!("{base}/{name}")
+    }
+}
+
+/// True if `path` is `prefix` itself or lies underneath it (both assumed
+/// normalized).
+pub fn is_under(path: &str, prefix: &str) -> bool {
+    if prefix == "/" {
+        return true;
+    }
+    path == prefix || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+}
+
+/// Rewrite `path` (under `from`) to the corresponding path under `to`.
+/// Returns `None` if `path` is not under `from`.
+pub fn rebase(path: &str, from: &str, to: &str) -> Option<String> {
+    if !is_under(path, from) {
+        return None;
+    }
+    let rest = if from == "/" {
+        path.strip_prefix('/').unwrap_or(path)
+    } else if path == from {
+        ""
+    } else {
+        &path[from.len() + 1..]
+    };
+    Some(if rest.is_empty() {
+        to.to_string()
+    } else {
+        join(to, rest)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_accepts_and_cleans() {
+        assert_eq!(normalize("/a/b/c").unwrap(), "/a/b/c");
+        assert_eq!(normalize("/a//b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/").unwrap(), "/");
+    }
+
+    #[test]
+    fn normalize_rejects_relative_and_dots() {
+        assert!(normalize("a/b").is_err());
+        assert!(normalize("/a/./b").is_err());
+        assert!(normalize("/a/../b").is_err());
+        assert!(normalize("").is_err());
+    }
+
+    #[test]
+    fn parent_and_name_splits() {
+        assert_eq!(
+            parent_and_name("/a/b/c").unwrap(),
+            ("/a/b".to_string(), "c".to_string())
+        );
+        assert_eq!(
+            parent_and_name("/top").unwrap(),
+            ("/".to_string(), "top".to_string())
+        );
+        assert!(parent_and_name("/").is_err());
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "x"), "/x");
+        assert_eq!(join("/a", "x"), "/a/x");
+    }
+
+    #[test]
+    fn is_under_respects_component_boundaries() {
+        assert!(is_under("/a/b", "/a"));
+        assert!(is_under("/a", "/a"));
+        assert!(!is_under("/ab", "/a"));
+        assert!(is_under("/anything", "/"));
+    }
+
+    #[test]
+    fn rebase_rewrites_prefix() {
+        assert_eq!(rebase("/src/d/f", "/src", "/dst").unwrap(), "/dst/d/f");
+        assert_eq!(rebase("/src", "/src", "/dst").unwrap(), "/dst");
+        assert!(rebase("/other/f", "/src", "/dst").is_none());
+        assert_eq!(rebase("/x/y", "/", "/dst").unwrap(), "/dst/x/y");
+    }
+}

@@ -1,0 +1,20 @@
+//! # copra-workloads — workload and trace generators
+//!
+//! Figures 8–11 of the paper summarize 62 parallel-archive jobs recorded
+//! over 18 operation days of the Roadrunner Open Science campaign. The
+//! authors report, per job: number of files (1 – 2,920,088, mean 167,491),
+//! data volume (4 GB – 32,593 GB, mean 2,442 GB), achieved rate
+//! (73 – 1,868 MB/s, mean ≈575 MB/s) and average file size (4 KB –
+//! 4,220 MB, mean 596 MB).
+//!
+//! [`open_science`] regenerates a synthetic campaign whose *generated*
+//! marginals (files/job, GB/job, average file size) match those ranges and
+//! means; the rate column is then **measured** by driving each job through
+//! the real system (see `bench/fig08_11`). [`generators`] holds the
+//! simpler parametric workloads the other experiments use.
+
+pub mod generators;
+pub mod open_science;
+
+pub use generators::{huge_file, mixed_tree, populate, small_file_storm, FileSpec, TreeSpec};
+pub use open_science::{CampaignSpec, JobSpec, OpenScienceTrace};

@@ -1,0 +1,59 @@
+//! The Roadrunner Open Science campaign, in miniature (§5).
+//!
+//! Generates a scaled version of the paper's 62-job / 18-day trace, drives
+//! every job through the full system with `pfcp`, and prints the four
+//! per-job series of Figures 8–11. The full-size reproduction is
+//! `cargo run --release -p copra-bench --bin fig08_11`.
+//!
+//! Run with: `cargo run --release --example open_science_campaign`
+
+use copra::core::{ArchiveSystem, SystemConfig};
+use copra::pftool::PftoolConfig;
+use copra::workloads::{populate, CampaignSpec, OpenScienceTrace, TreeSpec};
+
+fn main() {
+    // A 16-job, 5-day mini campaign with the same distributional shape.
+    let spec = CampaignSpec {
+        jobs: 16,
+        days: 5,
+        ..CampaignSpec::roadrunner()
+    };
+    let trace = OpenScienceTrace::generate(spec, 2009);
+    let sys = ArchiveSystem::new(SystemConfig::roadrunner());
+    let config = PftoolConfig {
+        workers: 16,
+        tape_procs: 0,
+        ..PftoolConfig::default()
+    };
+
+    println!("job  day      files        GB      MB/s    avg-file-MB");
+    println!("---  ---  ---------  --------  --------  -------------");
+    let mut rates = Vec::new();
+    for job in &trace.jobs {
+        sys.clock().advance_to(job.submitted);
+        let tree = TreeSpec {
+            files: job.materialize(120),
+        };
+        let src = format!("/scratch/job{:02}", job.id);
+        populate(sys.scratch(), &src, &tree);
+        let report = sys.archive_tree(&src, &format!("/archive/job{:02}", job.id), &config);
+        assert!(report.stats.ok(), "{:?}", report.stats.errors);
+        let rate = report.stats.rate_mb_s();
+        rates.push(rate);
+        println!(
+            "{:>3}  {:>3}  {:>9}  {:>8.1}  {:>8.1}  {:>13.2}",
+            job.id,
+            job.day,
+            job.files,
+            job.bytes as f64 / 1e9,
+            rate,
+            job.avg_file_size() / 1e6
+        );
+    }
+    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("\nachieved rates: min {min:.0}, max {max:.0}, mean {mean:.0} MB/s");
+    println!("(paper, full campaign: min 73, max 1868, mean ~575 MB/s — our mean is");
+    println!(" higher because competing production load is not simulated; see EXPERIMENTS.md)");
+}

@@ -1,0 +1,43 @@
+//! # copra — a COTS Parallel Archive System, reproduced in Rust
+//!
+//! Facade crate for the `copra` workspace: re-exports every subsystem under
+//! one roof so that examples and integration tests can `use copra::...`.
+//!
+//! The workspace reproduces *“Integration Experiences and Performance
+//! Studies of A COTS Parallel Archive System”* (LANL, IEEE CLUSTER 2010):
+//! GPFS + TSM + a thin layer of user-space glue (PFTool, ArchiveFUSE,
+//! synchronous deleter, trashcan, a MySQL index of the TSM database)
+//! integrated into a parallel tape archive. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! Subsystem map:
+//!
+//! * [`simtime`] — virtual clock and FIFO resource timelines (all device
+//!   performance is computed in simulated time).
+//! * [`vfs`] — in-memory POSIX-ish file-system substrate.
+//! * [`pfs`] — GPFS stand-in: storage pools, ILM policy engine, DMAPI.
+//! * [`tape`] — tape library: cartridges, drives, robot, LTO timing.
+//! * [`metadb`] — MySQL stand-in: indexed embedded tables.
+//! * [`hsm`] — TSM stand-in: object DB, LAN/LAN-free movers, migrate /
+//!   recall / reconcile / aggregation.
+//! * [`fuse`] — ArchiveFUSE chunking overlay (N-to-1 → N-to-N).
+//! * [`cluster`] — FTA cluster nodes, LoadManager, batch launcher.
+//! * [`mpirt`] — mini message-passing runtime for PFTool's process model.
+//! * [`pftool`] — the paper's parallel tree walker / copier (`pfls`,
+//!   `pfcp`, `pfcm`).
+//! * [`core`] — the integrated archive system and its public API.
+//! * [`workloads`] — Roadrunner Open Science trace generator and file-mix
+//!   generators.
+
+pub use copra_cluster as cluster;
+pub use copra_core as core;
+pub use copra_fuse as fuse;
+pub use copra_hsm as hsm;
+pub use copra_metadb as metadb;
+pub use copra_mpirt as mpirt;
+pub use copra_pfs as pfs;
+pub use copra_pftool as pftool;
+pub use copra_simtime as simtime;
+pub use copra_tape as tape;
+pub use copra_vfs as vfs;
+pub use copra_workloads as workloads;

@@ -1,0 +1,267 @@
+//! Cross-crate integration: the complete archive life cycle, end to end,
+//! through the public facade (`copra::*`).
+
+use copra::cluster::NodeId;
+use copra::core::{
+    migrate_candidates, ArchiveSystem, MigrationPolicy, SyncDeleter, SystemConfig, Trashcan,
+};
+use copra::fuse::FuseRead;
+use copra::hsm::{reconcile, DataPath};
+use copra::pfs::HsmState;
+use copra::pftool::PftoolConfig;
+use copra::simtime::{DataSize, SimDuration};
+use copra::vfs::Content;
+use copra::workloads::{mixed_tree, populate};
+
+fn config() -> PftoolConfig {
+    PftoolConfig::test_small()
+}
+
+/// Archive → verify → migrate → recall-on-retrieve → verify: the complete
+/// round trip the system exists for, with data integrity checked at every
+/// hop.
+#[test]
+fn archive_migrate_retrieve_roundtrip() {
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    let tree = mixed_tree(60, 3_000_000, 1.2, 6, 11);
+    let (files, bytes) = populate(sys.scratch(), "/campaign", &tree);
+
+    // Archive.
+    let report = sys.archive_tree("/campaign", "/archive/campaign", &config());
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.files as usize, files);
+    assert_eq!(report.stats.bytes, bytes);
+
+    // Verify.
+    assert!(sys
+        .verify_tree("/campaign", "/archive/campaign", &config())
+        .identical());
+
+    // Migrate everything to tape (stubs remain).
+    sys.clock()
+        .advance_to(sys.clock().now() + SimDuration::from_secs(86_400));
+    let policy = sys.migration_policy(SimDuration::from_secs(3600));
+    let scan = sys.archive().run_policy(&policy);
+    let candidates = &scan.lists["migrate"];
+    assert_eq!(candidates.len(), files);
+    let nodes: Vec<NodeId> = sys.cluster().nodes().collect();
+    let migration = migrate_candidates(
+        sys.hsm(),
+        candidates,
+        &nodes,
+        MigrationPolicy::SizeBalanced,
+        DataPath::LanFree,
+        sys.clock().now(),
+        true,
+        Some((DataSize::mb(1), DataSize::mb(64))), // aggregate the tiny tail
+    );
+    assert!(migration.errors.is_empty(), "{:?}", migration.errors);
+    assert_eq!(migration.files, files);
+    sys.clock().advance_to(migration.makespan);
+
+    // Every file is now a stub; disk pool usage collapsed.
+    for rec in sys.archive().scan_records() {
+        assert_eq!(rec.hsm, HsmState::Migrated, "{} not migrated", rec.path);
+    }
+
+    // Retrieve the whole tree back to scratch: PFTool routes stubs through
+    // the TapeCQs, restores, then copies.
+    let retrieved = sys.retrieve_tree("/archive/campaign", "/restored", &config());
+    assert!(retrieved.stats.ok(), "{:?}", retrieved.stats.errors);
+    assert_eq!(retrieved.stats.files as usize, files);
+    assert_eq!(retrieved.stats.tape_restores as usize, files);
+
+    // Bit-for-bit identical to the original scratch data.
+    for f in &tree.files {
+        let orig = sys
+            .scratch()
+            .read_resident(&format!("/campaign/{}", f.rel_path))
+            .unwrap();
+        let back = sys
+            .scratch()
+            .read_resident(&format!("/restored/{}", f.rel_path))
+            .unwrap();
+        assert!(orig.eq_content(&back), "{} corrupted", f.rel_path);
+    }
+}
+
+/// A very large file goes through fuse chunking, chunk-level tape
+/// migration, and comes back whole.
+#[test]
+fn huge_file_fuse_tape_roundtrip() {
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    let total: u64 = 400_000_000; // 2x the test rig's 200 MB fuse threshold
+    let content = Content::synthetic(77, total);
+    sys.scratch().mkdir_p("/src").unwrap();
+    sys.scratch()
+        .create_file("/src/monster.bin", 42, content.clone())
+        .unwrap();
+
+    let report = sys.archive_tree("/src", "/archive", &config());
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert!(sys.fuse().is_chunked("/archive/monster.bin").unwrap());
+    let chunks = sys.fuse().chunks("/archive/monster.bin").unwrap();
+    assert_eq!(chunks.len(), 8); // 400 MB / 50 MB chunks
+
+    // Migrate the chunk files to tape (each its own object → N-to-N).
+    let records = sys.archive().scan_records();
+    let nodes: Vec<NodeId> = sys.cluster().nodes().collect();
+    let migration = migrate_candidates(
+        sys.hsm(),
+        &records,
+        &nodes,
+        MigrationPolicy::SizeBalanced,
+        DataPath::LanFree,
+        sys.clock().now(),
+        true,
+        None,
+    );
+    assert!(migration.errors.is_empty());
+    assert_eq!(migration.files, 8);
+    // The chunks went to more than one volume (N-to-N).
+    let tapes: std::collections::BTreeSet<u32> = sys
+        .hsm()
+        .server()
+        .objects()
+        .iter()
+        .map(|o| o.addr.tape.0)
+        .collect();
+    assert!(tapes.len() > 1, "chunks should spread over volumes: {tapes:?}");
+    sys.clock().advance_to(migration.makespan);
+    sys.export_catalog();
+
+    // Reading through fuse reports the stub chunks...
+    match sys.fuse().read_file("/archive/monster.bin").unwrap() {
+        FuseRead::NeedsRecall(v) => assert_eq!(v.len(), 8),
+        other => panic!("expected NeedsRecall: {other:?}"),
+    }
+
+    // ...and pfcp retrieval restores all of them and reassembles the file.
+    let retrieved = sys.retrieve_tree("/archive/monster.bin", "/back/monster.bin", &config());
+    assert!(retrieved.stats.ok(), "{:?}", retrieved.stats.errors);
+    assert_eq!(retrieved.stats.tape_restores, 8);
+    let back = sys.scratch().read_resident("/back/monster.bin").unwrap();
+    assert!(back.eq_content(&content));
+}
+
+/// Trashcan + synchronous delete keep the tape catalog consistent with
+/// the namespace — reconciliation never finds orphans.
+#[test]
+fn delete_paths_leave_no_orphans() {
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    let tree = mixed_tree(30, 2_000_000, 0.8, 4, 3);
+    populate(sys.archive(), "/data", &tree);
+    let records = sys.archive().scan_records();
+    let nodes: Vec<NodeId> = sys.cluster().nodes().collect();
+    let migration = migrate_candidates(
+        sys.hsm(),
+        &records,
+        &nodes,
+        MigrationPolicy::SizeBalanced,
+        DataPath::LanFree,
+        sys.clock().now(),
+        true,
+        None,
+    );
+    assert!(migration.errors.is_empty());
+    sys.clock().advance_to(migration.makespan);
+    sys.export_catalog();
+
+    // Users delete a third of the files via the trashcan.
+    let trash = Trashcan::new(sys.fuse().clone());
+    let victims: Vec<String> = records.iter().step_by(3).map(|r| r.path.clone()).collect();
+    for v in &victims {
+        trash.delete(v).unwrap();
+    }
+    // Nothing purged yet: all objects still live (and findable) on tape.
+    assert_eq!(sys.hsm().server().db_len(), 30);
+
+    // One user changes their mind.
+    let undeleted = &victims[0];
+    let parked = {
+        let rec = records.iter().find(|r| &r.path == undeleted).unwrap();
+        format!(
+            "/.trash/{}/{}.{}",
+            rec.uid,
+            undeleted.rsplit('/').next().unwrap(),
+            rec.ino.0
+        )
+    };
+    trash.undelete(&parked, undeleted).unwrap();
+    assert!(sys.archive().exists(undeleted));
+
+    // Admin purge: age the trash, list, synchronously delete.
+    sys.clock()
+        .advance_to(sys.clock().now() + SimDuration::from_secs(40 * 86_400));
+    let candidates = trash.purge_candidates(SimDuration::from_secs(30 * 86_400), u64::MAX);
+    assert_eq!(candidates.len(), victims.len() - 1);
+    let deleter = SyncDeleter::new(sys.hsm().clone(), sys.catalog().clone());
+    let purged = deleter.purge(&candidates, sys.clock().now());
+    assert!(purged.errors.is_empty(), "{:?}", purged.errors);
+    assert_eq!(purged.files_deleted, victims.len() - 1);
+    assert_eq!(purged.objects_deleted, victims.len() - 1);
+
+    // The acid test: reconcile finds nothing.
+    let rec = reconcile(sys.archive(), sys.hsm().server(), purged.end, false).unwrap();
+    assert!(rec.orphans.is_empty(), "orphans: {:?}", rec.orphans);
+    assert_eq!(sys.hsm().server().db_len(), 30 - (victims.len() - 1));
+}
+
+/// The catalog replica stays consistent with the server DB across a
+/// migrate / delete / re-export cycle.
+#[test]
+fn catalog_export_tracks_server() {
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    let tree = mixed_tree(12, 1_000_000, 0.5, 3, 9);
+    populate(sys.archive(), "/d", &tree);
+    let records = sys.archive().scan_records();
+    let nodes: Vec<NodeId> = sys.cluster().nodes().collect();
+    migrate_candidates(
+        sys.hsm(),
+        &records,
+        &nodes,
+        MigrationPolicy::RoundRobin,
+        DataPath::LanFree,
+        sys.clock().now(),
+        false, // premigrate only
+        None,
+    );
+    let n = sys.export_catalog();
+    assert_eq!(n, 12);
+    assert_eq!(sys.catalog().len(), 12);
+    // Delete three objects server-side; re-export prunes the replica.
+    for rec in records.iter().take(3) {
+        let objid = sys.archive().hsm_objid(rec.ino).unwrap().unwrap();
+        sys.hsm()
+            .server()
+            .delete_object(objid, sys.clock().now())
+            .unwrap();
+    }
+    sys.export_catalog();
+    assert_eq!(sys.catalog().len(), 9);
+    // Every remaining row round-trips by ino and by path.
+    for rec in records.iter().skip(3) {
+        let by_ino = sys.catalog().by_ino(rec.ino.0);
+        assert_eq!(by_ino.len(), 1);
+        assert_eq!(by_ino[0].path, rec.path);
+    }
+}
+
+/// Everything above, but through the jail: the allowed commands cover the
+/// whole user workflow.
+#[test]
+fn jail_permits_the_supported_workflow() {
+    let jail = copra::core::Jail::standard();
+    for cmd in [
+        "pfls /archive/campaign",
+        "pfcp /scratch/campaign /archive/campaign",
+        "pfcm /scratch/campaign /archive/campaign",
+        "mv /archive/a /archive/b",
+        "undelete /archive/campaign/f1",
+    ] {
+        assert!(jail.check(cmd).is_ok(), "{cmd} should be allowed");
+    }
+    for cmd in ["grep x /archive", "cat /archive/f", "rm /archive/f", "find /archive -exec cat {} ;"] {
+        assert!(jail.check(cmd).is_err(), "{cmd} should be refused");
+    }
+}
