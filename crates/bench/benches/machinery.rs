@@ -159,16 +159,11 @@ fn bench_migrator_partition(c: &mut Criterion) {
     let pfs = scan_fixture(20_000);
     let records = pfs.scan_records();
     let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
-    for policy in [
-        MigrationPolicy::SizeBalanced,
-        MigrationPolicy::RoundRobin,
-    ] {
+    for policy in [MigrationPolicy::SizeBalanced, MigrationPolicy::RoundRobin] {
         g.bench_with_input(
             BenchmarkId::new("partition_20k", format!("{policy:?}")),
             &policy,
-            |b, &policy| {
-                b.iter(|| black_box(migrator::partition(&records, &nodes, policy).len()))
-            },
+            |b, &policy| b.iter(|| black_box(migrator::partition(&records, &nodes, policy).len())),
         );
     }
     g.finish();

@@ -12,7 +12,10 @@
 //! sample (see `JobSpec::materialize`); Figures 8/9/11 report the *spec*
 //! values, Figure 10 reports the *measured* rate of the driven job.
 
-use copra_bench::{print_table, roadrunner_rig, summarize, write_json, EXPERIMENT_SEED};
+use copra_bench::{
+    dump_metrics_if_requested, note_rig, print_table, roadrunner_rig, summarize, write_json,
+    EXPERIMENT_SEED,
+};
 use copra_pftool::PftoolConfig;
 use copra_simtime::DataSize;
 use copra_workloads::{populate, CampaignSpec, OpenScienceTrace, TreeSpec};
@@ -39,6 +42,13 @@ struct Output {
     rate_mb_s: copra_bench::Summary,
     avg_file_mb: copra_bench::Summary,
     serial_baseline_mb_s: f64,
+    /// Mean busy fraction of the two trunk links over the whole campaign
+    /// (includes the idle gaps between job submissions).
+    trunk_mean_utilization: f64,
+    /// Peak job rate as a fraction of the raw 2×10GigE trunk (2500 MB/s).
+    /// Figure 10's limit: peak jobs reach ≈75% of raw — exactly the
+    /// efficiency the trunk links deliver.
+    peak_rate_frac_of_raw_trunk: f64,
 }
 
 fn main() {
@@ -62,11 +72,7 @@ fn main() {
         };
         let src_root = format!("/scratch/job{:03}", job.id);
         populate(sys.scratch(), &src_root, &tree);
-        let report = sys.archive_tree(
-            &src_root,
-            &format!("/archive/job{:03}", job.id),
-            &config,
-        );
+        let report = sys.archive_tree(&src_root, &format!("/archive/job{:03}", job.id), &config);
         assert!(
             report.stats.ok(),
             "job {} failed: {:?}",
@@ -120,22 +126,41 @@ fn main() {
         &table_rows,
     );
 
+    // Figure 10's headline limit, checked against the *measured* trunk:
+    // the two 10GigE links are modelled at 75% efficiency, so peak jobs
+    // can reach at most ~75% of the raw 2×10GigE (2×1250 MB/s).
+    note_rig(&sys);
+    let snap = sys.snapshot();
+    let trunk_util = snap.mean_utilization("trunk.");
+    let raw_trunk_mb_s = 2.0 * 1250.0;
+
     let files: Vec<f64> = rows.iter().map(|r| r.files as f64).collect();
     let gb: Vec<f64> = rows.iter().map(|r| r.gb).collect();
     let rate: Vec<f64> = rows.iter().map(|r| r.rate_mb_s).collect();
     let avg: Vec<f64> = rows.iter().map(|r| r.avg_file_mb).collect();
+    let rate_summary = summarize(&rate);
     let out = Output {
         files_per_job: summarize(&files),
         gb_per_job: summarize(&gb),
-        rate_mb_s: summarize(&rate),
+        rate_mb_s: rate_summary,
         avg_file_mb: summarize(&avg),
         serial_baseline_mb_s: serial_rate,
+        trunk_mean_utilization: trunk_util,
+        peak_rate_frac_of_raw_trunk: rate_summary.max / raw_trunk_mb_s,
         rows,
     };
 
     print_table(
         "Campaign summary vs paper",
-        &["series", "min", "max", "mean", "paper min", "paper max", "paper mean"],
+        &[
+            "series",
+            "min",
+            "max",
+            "mean",
+            "paper min",
+            "paper max",
+            "paper mean",
+        ],
         &[
             vec![
                 "files/job".to_string(),
@@ -179,5 +204,27 @@ fn main() {
         "\n  Non-parallel archiver baseline: {serial_rate:.1} MB/s (paper: ~70 MB/s)\n  Parallel mean / serial = {:.1}x (paper: 575/70 = 8.2x)",
         out.rate_mb_s.mean / serial_rate.max(1e-9)
     );
+    println!(
+        "\n  Trunk (2x10GigE @ 75% efficiency): peak job rate {:.0} MB/s = {:.0}% of raw\n  2500 MB/s (Figure 10: peak jobs saturate the trunk at ~75%); mean trunk\n  busy fraction over the 18-day campaign: {:.1}%",
+        out.rate_mb_s.max,
+        out.peak_rate_frac_of_raw_trunk * 100.0,
+        out.trunk_mean_utilization * 100.0
+    );
+    // Figure 10 claim: the trunk is the ceiling, and peak jobs reach it.
+    assert!(
+        out.peak_rate_frac_of_raw_trunk <= 0.751,
+        "peak job rate {:.0} MB/s exceeds the 75%-efficient 2x10GigE trunk",
+        out.rate_mb_s.max
+    );
+    assert!(
+        out.peak_rate_frac_of_raw_trunk > 0.55,
+        "peak job rate {:.0} MB/s nowhere near the trunk ceiling (expected ~75% of raw)",
+        out.rate_mb_s.max
+    );
+    assert!(
+        out.trunk_mean_utilization > 0.0,
+        "campaign moved bytes but trunk shows no busy time"
+    );
     write_json("fig08_11", &out);
+    dump_metrics_if_requested();
 }

@@ -30,7 +30,9 @@ fn hsm(drives: usize, nodes: usize, tapes: usize) -> Hsm {
         .build();
     let cluster = FtaCluster::new(ClusterConfig::tiny(nodes));
     let server = TsmServer::roadrunner(TapeLibrary::new(drives, tapes, TapeTiming::lto4()));
-    Hsm::new(pfs, server, cluster)
+    let h = Hsm::new(pfs, server, cluster);
+    copra_bench::note_hsm(&h);
+    h
 }
 
 #[derive(Serialize)]
@@ -60,7 +62,7 @@ fn a1_container_size() -> Vec<A1Row> {
         rows.push(A1Row {
             container_mb,
             containers: out.containers,
-            mb_s: tree.total_bytes() as f64 / out.end.as_secs_f64() / 1e6,
+            mb_s: copra_bench::mb_per_sec(tree.total_bytes(), SimInstant::EPOCH, out.end),
         });
     }
     rows
@@ -79,11 +81,7 @@ fn a2_fuse_chunk_size() -> Vec<A2Row> {
     for chunk_gb in [2u64, 5, 10, 25, 50] {
         for drives in [4usize, 8] {
             let h = hsm(drives, drives, 64);
-            let fuse = ArchiveFuse::new(
-                h.pfs().clone(),
-                DataSize::gb(50),
-                DataSize::gb(chunk_gb),
-            );
+            let fuse = ArchiveFuse::new(h.pfs().clone(), DataSize::gb(50), DataSize::gb(chunk_gb));
             h.pfs().mkdir_p("/data").unwrap();
             fuse.write_file("/data/big", 0, Content::synthetic(1, 100_000_000_000))
                 .unwrap();
@@ -144,8 +142,7 @@ fn a3_reclaim_threshold() -> Vec<A3Row> {
                 pfs.unlink(path).unwrap();
             }
         }
-        let reports =
-            reclaim_eligible(h.server(), threshold_pct as f64 / 100.0, cursor).unwrap();
+        let reports = reclaim_eligible(h.server(), threshold_pct as f64 / 100.0, cursor).unwrap();
         rows.push(A3Row {
             threshold_pct,
             volumes_reclaimed: reports.len(),
@@ -198,7 +195,7 @@ fn a4_grass_files() -> Vec<A4Row> {
             nodes,
             files: report.files,
             makespan_s: secs,
-            mb_s: report.bytes as f64 / secs / 1e6,
+            mb_s: copra_bench::mb_per_sec(report.bytes, SimInstant::EPOCH, report.makespan),
             speedup: b / secs,
         });
     }
@@ -323,7 +320,12 @@ fn main() {
     let a3 = a3_reclaim_threshold();
     print_table(
         "A3: reclamation threshold (120 x 40 MB migrated, 2/3 deleted)",
-        &["threshold %", "volumes reclaimed", "moved GB", "scratch recovered"],
+        &[
+            "threshold %",
+            "volumes reclaimed",
+            "moved GB",
+            "scratch recovered",
+        ],
         &a3.iter()
             .map(|r| {
                 vec![
@@ -371,6 +373,7 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     write_json("tbl_ablation_a5", &a5);
+    copra_bench::dump_metrics_if_requested();
     println!("\n  A1: bigger containers amortize backhitches until streaming dominates.");
     println!("  A2: smaller chunks spread one file over more drives; too small adds");
     println!("      per-transaction overhead back in.");

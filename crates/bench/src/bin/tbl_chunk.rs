@@ -24,9 +24,14 @@ struct Row {
 
 fn run(file_gb: u64, workers: usize) -> f64 {
     let sys = roadrunner_rig();
+    copra_bench::note_rig(&sys);
     sys.scratch().mkdir_p("/src").unwrap();
     sys.scratch()
-        .create_file("/src/big.dat", 0, Content::synthetic(9, file_gb * 1_000_000_000))
+        .create_file(
+            "/src/big.dat",
+            0,
+            Content::synthetic(9, file_gb * 1_000_000_000),
+        )
         .unwrap();
     let config = PftoolConfig {
         workers,
@@ -47,7 +52,11 @@ fn main() {
         let mut base = None;
         for workers in [1usize, 2, 4, 8, 16, 32] {
             let secs = run(file_gb, workers);
-            let rate = file_gb as f64 * 1000.0 / secs;
+            let rate = copra_simtime::achieved_rate(
+                DataSize::gb(file_gb),
+                copra_simtime::SimDuration::from_secs_f64(secs),
+            )
+            .as_mb_per_sec_f64();
             let b = *base.get_or_insert(secs);
             rows.push(Row {
                 file_gb,
@@ -76,4 +85,5 @@ fn main() {
     );
     println!("\n  Paper: N workers copy N chunks of one file in parallel; speedup\n  saturates at the 2x10GigE trunk (~1.9 GB/s achievable).");
     write_json("tbl_chunk", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

@@ -43,6 +43,7 @@ fn setup(drives: usize, nodes: usize) -> (Hsm, ArchiveFuse) {
     };
     let server = TsmServer::roadrunner(TapeLibrary::new(drives, 64, timing));
     let hsm = Hsm::new(pfs.clone(), server, cluster);
+    copra_bench::note_hsm(&hsm);
     let fuse = ArchiveFuse::new(pfs, DataSize::gb(100), DataSize::gb(10));
     (hsm, fuse)
 }
@@ -51,7 +52,11 @@ fn single_object(drives: usize) -> f64 {
     let (hsm, _) = setup(drives, drives);
     let ino = hsm
         .pfs()
-        .create_file("/huge.dat", 0, Content::synthetic(1, FILE_GB * 1_000_000_000))
+        .create_file(
+            "/huge.dat",
+            0,
+            Content::synthetic(1, FILE_GB * 1_000_000_000),
+        )
         .unwrap();
     let (_, end) = hsm
         .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, true)
@@ -62,8 +67,12 @@ fn single_object(drives: usize) -> f64 {
 fn fuse_nton(drives: usize) -> f64 {
     let (hsm, fuse) = setup(drives, drives);
     hsm.pfs().mkdir_p("/data").unwrap();
-    fuse.write_file("/data/huge.dat", 0, Content::synthetic(1, FILE_GB * 1_000_000_000))
-        .unwrap();
+    fuse.write_file(
+        "/data/huge.dat",
+        0,
+        Content::synthetic(1, FILE_GB * 1_000_000_000),
+    )
+    .unwrap();
     // Each chunk is an ordinary file; the migrator spreads them over the
     // nodes/drives size-balanced.
     let records = hsm.pfs().scan_records();
@@ -112,4 +121,5 @@ fn main() {
     );
     println!("\n  Paper: a single object streams to ONE drive regardless of drive\n  count; fuse chunks scale with drives until the disk/SAN path saturates.");
     write_json("tbl_fuse", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

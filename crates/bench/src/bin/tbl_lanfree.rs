@@ -42,6 +42,7 @@ fn run(nodes: usize, path: DataPath) -> f64 {
         SimDuration::from_millis(2),
     );
     let hsm = Hsm::new(pfs.clone(), server, cluster.clone());
+    copra_bench::note_hsm(&hsm);
     // Build per-node file sets.
     let mut per_node_files: Vec<Vec<copra_vfs::Ino>> = Vec::new();
     for n in 0..nodes {
@@ -72,8 +73,8 @@ fn run(nodes: usize, path: DataPath) -> f64 {
         }
         makespan = makespan.max(cursor);
     }
-    let total_bytes = (nodes * FILES_PER_NODE) as f64 * FILE_GB as f64 * 1e9;
-    total_bytes / makespan.saturating_since(start).as_secs_f64() / 1e6
+    let total_bytes = (nodes * FILES_PER_NODE) as u64 * FILE_GB * 1_000_000_000;
+    copra_bench::mb_per_sec(total_bytes, start, makespan)
 }
 
 fn main() {
@@ -105,4 +106,5 @@ fn main() {
     );
     println!("\n  Paper: LAN saturates the single server NIC as nodes are added;\n  LAN-free scales per-node (FC4 HBA + its own drive) until drives run out.");
     write_json("tbl_lanfree", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

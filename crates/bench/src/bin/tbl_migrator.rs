@@ -32,6 +32,7 @@ fn run(policy: MigrationPolicy) -> Row {
     let cluster = FtaCluster::new(ClusterConfig::tiny(10));
     let server = TsmServer::roadrunner(TapeLibrary::new(24, 128, TapeTiming::lto4()));
     let hsm = Hsm::new(pfs.clone(), server, cluster.clone());
+    copra_bench::note_hsm(&hsm);
     // A heavy-tailed candidate list: mostly small files, a few huge ones —
     // exactly the mix that breaks count-balancing.
     let tree = mixed_tree(400, 2_000_000_000, 2.2, 8, 99);
@@ -76,7 +77,13 @@ fn main() {
     .collect();
     print_table(
         "T-MIGR (§4.2.4): 400-file heavy-tailed migration over 10 nodes / 24 drives",
-        &["policy", "makespan s", "imbalance", "max node GB", "min node GB"],
+        &[
+            "policy",
+            "makespan s",
+            "imbalance",
+            "max node GB",
+            "min node GB",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -92,4 +99,5 @@ fn main() {
     );
     println!("\n  Paper: size-balanced distribution lets migrations 'complete at the\n  same time across machines'; count-balancing skews, single-node is worst.");
     write_json("tbl_migrator", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

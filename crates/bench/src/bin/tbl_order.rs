@@ -42,6 +42,7 @@ fn run(files: usize, file_mb: u64, ordering: bool) -> (f64, u64) {
         .build();
     let server = TsmServer::roadrunner(TapeLibrary::new(2, 8, TapeTiming::lto4()));
     let hsm = Hsm::new(archive.clone(), server, cluster.clone());
+    copra_bench::note_hsm(&hsm);
     let fuse = ArchiveFuse::paper_defaults(archive.clone());
     let catalog = Arc::new(TsmCatalog::new());
 
@@ -86,7 +87,14 @@ fn run(files: usize, file_mb: u64, ordering: bool) -> (f64, u64) {
         ..PftoolConfig::test_small()
     };
     let locates_before = hsm.server().library().stats().totals.locates;
-    let report = pfcp(&archive_view, "/arch", &scratch_view, "/restore", &config, &[]);
+    let report = pfcp(
+        &archive_view,
+        "/arch",
+        &scratch_view,
+        "/restore",
+        &config,
+        &[],
+    );
     assert!(report.stats.ok(), "{:?}", report.stats.errors);
     assert_eq!(report.stats.tape_restores as usize, files);
     let locates = hsm.server().library().stats().totals.locates - locates_before;
@@ -110,7 +118,15 @@ fn main() {
     }
     print_table(
         "T-ORDER (§4.1.2-2): restore via pfcp, tape-seq-ordered vs discovery order",
-        &["files", "MB/file", "unordered s", "locates", "ordered s", "locates", "speedup"],
+        &[
+            "files",
+            "MB/file",
+            "unordered s",
+            "locates",
+            "ordered s",
+            "locates",
+            "speedup",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -128,4 +144,5 @@ fn main() {
     );
     println!("\n  Paper: sorting by (tape id, seq) enforces sequential reads and\n  'drastically reduce[s] tape drive thrashing overhead'.");
     write_json("tbl_order", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

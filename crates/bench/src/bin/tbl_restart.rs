@@ -30,6 +30,7 @@ struct Row {
 
 fn run(failed_fraction: f64, marking: bool) -> f64 {
     let sys = roadrunner_rig();
+    copra_bench::note_rig(&sys);
     let total = FILE_GB * 1_000_000_000;
     sys.scratch().mkdir_p("/src").unwrap();
     sys.scratch()
@@ -88,7 +89,12 @@ fn main() {
     }
     print_table(
         &format!("T-RESTART (§4.5): {FILE_GB} GB transfer killed at f%, then restarted"),
-        &["failed at %", "resent GB (marking)", "resent GB (naive)", "saved %"],
+        &[
+            "failed at %",
+            "resent GB (marking)",
+            "resent GB (naive)",
+            "saved %",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -103,4 +109,5 @@ fn main() {
     );
     println!("\n  Paper: chunk good/bad marking means only unsent (and the one\n  partially-written) chunk(s) are re-sent — 'a unique incremental parallel\n  archive feature'.");
     write_json("tbl_restart", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

@@ -93,4 +93,5 @@ fn main() {
         600.0 / million.scan_secs.max(1e-9)
     );
     write_json("tbl_scan", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

@@ -36,7 +36,9 @@ fn one_drive_hsm() -> Hsm {
         .build();
     let cluster = FtaCluster::new(ClusterConfig::tiny(1));
     let server = TsmServer::roadrunner(TapeLibrary::new(1, 64, TapeTiming::lto4()));
-    Hsm::new(pfs, server, cluster)
+    let h = Hsm::new(pfs, server, cluster);
+    copra_bench::note_hsm(&h);
+    h
 }
 
 fn migrate_rate(file_size: u64, count: usize, aggregated: bool) -> f64 {
@@ -68,8 +70,7 @@ fn migrate_rate(file_size: u64, count: usize, aggregated: bool) -> f64 {
         }
         cursor
     };
-    let bytes = tree.total_bytes() as f64;
-    bytes / end.saturating_since(start).as_secs_f64() / 1e6
+    copra_bench::mb_per_sec(tree.total_bytes(), start, end)
 }
 
 fn main() {
@@ -95,7 +96,13 @@ fn main() {
     }
     print_table(
         "T-SMALL (§6.1): per-drive migration rate vs file size (LTO-4 rated 120 MB/s)",
-        &["file MB", "files", "1-file/tx MB/s", "aggregated MB/s", "speedup"],
+        &[
+            "file MB",
+            "files",
+            "1-file/tx MB/s",
+            "aggregated MB/s",
+            "speedup",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -121,4 +128,5 @@ fn main() {
         "  2M x 8 MB files on 24 drives: {weekend_hours:.0} h per-file (paper: 'an entire weekend'), {agg_hours:.1} h aggregated."
     );
     write_json("tbl_small_file", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

@@ -38,6 +38,7 @@ fn build(files: usize) -> (Hsm, Arc<TsmCatalog>, Vec<String>, SimInstant) {
     let cluster = FtaCluster::new(ClusterConfig::tiny(4));
     let server = TsmServer::roadrunner(TapeLibrary::new(8, 256, TapeTiming::lto4()));
     let hsm = Hsm::new(pfs.clone(), server, cluster);
+    copra_bench::note_hsm(&hsm);
     let tree = mixed_tree(files, 20_000_000, 1.0, 16, 5);
     populate(&pfs, "/data", &tree);
     let records = pfs.scan_records();
@@ -118,4 +119,5 @@ fn main() {
     );
     println!("\n  Paper: reconcile walks and compares EVERY file (O(N)); the\n  synchronous deleter pays only for what was deleted (O(deleted)).");
     write_json("tbl_syncdel", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

@@ -36,6 +36,7 @@ fn run(nodes: usize, files: usize, policy: RecallPolicy) -> (f64, u64) {
     let cluster = FtaCluster::new(ClusterConfig::tiny(nodes));
     let server = TsmServer::roadrunner(TapeLibrary::new(2, 8, TapeTiming::lto4()));
     let hsm = Hsm::new(pfs.clone(), server, cluster);
+    copra_bench::note_hsm(&hsm);
     let mut cursor = SimInstant::EPOCH;
     let mut inos = Vec::new();
     for i in 0..files as u64 {
@@ -79,7 +80,15 @@ fn main() {
     }
     print_table(
         "T-THRASH (§6.2): recall of one tape's files, scatter vs tape-affinity",
-        &["nodes", "files", "scatter s", "handoffs", "affinity s", "handoffs", "penalty"],
+        &[
+            "nodes",
+            "files",
+            "scatter s",
+            "handoffs",
+            "affinity s",
+            "handoffs",
+            "penalty",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -99,4 +108,5 @@ fn main() {
         "\n  Paper: hand-offs rewind + re-verify the label each time — 'a massive\n  performance hit'; same-machine affinity eliminates it (0 hand-offs)."
     );
     write_json("tbl_thrash", &rows);
+    copra_bench::dump_metrics_if_requested();
 }

@@ -21,10 +21,12 @@
 //! Criterion benches (in `benches/`) measure the *real* wall-time of the
 //! hot machinery.
 
-use copra_core::{ArchiveSystem, SystemConfig};
+use copra_core::{ArchiveSystem, DeviceUtilization, SystemConfig, SystemSnapshot};
+use copra_simtime::{achieved_rate, DataSize, SimInstant};
 use serde::Serialize;
 use std::fmt::Display;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Pretty-print an aligned table.
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
@@ -76,10 +78,9 @@ pub fn summarize(values: &[f64]) -> Summary {
 
 /// Where experiment JSON dumps land.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }
@@ -104,6 +105,94 @@ pub fn small_rig() -> ArchiveSystem {
 
 /// Fixed seed used across experiment binaries (reproducibility).
 pub const EXPERIMENT_SEED: u64 = 0x0000_C075_2010;
+
+/// Achieved MB/s for `bytes` moved over the simulated interval
+/// `[start, end]`, through the shared [`achieved_rate`] helper (zero for
+/// an empty interval) — the one rate formula every binary reports with.
+pub fn mb_per_sec(bytes: u64, start: SimInstant, end: SimInstant) -> f64 {
+    achieved_rate(DataSize::from_bytes(bytes), end.saturating_since(start)).as_mb_per_sec_f64()
+}
+
+/// `--metrics-out <path>` (or `--metrics-out=<path>`) from the command
+/// line; `None` when the flag is absent.
+pub fn metrics_out_arg() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// The most recently noted rig, kept alive so `--metrics-out` can snapshot
+/// it at exit (most binaries build systems inside sweep helpers). Full
+/// systems give the complete device picture; HSM-only rigs still carry
+/// the registry, the server NIC and the drive timelines.
+enum NotedRig {
+    System(Box<ArchiveSystem>),
+    Hsm(copra_hsm::Hsm),
+}
+
+static LAST_RIG: Mutex<Option<NotedRig>> = Mutex::new(None);
+
+/// Remember `sys` as the system a later [`dump_metrics_if_requested`]
+/// snapshots. Cheap: an `ArchiveSystem` clone shares all state.
+pub fn note_rig(sys: &ArchiveSystem) {
+    *LAST_RIG.lock().unwrap() = Some(NotedRig::System(Box::new(sys.clone())));
+}
+
+/// Remember an HSM-only rig (binaries that drive `Hsm` directly, without
+/// the full `ArchiveSystem` wiring).
+pub fn note_hsm(hsm: &copra_hsm::Hsm) {
+    *LAST_RIG.lock().unwrap() = Some(NotedRig::Hsm(hsm.clone()));
+}
+
+fn snapshot_noted() -> SystemSnapshot {
+    match &*LAST_RIG.lock().unwrap() {
+        Some(NotedRig::System(sys)) => sys.snapshot(),
+        Some(NotedRig::Hsm(hsm)) => {
+            let now = hsm.pfs().clock().now();
+            let server = hsm.server();
+            let mut devices = vec![DeviceUtilization::from_stats(
+                "server.nic",
+                &server.nic_stats(),
+                now,
+            )];
+            for (i, stats) in server.library().drive_timeline_stats().iter().enumerate() {
+                devices.push(DeviceUtilization::from_stats(
+                    format!("tape.drive{i}"),
+                    stats,
+                    now,
+                ));
+            }
+            SystemSnapshot {
+                sim_now_ns: now.as_nanos(),
+                devices,
+                metrics: server.obs().snapshot(),
+            }
+        }
+        None => SystemSnapshot {
+            sim_now_ns: 0,
+            devices: Vec::new(),
+            metrics: copra_obs::MetricsSnapshot::default(),
+        },
+    }
+}
+
+/// Honor `--metrics-out <path>`: write the last noted rig's observability
+/// snapshot (device utilizations + metrics registry) as JSON. Call at the
+/// end of every experiment binary.
+pub fn dump_metrics_if_requested() {
+    let Some(path) = metrics_out_arg() else {
+        return;
+    };
+    std::fs::write(&path, snapshot_noted().to_json()).expect("write metrics snapshot");
+    println!("  [metrics] {}", path.display());
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,8 @@
 //! Cluster nodes and their devices.
 
-use copra_simtime::{Bandwidth, DataSize, Reservation, SimDuration, SimInstant, Timeline, TimelinePool};
+use copra_simtime::{
+    Bandwidth, DataSize, Reservation, SimDuration, SimInstant, Timeline, TimelinePool,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,12 +132,7 @@ impl FtaCluster {
 
     /// Charge a network transfer originating (or terminating) at `node`
     /// that crosses the trunk: NIC leg then earliest trunk link.
-    pub fn charge_network(
-        &self,
-        node: NodeId,
-        ready: SimInstant,
-        bytes: DataSize,
-    ) -> Reservation {
+    pub fn charge_network(&self, node: NodeId, ready: SimInstant, bytes: DataSize) -> Reservation {
         let nic = self.dev(node).nic.transfer(ready, bytes);
         let (_, trunk) = self.shared.trunk.transfer_earliest(nic.end, bytes);
         Reservation {

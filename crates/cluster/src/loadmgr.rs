@@ -77,7 +77,10 @@ mod tests {
         c.begin_task(NodeId(1));
         let list = lm.machine_list(SimInstant::EPOCH);
         assert_eq!(list, vec![NodeId(2), NodeId(1), NodeId(0)]);
-        assert_eq!(lm.least_loaded(SimInstant::EPOCH, 2), vec![NodeId(2), NodeId(1)]);
+        assert_eq!(
+            lm.least_loaded(SimInstant::EPOCH, 2),
+            vec![NodeId(2), NodeId(1)]
+        );
     }
 
     #[test]

@@ -126,7 +126,13 @@ impl Moab {
 
     /// Number of currently free nodes.
     pub fn free_nodes(&self) -> usize {
-        self.shared.state.lock().busy.iter().filter(|b| !**b).count()
+        self.shared
+            .state
+            .lock()
+            .busy
+            .iter()
+            .filter(|b| !**b)
+            .count()
     }
 }
 

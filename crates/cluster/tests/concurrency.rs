@@ -93,7 +93,10 @@ fn concurrent_device_charges_are_disjoint() {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
     let mut sorted = reservations.clone();
     sorted.sort_unstable();

@@ -50,20 +50,29 @@ impl Jail {
     /// with content-scanning tools banned.
     pub fn standard() -> Self {
         let installed = [
-            "pfls", "pfcp", "pfcm", "ls", "cp", "mv", "tar", "mkdir", "rmdir", "pwd", "cd",
-            "stat", "du", "chmod", "chown", "undelete",
+            "pfls", "pfcp", "pfcm", "ls", "cp", "mv", "tar", "mkdir", "rmdir", "pwd", "cd", "stat",
+            "du", "chmod", "chown", "undelete",
         ]
         .into_iter()
         .map(str::to_string)
         .collect();
         let banned = [
             ("grep", "scans file contents; forces unordered tape recalls"),
-            ("egrep", "scans file contents; forces unordered tape recalls"),
-            ("fgrep", "scans file contents; forces unordered tape recalls"),
+            (
+                "egrep",
+                "scans file contents; forces unordered tape recalls",
+            ),
+            (
+                "fgrep",
+                "scans file contents; forces unordered tape recalls",
+            ),
             ("cat", "reads whole files; recalls stubs"),
             ("md5sum", "reads whole files; recalls stubs"),
             ("find", "with -exec can touch every stub on the system"),
-            ("rm", "raw unlink bypasses the trashcan and orphans tape data"),
+            (
+                "rm",
+                "raw unlink bypasses the trashcan and orphans tape data",
+            ),
         ]
         .into_iter()
         .map(|(c, r)| (c.to_string(), r.to_string()))
@@ -117,7 +126,12 @@ mod tests {
     #[test]
     fn pftool_commands_allowed() {
         let jail = Jail::standard();
-        for cmd in ["pfls /archive", "pfcp /scratch/a /archive/a", "pfcm a b", "ls -l /archive"] {
+        for cmd in [
+            "pfls /archive",
+            "pfcp /scratch/a /archive/a",
+            "pfcm a b",
+            "ls -l /archive",
+        ] {
             assert!(jail.check(cmd).is_ok(), "{cmd} should be allowed");
         }
     }

@@ -20,6 +20,9 @@
 //!   synchronous deleter.
 //! * [`jail`] — the chroot-style restricted command environment (§4.2.3)
 //!   that keeps tape-oblivious tools like `grep` away from stubs.
+//! * [`obs`] — the system-wide observability capture: every device
+//!   timeline's utilization plus the shared metrics registry, rendered as
+//!   JSON or the plain-text campaign dashboard.
 //! * [`search`] — multi-dimensional metadata search over namespace +
 //!   catalog (the paper's §7 future-work item, implemented).
 //! * [`shell`] — the jailed user shell: parse → jail-check → dispatch to
@@ -27,6 +30,7 @@
 
 pub mod jail;
 pub mod migrator;
+pub mod obs;
 pub mod search;
 pub mod shell;
 pub mod syncdel;
@@ -35,8 +39,9 @@ pub mod trashcan;
 
 pub use jail::{Jail, JailError};
 pub use migrator::{migrate_candidates, MigrationPolicy, MigrationReport};
+pub use obs::{DeviceUtilization, SystemSnapshot};
 pub use search::{ArchiveSearch, Plan, Query, SearchEntry};
 pub use shell::{Shell, ShellError, ShellOutput};
-pub use syncdel::{SyncDeleter, SyncDeleteReport};
+pub use syncdel::{SyncDeleteReport, SyncDeleter};
 pub use system::{ArchiveSystem, SystemConfig};
 pub use trashcan::Trashcan;

@@ -246,10 +246,7 @@ mod tests {
         // files on node 0.
         let mut cands = Vec::new();
         for i in 0..6 {
-            cands.push(rec(
-                &format!("/f{i}"),
-                if i % 2 == 0 { 100_000 } else { 1 },
-            ));
+            cands.push(rec(&format!("/f{i}"), if i % 2 == 0 { 100_000 } else { 1 }));
         }
         let nodes = [NodeId(0), NodeId(1)];
         let buckets = partition(&cands, &nodes, MigrationPolicy::RoundRobin);
@@ -270,7 +267,9 @@ mod tests {
 
     #[test]
     fn partition_covers_all_candidates_exactly_once() {
-        let cands: Vec<FileRecord> = (0..37).map(|i| rec(&format!("/f{i}"), i * 13 + 1)).collect();
+        let cands: Vec<FileRecord> = (0..37)
+            .map(|i| rec(&format!("/f{i}"), i * 13 + 1))
+            .collect();
         let nodes = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
         for policy in [
             MigrationPolicy::SizeBalanced,
@@ -280,11 +279,7 @@ mod tests {
             let buckets = partition(&cands, &nodes, policy);
             let total: usize = buckets.iter().map(|b| b.len()).sum();
             assert_eq!(total, 37, "{policy:?} lost or duplicated candidates");
-            let mut paths: Vec<&str> = buckets
-                .iter()
-                .flatten()
-                .map(|r| r.path.as_str())
-                .collect();
+            let mut paths: Vec<&str> = buckets.iter().flatten().map(|r| r.path.as_str()).collect();
             paths.sort_unstable();
             paths.dedup();
             assert_eq!(paths.len(), 37);

@@ -205,8 +205,7 @@ impl ArchiveSearch {
                 .select("by_tape", &vec![(q.tape.unwrap() as u64).into()]),
             Plan::BySizeRange => {
                 let lo: IndexKey = vec![size_bucket(q.min_size.unwrap_or(0).max(1)).into()];
-                let hi: IndexKey =
-                    vec![(size_bucket(q.max_size.unwrap_or(u64::MAX)) + 1).into()];
+                let hi: IndexKey = vec![(size_bucket(q.max_size.unwrap_or(u64::MAX)) + 1).into()];
                 self.table
                     .index_range("by_size", &lo, &hi)
                     .into_iter()
@@ -245,7 +244,11 @@ mod tests {
             let dir = if i % 2 == 0 { "alpha" } else { "beta" };
             let path = format!("/proj/{dir}/f{i:02}.dat");
             let ino = pfs
-                .create_file(&path, 1000 + (i % 3) as u32, Content::synthetic(i, 1000 << i.min(20)))
+                .create_file(
+                    &path,
+                    1000 + (i % 3) as u32,
+                    Content::synthetic(i, 1000 << i.min(20)),
+                )
                 .unwrap();
             if i % 4 == 0 {
                 pfs.mark_premigrated(ino, i + 100).unwrap();
@@ -326,9 +329,7 @@ mod tests {
         assert_eq!(search.plan(&q), Plan::BySizeRange);
         let hits = search.search(&q);
         assert!(!hits.is_empty());
-        assert!(hits
-            .iter()
-            .all(|e| (10_000..=10_000_000).contains(&e.size)));
+        assert!(hits.iter().all(|e| (10_000..=10_000_000).contains(&e.size)));
         // exhaustive agreement with a full scan
         let full: Vec<_> = search
             .search(&Query::default())

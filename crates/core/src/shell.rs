@@ -39,7 +39,9 @@ impl std::fmt::Display for ShellError {
         match self {
             ShellError::Jail(e) => write!(f, "{e}"),
             ShellError::Usage(u) => write!(f, "usage: {u}"),
-            ShellError::NoSuchMount(p) => write!(f, "{p}: no such mount (use /scratch or /archive)"),
+            ShellError::NoSuchMount(p) => {
+                write!(f, "{p}: no such mount (use /scratch or /archive)")
+            }
             ShellError::Fs(e) => write!(f, "{e}"),
         }
     }
@@ -83,25 +85,11 @@ impl<'a> Shell<'a> {
                 Ok(ShellOutput::Lines(lines))
             }
             ["pfcp", src, dst] => {
-                let report = pfcp(
-                    self.view(src),
-                    src,
-                    self.view(dst),
-                    dst,
-                    &self.config,
-                    &[],
-                );
+                let report = pfcp(self.view(src), src, self.view(dst), dst, &self.config, &[]);
                 Ok(ShellOutput::Copy(report))
             }
             ["pfcm", src, dst] => {
-                let report = pfcm(
-                    self.view(src),
-                    src,
-                    self.view(dst),
-                    dst,
-                    &self.config,
-                    &[],
-                );
+                let report = pfcm(self.view(src), src, self.view(dst), dst, &self.config, &[]);
                 Ok(ShellOutput::Compare(report))
             }
             ["ls", path] => {
@@ -116,7 +104,11 @@ impl<'a> Shell<'a> {
                         .map(|e| {
                             format!(
                                 "{} {}",
-                                if e.ftype == copra_vfs::FileType::Directory { "d" } else { "f" },
+                                if e.ftype == copra_vfs::FileType::Directory {
+                                    "d"
+                                } else {
+                                    "f"
+                                },
                                 e.name
                             )
                         })
@@ -133,7 +125,9 @@ impl<'a> Shell<'a> {
             ["mv", from, to] => {
                 let view = self.view(from);
                 if !std::ptr::eq(view, self.view(to)) {
-                    return Err(ShellError::Usage("mv works within one mount; use pfcp across mounts"));
+                    return Err(ShellError::Usage(
+                        "mv works within one mount; use pfcp across mounts",
+                    ));
                 }
                 view.pfs
                     .rename(from, to)
@@ -142,7 +136,10 @@ impl<'a> Shell<'a> {
             }
             ["stat", path] => {
                 let view = self.view(path);
-                let attr = view.pfs.stat(path).map_err(|e| ShellError::Fs(e.to_string()))?;
+                let attr = view
+                    .pfs
+                    .stat(path)
+                    .map_err(|e| ShellError::Fs(e.to_string()))?;
                 let hsm = view
                     .pfs
                     .hsm_state(attr.ino)
@@ -155,7 +152,9 @@ impl<'a> Shell<'a> {
             // User delete goes through the trashcan, never raw unlink.
             ["del", path] | ["delete", path] => {
                 let trash = Trashcan::new(self.sys.fuse().clone());
-                let parked = trash.delete(path).map_err(|e| ShellError::Fs(e.to_string()))?;
+                let parked = trash
+                    .delete(path)
+                    .map_err(|e| ShellError::Fs(e.to_string()))?;
                 Ok(ShellOutput::Lines(vec![format!("{path} -> {parked}")]))
             }
             ["undelete", trash_path, restore_to] => {
@@ -199,7 +198,11 @@ mod tests {
         sys.scratch().mkdir_p("/scratch/run").unwrap();
         for i in 0..5u64 {
             sys.scratch()
-                .create_file(&format!("/scratch/run/f{i}"), 9, Content::synthetic(i, 10_000))
+                .create_file(
+                    &format!("/scratch/run/f{i}"),
+                    9,
+                    Content::synthetic(i, 10_000),
+                )
                 .unwrap();
         }
         // mkdir + pfcp + pfls + pfcm through the shell.
@@ -241,7 +244,8 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert!(!sys.archive().exists("/archive/run/f1"));
-        sh.run(&format!("undelete {parked} /archive/run/f1")).unwrap();
+        sh.run(&format!("undelete {parked} /archive/run/f1"))
+            .unwrap();
         assert!(sys.archive().exists("/archive/run/f1"));
     }
 
@@ -267,7 +271,10 @@ mod tests {
     fn usage_errors_and_cross_mount_mv() {
         let sys = ArchiveSystem::new(SystemConfig::test_small());
         let sh = shell(&sys);
-        assert!(matches!(sh.run("pfcp /only-one"), Err(ShellError::Usage(_))));
+        assert!(matches!(
+            sh.run("pfcp /only-one"),
+            Err(ShellError::Usage(_))
+        ));
         assert!(matches!(
             sh.run("mv /scratch/a /archive/a"),
             Err(ShellError::Usage(_))

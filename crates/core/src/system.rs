@@ -4,13 +4,14 @@ use copra_cluster::{ClusterConfig, FtaCluster, LoadManager, Moab};
 use copra_fuse::ArchiveFuse;
 use copra_hsm::{Hsm, TsmServer};
 use copra_metadb::TsmCatalog;
+use copra_obs::Registry;
 use copra_pfs::{Cmp, Pfs, PfsBuilder, PolicyEngine, PoolConfig, Predicate, Rule};
-use copra_pftool::{
-    pfcm, pfcp, pfls, CompareReport, CopyReport, FsView, ListReport, PftoolConfig,
-};
+use copra_pftool::{pfcm, pfcp, pfls, CompareReport, CopyReport, FsView, ListReport, PftoolConfig};
 use copra_simtime::{Clock, DataSize, SimDuration};
 use copra_tape::{TapeLibrary, TapeTiming};
 use std::sync::Arc;
+
+use crate::obs::{DeviceUtilization, SystemSnapshot};
 
 /// Deployment description (Figure 7 / §4.3.1 defaults).
 #[derive(Debug, Clone)]
@@ -101,6 +102,7 @@ pub struct ArchiveSystem {
     moab: Moab,
     scratch_view: FsView,
     archive_view: FsView,
+    obs: Arc<Registry>,
 }
 
 impl ArchiveSystem {
@@ -110,8 +112,16 @@ impl ArchiveSystem {
         let cluster = FtaCluster::new(config.cluster.clone());
         let scratch = Pfs::scratch("scratch", clock.clone(), config.scratch_devices);
         let archive = PfsBuilder::new("archive", clock.clone())
-            .pool(PoolConfig::fast_disk("fast", config.fast_devices, config.fast_pool))
-            .pool(PoolConfig::slow_disk("slow", config.slow_devices, config.slow_pool))
+            .pool(PoolConfig::fast_disk(
+                "fast",
+                config.fast_devices,
+                config.fast_pool,
+            ))
+            .pool(PoolConfig::slow_disk(
+                "slow",
+                config.slow_devices,
+                config.slow_pool,
+            ))
             .pool(PoolConfig::external("tape"))
             .placement(vec![
                 Rule {
@@ -119,10 +129,7 @@ impl ArchiveSystem {
                     action: copra_pfs::Action::Place {
                         pool: "slow".to_string(),
                     },
-                    predicate: Predicate::SizeBytes(
-                        Cmp::Lt,
-                        config.small_file_cutoff.as_bytes(),
-                    ),
+                    predicate: Predicate::SizeBytes(Cmp::Lt, config.small_file_cutoff.as_bytes()),
                 },
                 Rule {
                     name: "default-fast".to_string(),
@@ -133,7 +140,11 @@ impl ArchiveSystem {
                 },
             ])
             .build();
-        let library = TapeLibrary::new(config.drives, config.tapes, config.tape_timing);
+        // One registry for the whole stack: the library owns it, and the
+        // server / agents / HSM / PFTool all reach it through the library.
+        let obs = Registry::new();
+        let library =
+            TapeLibrary::with_obs(config.drives, config.tapes, config.tape_timing, obs.clone());
         let server = TsmServer::roadrunner(library);
         let hsm = Hsm::new(archive.clone(), server, cluster.clone());
         let fuse = ArchiveFuse::new(archive.clone(), config.fuse_threshold, config.fuse_chunk);
@@ -162,6 +173,7 @@ impl ArchiveSystem {
             moab,
             scratch_view,
             archive_view,
+            obs,
         }
     }
 
@@ -199,6 +211,70 @@ impl ArchiveSystem {
     }
     pub fn archive_view(&self) -> &FsView {
         &self.archive_view
+    }
+    /// The stack-wide metrics registry.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    // ----- observability ----------------------------------------------------
+
+    /// Capture the whole stack's observability state at the clock's *now*:
+    /// utilization of every device timeline (trunk links, per-node NICs
+    /// and HBAs, the server backbone NIC, every tape drive) folded via
+    /// [`copra_simtime::TimelineStats::utilization`], plus the registry's
+    /// counters, gauges, histograms and event trace.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        let now = self.clock.now();
+        let mut devices = Vec::new();
+        for (i, link) in self.cluster.trunk().members().iter().enumerate() {
+            devices.push(DeviceUtilization::from_stats(
+                format!("trunk.link{i}"),
+                &link.stats(),
+                now,
+            ));
+        }
+        for node in self.cluster.nodes() {
+            devices.push(DeviceUtilization::from_stats(
+                format!("nic.node{}", node.0),
+                &self.cluster.nic(node).stats(),
+                now,
+            ));
+            devices.push(DeviceUtilization::from_stats(
+                format!("hba.node{}", node.0),
+                &self.cluster.hba(node).stats(),
+                now,
+            ));
+        }
+        devices.push(DeviceUtilization::from_stats(
+            "server.nic",
+            &self.hsm.server().nic_stats(),
+            now,
+        ));
+        for (i, stats) in self
+            .hsm
+            .server()
+            .library()
+            .drive_timeline_stats()
+            .iter()
+            .enumerate()
+        {
+            devices.push(DeviceUtilization::from_stats(
+                format!("tape.drive{i}"),
+                stats,
+                now,
+            ));
+        }
+        SystemSnapshot {
+            sim_now_ns: now.as_nanos(),
+            devices,
+            metrics: self.obs.snapshot(),
+        }
+    }
+
+    /// The plain-text campaign dashboard for the current snapshot.
+    pub fn dashboard(&self) -> String {
+        self.snapshot().dashboard()
     }
 
     /// The policy engine users typically run for migration candidates:
@@ -353,8 +429,14 @@ mod tests {
             .archive()
             .create_file("/b", 0, Content::synthetic(2, 50_000_000))
             .unwrap();
-        assert_eq!(sys.archive().pool(sys.archive().pool_of(tiny)).name(), "slow");
-        assert_eq!(sys.archive().pool(sys.archive().pool_of(big)).name(), "fast");
+        assert_eq!(
+            sys.archive().pool(sys.archive().pool_of(tiny)).name(),
+            "slow"
+        );
+        assert_eq!(
+            sys.archive().pool(sys.archive().pool_of(big)).name(),
+            "fast"
+        );
     }
 
     #[test]
@@ -369,7 +451,8 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        sys.clock().advance_to(copra_simtime::SimInstant::from_secs(100_000));
+        sys.clock()
+            .advance_to(copra_simtime::SimInstant::from_secs(100_000));
         let engine = PolicyEngine::new(vec![copra_pfs::Rule::migrate(
             "age-out-to-slow",
             "slow",
@@ -384,7 +467,10 @@ mod tests {
         assert_eq!(moved, 5);
         assert!(end > sys.clock().now());
         for ino in inos {
-            assert_eq!(sys.archive().pool(sys.archive().pool_of(ino)).name(), "slow");
+            assert_eq!(
+                sys.archive().pool(sys.archive().pool_of(ino)).name(),
+                "slow"
+            );
         }
         // Second scan finds nothing left in the fast pool.
         let report = sys.archive().run_policy(&engine);
@@ -398,13 +484,17 @@ mod tests {
         sys.archive()
             .create_file("/data/old", 0, Content::synthetic(1, 1000))
             .unwrap();
-        sys.clock().advance_to(copra_simtime::SimInstant::from_secs(7200));
+        sys.clock()
+            .advance_to(copra_simtime::SimInstant::from_secs(7200));
         sys.archive()
             .create_file("/data/new", 0, Content::synthetic(2, 1000))
             .unwrap();
         let engine = sys.migration_policy(SimDuration::from_secs(3600));
         let report = sys.archive().run_policy(&engine);
-        let names: Vec<_> = report.lists["migrate"].iter().map(|r| r.path.clone()).collect();
+        let names: Vec<_> = report.lists["migrate"]
+            .iter()
+            .map(|r| r.path.clone())
+            .collect();
         assert_eq!(names, vec!["/data/old"]);
     }
 }

@@ -130,11 +130,19 @@ mod tests {
             .unwrap();
         trash.delete("/data/new-big").unwrap();
         trash.delete("/data/new-small").unwrap();
-        let cands =
-            trash.purge_candidates(SimDuration::from_secs(86_400), 1_000_000);
+        let cands = trash.purge_candidates(SimDuration::from_secs(86_400), 1_000_000);
         let mut names: Vec<_> = cands
             .iter()
-            .map(|r| r.path.rsplit('/').next().unwrap().split('.').next().unwrap().to_string())
+            .map(|r| {
+                r.path
+                    .rsplit('/')
+                    .next()
+                    .unwrap()
+                    .split('.')
+                    .next()
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         names.sort();
         assert_eq!(names, vec!["new-big", "old-small"]);

@@ -418,10 +418,7 @@ mod tests {
         let manifest = f.chunks("/src").unwrap();
 
         // Nothing at the destination: everything is stale.
-        assert_eq!(
-            f.stale_chunks("/dst", &manifest),
-            Ok(vec![0, 1, 2, 3, 4])
-        );
+        assert_eq!(f.stale_chunks("/dst", &manifest), Ok(vec![0, 1, 2, 3, 4]));
 
         // Copy chunks 0,1,2 only (simulated partial transfer).
         let dst_pfs = f.pfs();

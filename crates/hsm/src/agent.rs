@@ -10,6 +10,7 @@ use crate::error::{HsmError, HsmResult};
 use crate::object::{ObjectKind, TsmObject};
 use crate::server::TsmServer;
 use copra_cluster::{FtaCluster, NodeId};
+use copra_obs::{Counter, EventKind};
 use copra_simtime::{DataSize, SimInstant};
 use copra_tape::{DriveId, TapeError, TapeId};
 use copra_vfs::Content;
@@ -31,11 +32,19 @@ struct AgentState {
     current: Option<(DriveId, TapeId)>,
 }
 
+/// Cached registry handles for the data-movement counters.
+struct AgentMetrics {
+    lan_bytes: Arc<Counter>,
+    lanfree_bytes: Arc<Counter>,
+    container_fills: Arc<Counter>,
+}
+
 struct Shared {
     node: NodeId,
     cluster: FtaCluster,
     server: TsmServer,
     state: Mutex<AgentState>,
+    metrics: AgentMetrics,
 }
 
 /// A storage agent bound to one FTA node (cheap to clone).
@@ -46,13 +55,28 @@ pub struct StorageAgent {
 
 impl StorageAgent {
     pub fn new(node: NodeId, cluster: FtaCluster, server: TsmServer) -> Self {
+        let obs = server.obs();
+        let metrics = AgentMetrics {
+            lan_bytes: obs.counter("hsm.lan_bytes"),
+            lanfree_bytes: obs.counter("hsm.lanfree_bytes"),
+            container_fills: obs.counter("hsm.container_fills"),
+        };
         StorageAgent {
             shared: Arc::new(Shared {
                 node,
                 cluster,
                 server,
                 state: Mutex::new(AgentState { current: None }),
+                metrics,
             }),
+        }
+    }
+
+    /// Account object bytes to the LAN or LAN-free byte counter.
+    fn note_path(&self, data_path: DataPath, len: DataSize) {
+        match data_path {
+            DataPath::Lan => self.shared.metrics.lan_bytes.add(len.as_bytes()),
+            DataPath::LanFree => self.shared.metrics.lanfree_bytes.add(len.as_bytes()),
         }
     }
 
@@ -71,11 +95,7 @@ impl StorageAgent {
 
     /// Make sure this agent has a mounted volume with room for `len`.
     /// Returns (drive, mount-completion instant).
-    fn ensure_volume(
-        &self,
-        len: DataSize,
-        ready: SimInstant,
-    ) -> HsmResult<(DriveId, SimInstant)> {
+    fn ensure_volume(&self, len: DataSize, ready: SimInstant) -> HsmResult<(DriveId, SimInstant)> {
         let server = &self.shared.server;
         let lib = server.library();
         let mut st = self.shared.state.lock();
@@ -123,6 +143,7 @@ impl StorageAgent {
         let t = server.meta_op(ready);
         let (drive, t) = self.ensure_volume(len, t)?;
         // Move the data to the drive.
+        self.note_path(data_path, len);
         let t = match data_path {
             DataPath::Lan => {
                 // node NIC → archive LAN → server NIC (no trunk crossing)
@@ -134,20 +155,23 @@ impl StorageAgent {
         // Write the tape record; retry once if the volume filled or was
         // stolen between ensure_volume and here.
         let stored_at = t;
-        let (addr, t) = match server
-            .library()
-            .write_object(drive, self.agent_id(), objid, content.clone(), t)
-        {
-            Ok(ok) => ok,
-            Err(TapeError::TapeFull(_)) | Err(TapeError::WrongTape { .. }) | Err(TapeError::NotMounted(_)) => {
-                self.shared.state.lock().current = None;
-                let (drive, t2) = self.ensure_volume(len, t)?;
-                server
-                    .library()
-                    .write_object(drive, self.agent_id(), objid, content, t2)?
-            }
-            Err(e) => return Err(e.into()),
-        };
+        let (addr, t) =
+            match server
+                .library()
+                .write_object(drive, self.agent_id(), objid, content.clone(), t)
+            {
+                Ok(ok) => ok,
+                Err(TapeError::TapeFull(_))
+                | Err(TapeError::WrongTape { .. })
+                | Err(TapeError::NotMounted(_)) => {
+                    self.shared.state.lock().current = None;
+                    let (drive, t2) = self.ensure_volume(len, t)?;
+                    server
+                        .library()
+                        .write_object(drive, self.agent_id(), objid, content, t2)?
+                }
+                Err(e) => return Err(e.into()),
+            };
         // Close-transaction metadata hop and DB insert.
         let t = server.meta_op(t);
         server.register(TsmObject {
@@ -180,6 +204,7 @@ impl StorageAgent {
         let objid = server.alloc_objid();
         let (tape, t) = server.assign_volume_collocated(len, group, ready)?;
         let (drive, t) = server.library().ensure_mounted(tape, t)?;
+        self.note_path(data_path, len);
         let t = match data_path {
             DataPath::Lan => {
                 let t = self.shared.cluster.charge_nic(self.shared.node, t, len).end;
@@ -227,6 +252,7 @@ impl StorageAgent {
         let len = DataSize::from_bytes(image.len());
         let t = server.meta_op(ready);
         let (drive, t) = self.ensure_volume(len, t)?;
+        self.note_path(data_path, len);
         let t = match data_path {
             DataPath::Lan => {
                 // node NIC → archive LAN → server NIC (no trunk crossing)
@@ -244,7 +270,9 @@ impl StorageAgent {
             t,
         ) {
             Ok(ok) => ok,
-            Err(TapeError::TapeFull(_)) | Err(TapeError::WrongTape { .. }) | Err(TapeError::NotMounted(_)) => {
+            Err(TapeError::TapeFull(_))
+            | Err(TapeError::WrongTape { .. })
+            | Err(TapeError::NotMounted(_)) => {
                 self.shared.state.lock().current = None;
                 let (drive, t2) = self.ensure_volume(len, t)?;
                 server
@@ -281,6 +309,14 @@ impl StorageAgent {
                 },
             });
         }
+        self.shared.metrics.container_fills.inc();
+        server.obs().event(
+            t,
+            EventKind::ContainerFill {
+                members: members.len() as u32,
+                bytes: len.as_bytes(),
+            },
+        );
         Ok((member_ids, t))
     }
 
@@ -317,6 +353,7 @@ impl StorageAgent {
         let (drive, t) = placed.ok_or(HsmError::OutOfVolumes {
             needed: len.as_bytes(),
         })?;
+        self.note_path(data_path, len);
         let t = match data_path {
             DataPath::Lan => {
                 let t = self.shared.cluster.charge_nic(self.shared.node, t, len).end;
@@ -386,17 +423,13 @@ impl StorageAgent {
             ObjectKind::Simple | ObjectKind::Container { .. } => {
                 lib.read_object(drive, self.agent_id(), obj.addr, t)?
             }
-            ObjectKind::Member { offset, .. } => lib.read_object_range(
-                drive,
-                self.agent_id(),
-                obj.addr,
-                offset,
-                obj.len,
-                t,
-            )?,
+            ObjectKind::Member { offset, .. } => {
+                lib.read_object_range(drive, self.agent_id(), obj.addr, offset, obj.len, t)?
+            }
         };
         let len = DataSize::from_bytes(content.len());
         // Data travels drive → node (SAN) or drive → server → network → node.
+        self.note_path(data_path, len);
         let t = match data_path {
             DataPath::Lan => {
                 let t = server.charge_lan(t, len);
@@ -432,7 +465,13 @@ mod tests {
         let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
         let content = Content::synthetic(3, 50 << 20);
         let (objid, t1) = agent
-            .store("/f", 9, content.clone(), SimInstant::EPOCH, DataPath::LanFree)
+            .store(
+                "/f",
+                9,
+                content.clone(),
+                SimInstant::EPOCH,
+                DataPath::LanFree,
+            )
             .unwrap();
         assert!(server.contains(objid));
         let (back, t2) = agent.fetch(objid, t1, DataPath::LanFree).unwrap();
@@ -466,10 +505,22 @@ mod tests {
         let (cluster, server) = setup(2, 2, 4);
         let a0 = StorageAgent::new(NodeId(0), cluster.clone(), server.clone());
         let a1 = StorageAgent::new(NodeId(1), cluster, server.clone());
-        a0.store("/a", 1, Content::synthetic(1, 1 << 20), SimInstant::EPOCH, DataPath::LanFree)
-            .unwrap();
-        a1.store("/b", 2, Content::synthetic(2, 1 << 20), SimInstant::EPOCH, DataPath::LanFree)
-            .unwrap();
+        a0.store(
+            "/a",
+            1,
+            Content::synthetic(1, 1 << 20),
+            SimInstant::EPOCH,
+            DataPath::LanFree,
+        )
+        .unwrap();
+        a1.store(
+            "/b",
+            2,
+            Content::synthetic(2, 1 << 20),
+            SimInstant::EPOCH,
+            DataPath::LanFree,
+        )
+        .unwrap();
         let objs = server.objects();
         assert_eq!(objs.len(), 2);
         assert_ne!(
@@ -522,10 +573,22 @@ mod tests {
         let a0 = StorageAgent::new(NodeId(0), cluster.clone(), server.clone());
         let a1 = StorageAgent::new(NodeId(1), cluster.clone(), server.clone());
         let (_, t0) = a0
-            .store("/a", 1, Content::synthetic(1, 1 << 30), SimInstant::EPOCH, DataPath::Lan)
+            .store(
+                "/a",
+                1,
+                Content::synthetic(1, 1 << 30),
+                SimInstant::EPOCH,
+                DataPath::Lan,
+            )
             .unwrap();
         let (_, t1) = a1
-            .store("/b", 2, Content::synthetic(2, 1 << 30), SimInstant::EPOCH, DataPath::Lan)
+            .store(
+                "/b",
+                2,
+                Content::synthetic(2, 1 << 30),
+                SimInstant::EPOCH,
+                DataPath::Lan,
+            )
             .unwrap();
         // Each GB takes ~8.6 s on the 1 Gbit server NIC; serialized ≈ 17 s.
         let makespan = t0.max(t1).as_secs_f64();
@@ -546,10 +609,22 @@ mod tests {
         let b0 = StorageAgent::new(NodeId(0), cluster2.clone(), server2.clone());
         let b1 = StorageAgent::new(NodeId(1), cluster2, server2);
         let (_, u0) = b0
-            .store("/a", 1, Content::synthetic(1, 1 << 30), SimInstant::EPOCH, DataPath::LanFree)
+            .store(
+                "/a",
+                1,
+                Content::synthetic(1, 1 << 30),
+                SimInstant::EPOCH,
+                DataPath::LanFree,
+            )
             .unwrap();
         let (_, u1) = b1
-            .store("/b", 2, Content::synthetic(2, 1 << 30), SimInstant::EPOCH, DataPath::LanFree)
+            .store(
+                "/b",
+                2,
+                Content::synthetic(2, 1 << 30),
+                SimInstant::EPOCH,
+                DataPath::LanFree,
+            )
             .unwrap();
         let lanfree_makespan = u0.max(u1).as_secs_f64();
         assert!(

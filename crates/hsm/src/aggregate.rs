@@ -51,9 +51,9 @@ pub fn migrate_aggregated(
     let mut batch_bytes = 0u64;
 
     let flush = |batch: &mut Vec<(Ino, String, copra_vfs::Content)>,
-                     cursor: &mut SimInstant,
-                     members: &mut Vec<(Ino, u64)>,
-                     containers: &mut usize|
+                 cursor: &mut SimInstant,
+                 members: &mut Vec<(Ino, u64)>,
+                 containers: &mut usize|
      -> HsmResult<()> {
         if batch.is_empty() {
             return Ok(());
@@ -190,7 +190,12 @@ mod tests {
         // recall the 7th file alone
         let ino = files[7];
         let t = hsm
-            .recall_file(ino, NodeId(1), DataPath::LanFree, SimInstant::from_secs(1000))
+            .recall_file(
+                ino,
+                NodeId(1),
+                DataPath::LanFree,
+                SimInstant::from_secs(1000),
+            )
             .unwrap();
         assert!(t > SimInstant::from_secs(1000));
         let back = hsm.pfs().vfs().peek_content(ino).unwrap();
@@ -236,8 +241,14 @@ mod tests {
     fn non_resident_file_rejected() {
         let hsm = setup();
         let files = make_files(&hsm, 2, 1000);
-        hsm.migrate_file(files[0], NodeId(0), DataPath::LanFree, SimInstant::EPOCH, false)
-            .unwrap();
+        hsm.migrate_file(
+            files[0],
+            NodeId(0),
+            DataPath::LanFree,
+            SimInstant::EPOCH,
+            false,
+        )
+        .unwrap();
         assert!(migrate_aggregated(
             &hsm,
             &files,

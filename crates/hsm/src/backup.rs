@@ -59,7 +59,9 @@ impl Hsm {
         let r = self
             .pfs()
             .charge_read(ino, ready, DataSize::from_bytes(content.len()));
-        let (objid, t) = self.agent(node).store(&path, ino.0, content, r.end, data_path)?;
+        let (objid, t) = self
+            .agent(node)
+            .store(&path, ino.0, content, r.end, data_path)?;
         let t = self.register_backup_version(ino, objid, t, retain)?;
         // Residency is untouched — backup is not migration.
         debug_assert_eq!(self.pfs().hsm_state(ino)?, state_before);
@@ -219,7 +221,8 @@ mod tests {
             .unwrap();
         assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Resident);
         // Change the file, back up again: two versions, both fetchable.
-        pfs.write_at(ino, 0, Content::synthetic(2, 1_000_000)).unwrap();
+        pfs.write_at(ino, 0, Content::synthetic(2, 1_000_000))
+            .unwrap();
         let (v2, t2) = hsm
             .backup_file(ino, NodeId(0), DataPath::LanFree, t1, 5)
             .unwrap();
@@ -244,7 +247,9 @@ mod tests {
     fn retention_expires_old_versions() {
         let hsm = setup();
         let pfs = hsm.pfs().clone();
-        let ino = pfs.create_file("/f", 0, Content::synthetic(0, 1000)).unwrap();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(0, 1000))
+            .unwrap();
         let mut cursor = SimInstant::EPOCH;
         let mut ids = Vec::new();
         for i in 0..5u64 {
@@ -288,7 +293,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.versions.len(), 30);
         assert_eq!(out.transactions, 3); // 30 x 100 KB in 1 MB containers
-        // All files untouched on disk.
+                                         // All files untouched on disk.
         for &ino in &inos {
             assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Resident);
         }
@@ -306,7 +311,9 @@ mod tests {
     fn backup_of_stub_is_rejected() {
         let hsm = setup();
         let pfs = hsm.pfs().clone();
-        let ino = pfs.create_file("/f", 0, Content::synthetic(1, 1000)).unwrap();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 1000))
+            .unwrap();
         hsm.migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, true)
             .unwrap();
         assert!(matches!(

@@ -18,7 +18,11 @@ pub enum HsmError {
     /// Attempt to fetch a member range outside its container.
     BadMemberRange { objid: u64 },
     /// File is not in the residency state the operation requires.
-    WrongState { ino: u64, state: String, needed: String },
+    WrongState {
+        ino: u64,
+        state: String,
+        needed: String,
+    },
 }
 
 impl fmt::Display for HsmError {

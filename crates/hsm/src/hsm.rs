@@ -5,10 +5,12 @@ use crate::agent::{DataPath, StorageAgent};
 use crate::error::{HsmError, HsmResult};
 use crate::server::TsmServer;
 use copra_cluster::{FtaCluster, NodeId};
+use copra_obs::{Counter, EventKind};
 use copra_pfs::{HsmState, Pfs};
 use copra_simtime::{DataSize, SimInstant};
 use copra_vfs::Ino;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How recall requests are assigned to the per-node recall daemons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,6 +39,15 @@ pub struct RecallOutcome {
     pub makespan: SimInstant,
 }
 
+/// Cached registry handles for HSM-level operations.
+#[derive(Clone)]
+struct HsmMetrics {
+    migrate_ops: Arc<Counter>,
+    recall_ops: Arc<Counter>,
+    affinity_hits: Arc<Counter>,
+    affinity_misses: Arc<Counter>,
+}
+
 /// The HSM service for one archive file system.
 #[derive(Clone)]
 pub struct Hsm {
@@ -44,6 +55,7 @@ pub struct Hsm {
     server: TsmServer,
     cluster: FtaCluster,
     agents: Vec<StorageAgent>,
+    metrics: HsmMetrics,
 }
 
 impl Hsm {
@@ -54,11 +66,19 @@ impl Hsm {
             .nodes()
             .map(|n| StorageAgent::new(n, cluster.clone(), server.clone()))
             .collect();
+        let obs = server.obs();
+        let metrics = HsmMetrics {
+            migrate_ops: obs.counter("hsm.migrate_ops"),
+            recall_ops: obs.counter("hsm.recall_ops"),
+            affinity_hits: obs.counter("hsm.recall.affinity_hits"),
+            affinity_misses: obs.counter("hsm.recall.affinity_misses"),
+        };
         Hsm {
             pfs,
             server,
             cluster,
             agents,
+            metrics,
         }
     }
 
@@ -99,10 +119,7 @@ impl Hsm {
                 if punch {
                     self.pfs.punch_hole(ino)?;
                 }
-                let objid = self
-                    .pfs
-                    .hsm_objid(ino)?
-                    .ok_or(HsmError::NoSuchObject(0))?;
+                let objid = self.pfs.hsm_objid(ino)?.ok_or(HsmError::NoSuchObject(0))?;
                 return Ok((objid, ready));
             }
             HsmState::Migrated => {
@@ -117,11 +134,20 @@ impl Hsm {
         let content = self.pfs.vfs().peek_content(ino)?;
         let len = DataSize::from_bytes(content.len());
         let r = self.pfs.charge_read(ino, ready, len);
-        let (objid, t) = self.agent(node).store(&path, ino.0, content, r.end, data_path)?;
+        let (objid, t) = self
+            .agent(node)
+            .store(&path, ino.0, content, r.end, data_path)?;
         self.pfs.mark_premigrated(ino, objid)?;
         if punch {
             self.pfs.punch_hole(ino)?;
         }
+        self.metrics.migrate_ops.inc();
+        self.server.obs().event(
+            t,
+            EventKind::Migrate {
+                bytes: len.as_bytes(),
+            },
+        );
         Ok((objid, t))
     }
 
@@ -149,13 +175,20 @@ impl Hsm {
         let content = self.pfs.vfs().peek_content(ino)?;
         let len = DataSize::from_bytes(content.len());
         let r = self.pfs.charge_read(ino, ready, len);
-        let (objid, t) =
-            self.agent(node)
-                .store_collocated(&path, ino.0, content, r.end, data_path, group)?;
+        let (objid, t) = self
+            .agent(node)
+            .store_collocated(&path, ino.0, content, r.end, data_path, group)?;
         self.pfs.mark_premigrated(ino, objid)?;
         if punch {
             self.pfs.punch_hole(ino)?;
         }
+        self.metrics.migrate_ops.inc();
+        self.server.obs().event(
+            t,
+            EventKind::Migrate {
+                bytes: len.as_bytes(),
+            },
+        );
         Ok((objid, t))
     }
 
@@ -217,14 +250,18 @@ impl Hsm {
                 needed: "migrated".to_string(),
             });
         }
-        let objid = self
-            .pfs
-            .hsm_objid(ino)?
-            .ok_or(HsmError::NoSuchObject(0))?;
+        let objid = self.pfs.hsm_objid(ino)?.ok_or(HsmError::NoSuchObject(0))?;
         let (content, t) = self.agent(node).fetch(objid, ready, data_path)?;
         let len = DataSize::from_bytes(content.len());
         let w = self.pfs.charge_write(ino, t, len);
         self.pfs.restore_stub(ino, content)?;
+        self.metrics.recall_ops.inc();
+        self.server.obs().event(
+            w.end,
+            EventKind::Recall {
+                bytes: len.as_bytes(),
+            },
+        );
         Ok(w.end)
     }
 
@@ -272,6 +309,28 @@ impl Hsm {
                     .collect()
             }
         };
+        // Affinity accounting: a request is a *hit* when its tape's
+        // previous request in this batch went to the same daemon (the tape
+        // streams on without a hand-off), a *miss* when the tape changes
+        // node or is seen for the first time.
+        let obs = self.server.obs();
+        let mut last_node: rustc_hash::FxHashMap<u32, NodeId> = rustc_hash::FxHashMap::default();
+        for ((_, tape), node) in resolved.iter().zip(&assignments) {
+            let hit = last_node.insert(tape.0, *node) == Some(*node);
+            if hit {
+                self.metrics.affinity_hits.inc();
+            } else {
+                self.metrics.affinity_misses.inc();
+            }
+            obs.event(
+                ready,
+                EventKind::RecallAssign {
+                    tape: tape.to_string(),
+                    node: node.0,
+                    affinity_hit: hit,
+                },
+            );
+        }
         let mut completions = Vec::with_capacity(resolved.len());
         let mut makespan = ready;
         for ((ino, _), node) in resolved.iter().zip(assignments) {
@@ -339,7 +398,9 @@ mod tests {
     fn migrate_premigrated_just_punches() {
         let hsm = setup(1, 1, 2);
         let pfs = hsm.pfs().clone();
-        let ino = pfs.create_file("/f", 0, Content::synthetic(1, 1 << 20)).unwrap();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 1 << 20))
+            .unwrap();
         let (objid, t) = hsm
             .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, false)
             .unwrap();
@@ -396,7 +457,10 @@ mod tests {
         };
         let (scatter_end, scatter_handoffs) = run(RecallPolicy::Scatter);
         let (affinity_end, affinity_handoffs) = run(RecallPolicy::TapeAffinity);
-        assert!(scatter_handoffs >= 10, "scatter handoffs {scatter_handoffs}");
+        assert!(
+            scatter_handoffs >= 10,
+            "scatter handoffs {scatter_handoffs}"
+        );
         assert_eq!(affinity_handoffs, 0, "affinity should never hand off");
         assert!(
             scatter_end > affinity_end,
@@ -419,7 +483,11 @@ mod tests {
         for i in 0..12u64 {
             let group = if i % 2 == 0 { "projA" } else { "projB" };
             let ino = pfs
-                .create_file(&format!("/{group}/f{i}"), 0, Content::synthetic(i, 2_000_000))
+                .create_file(
+                    &format!("/{group}/f{i}"),
+                    0,
+                    Content::synthetic(i, 2_000_000),
+                )
                 .unwrap();
             let (_, t) = hsm
                 .migrate_file_collocated(ino, NodeId(0), DataPath::LanFree, cursor, true, group)

@@ -12,9 +12,9 @@
 //! loss (which is what a copy storage pool exists to absorb — the copy
 //! objects live on other volumes and keep recalls working).
 
-use crate::error::HsmResult;
 #[cfg(test)]
 use crate::error::HsmError;
+use crate::error::HsmResult;
 use crate::server::TsmServer;
 use copra_simtime::SimInstant;
 use copra_tape::{TapeAddress, TapeError, TapeId};
@@ -69,8 +69,7 @@ pub fn reclaim_volume(
         for (seq, objid, len) in live {
             let old_addr = TapeAddress { tape, seq };
             // Read the record through the source drive.
-            let (content, t) = match lib.read_object(src_drive, RECLAIM_AGENT, old_addr, cursor)
-            {
+            let (content, t) = match lib.read_object(src_drive, RECLAIM_AGENT, old_addr, cursor) {
                 Ok(ok) => ok,
                 Err(TapeError::MediaError(_)) => {
                     // Unreadable: drop the record and every catalog object
@@ -93,8 +92,11 @@ pub fn reclaim_volume(
             };
             cursor = t;
             // Write it to a different volume.
-            let (target, t) =
-                server.assign_volume_avoiding(copra_simtime::DataSize::from_bytes(len), &[tape], cursor)?;
+            let (target, t) = server.assign_volume_avoiding(
+                copra_simtime::DataSize::from_bytes(len),
+                &[tape],
+                cursor,
+            )?;
             cursor = t;
             let (dst_drive, t) = match lib.ensure_mounted(target, cursor) {
                 Ok(ok) => ok,
@@ -200,7 +202,9 @@ mod tests {
             pfs.unlink(&pfs.path_of(ino).unwrap()).unwrap();
         }
         assert!(
-            lib.with_cartridge(tape, |c| c.reclaimable_fraction()).unwrap() > 0.7
+            lib.with_cartridge(tape, |c| c.reclaimable_fraction())
+                .unwrap()
+                > 0.7
         );
         assert_eq!(lib.reclaimable_volumes(0.5), vec![tape]);
 
@@ -210,14 +214,13 @@ mod tests {
         assert!(report.erased);
         assert!(report.lost_objects.is_empty());
         // The volume is scratch again.
-        assert_eq!(
-            lib.with_cartridge(tape, |c| c.bytes_written()).unwrap(),
-            0
-        );
+        assert_eq!(lib.with_cartridge(tape, |c| c.bytes_written()).unwrap(), 0);
         // Survivors recall bit-identically from their new volume.
         let mut t = report.end;
         for (&ino, content) in inos.iter().zip(&contents).skip(6) {
-            t = hsm.recall_file(ino, NodeId(1), DataPath::LanFree, t).unwrap();
+            t = hsm
+                .recall_file(ino, NodeId(1), DataPath::LanFree, t)
+                .unwrap();
             let got = pfs.vfs().peek_content(ino).unwrap();
             assert!(got.eq_content(content));
         }
@@ -230,7 +233,9 @@ mod tests {
         // Without copies.
         let hsm = setup();
         let pfs = hsm.pfs().clone();
-        let ino = pfs.create_file("/f", 0, Content::synthetic(1, 1_000_000)).unwrap();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 1_000_000))
+            .unwrap();
         let (objid, t) = hsm
             .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, true)
             .unwrap();
@@ -250,7 +255,14 @@ mod tests {
         let content = Content::synthetic(2, 1_000_000);
         let ino = pfs.create_file("/g", 0, content.clone()).unwrap();
         let (objid, t) = hsm
-            .migrate_file_with_copies(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, true, 1)
+            .migrate_file_with_copies(
+                ino,
+                NodeId(0),
+                DataPath::LanFree,
+                SimInstant::EPOCH,
+                true,
+                1,
+            )
             .unwrap();
         let addr = hsm.server().get(objid).unwrap().addr;
         let copies = hsm.server().copies_of(objid);
@@ -275,7 +287,9 @@ mod tests {
         let pfs = hsm.pfs().clone();
         let mut cursor = SimInstant::EPOCH;
         for i in 0..4u64 {
-            let ino = pfs.create_file(&format!("/f{i}"), 0, Content::synthetic(i, 1_000_000)).unwrap();
+            let ino = pfs
+                .create_file(&format!("/f{i}"), 0, Content::synthetic(i, 1_000_000))
+                .unwrap();
             let (objid, t) = hsm
                 .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
                 .unwrap();

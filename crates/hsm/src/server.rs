@@ -70,6 +70,17 @@ impl TsmServer {
         &self.shared.library
     }
 
+    /// The observability registry this server reports into (shared with
+    /// its tape library).
+    pub fn obs(&self) -> &std::sync::Arc<copra_obs::Registry> {
+        self.shared.library.obs()
+    }
+
+    /// Statistics of the server NIC timeline (the LAN bottleneck).
+    pub fn nic_stats(&self) -> copra_simtime::TimelineStats {
+        self.shared.nic.stats()
+    }
+
     /// Allocate a fresh object id.
     pub fn alloc_objid(&self) -> u64 {
         self.shared.next_objid.fetch_add(1, Ordering::Relaxed)
@@ -126,7 +137,11 @@ impl TsmServer {
     /// drive (each LAN-free agent streams to its own volume). Falls back to
     /// a mounted volume if every eligible volume is busy. One metadata
     /// transaction is charged.
-    pub fn assign_volume(&self, len: DataSize, ready: SimInstant) -> HsmResult<(TapeId, SimInstant)> {
+    pub fn assign_volume(
+        &self,
+        len: DataSize,
+        ready: SimInstant,
+    ) -> HsmResult<(TapeId, SimInstant)> {
         self.assign_volume_avoiding(len, &[], ready)
     }
 
@@ -223,7 +238,12 @@ impl TsmServer {
 
     /// Append a version to a file's backup chain.
     pub fn push_backup_version(&self, ino: u64, objid: u64) {
-        self.shared.backups.write().entry(ino).or_default().push(objid);
+        self.shared
+            .backups
+            .write()
+            .entry(ino)
+            .or_default()
+            .push(objid);
     }
 
     /// Backup versions of a file, oldest first.
@@ -252,11 +272,7 @@ impl TsmServer {
 
     /// Move an object's record address (volume reclamation). Every object
     /// sharing the old address (a container and its members) is rebased.
-    pub fn rebase_addr(
-        &self,
-        old: copra_tape::TapeAddress,
-        new: copra_tape::TapeAddress,
-    ) -> usize {
+    pub fn rebase_addr(&self, old: copra_tape::TapeAddress, new: copra_tape::TapeAddress) -> usize {
         let mut db = self.shared.db.write();
         let mut n = 0;
         for obj in db.values_mut() {
@@ -471,9 +487,7 @@ mod tests {
         let s = server();
         let lib = s.library().clone();
         lib.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
-        let (tape, _) = s
-            .assign_volume(DataSize::mb(1), SimInstant::EPOCH)
-            .unwrap();
+        let (tape, _) = s.assign_volume(DataSize::mb(1), SimInstant::EPOCH).unwrap();
         assert_ne!(tape, TapeId(0), "mounted volume should be skipped");
     }
 

@@ -108,10 +108,8 @@ impl TsmCatalog {
     /// reads front-to-back. Unknown ids are skipped.
     pub fn sort_for_recall(&self, objids: &[u64]) -> Vec<TsmObjectRow> {
         let t = self.table.read();
-        let mut rows: Vec<TsmObjectRow> = objids
-            .iter()
-            .filter_map(|id| t.get(id).cloned())
-            .collect();
+        let mut rows: Vec<TsmObjectRow> =
+            objids.iter().filter_map(|id| t.get(id).cloned()).collect();
         rows.sort_by_key(|r| (r.tape, r.seq, r.objid));
         rows
     }

@@ -67,10 +67,7 @@ impl<T: Send> Comm<T> {
 
     /// Receive with a timeout; `Ok(None)` on timeout,
     /// `Err(Disconnected)` when the world has shut down.
-    pub fn recv_timeout(
-        &self,
-        timeout: Duration,
-    ) -> Result<Option<(usize, T)>, Disconnected> {
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<(usize, T)>, Disconnected> {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => Ok(Some(m)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -141,7 +138,10 @@ where
             }
         }
     });
-    results.into_iter().map(|r| r.expect("rank joined")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("rank joined"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -8,23 +8,24 @@ use std::time::Duration;
 #[test]
 fn all_to_all_delivery_is_exact() {
     let size = 16;
-    let results = run_with_results::<(usize, u64), Vec<u64>, _>(size, |comm: Comm<(usize, u64)>| {
-        let me = comm.rank();
-        for peer in 0..comm.size() {
-            if peer != me {
-                comm.send(peer, (me, ((me as u64) << 32) | peer as u64));
+    let results =
+        run_with_results::<(usize, u64), Vec<u64>, _>(size, |comm: Comm<(usize, u64)>| {
+            let me = comm.rank();
+            for peer in 0..comm.size() {
+                if peer != me {
+                    comm.send(peer, (me, ((me as u64) << 32) | peer as u64));
+                }
             }
-        }
-        let mut got = vec![None; comm.size()];
-        for _ in 0..comm.size() - 1 {
-            let (from, (claimed_from, payload)) = comm.recv().unwrap();
-            assert_eq!(from, claimed_from);
-            assert_eq!(payload, ((from as u64) << 32) | me as u64);
-            assert!(got[from].is_none(), "duplicate from {from}");
-            got[from] = Some(payload);
-        }
-        got.into_iter().flatten().collect()
-    });
+            let mut got = vec![None; comm.size()];
+            for _ in 0..comm.size() - 1 {
+                let (from, (claimed_from, payload)) = comm.recv().unwrap();
+                assert_eq!(from, claimed_from);
+                assert_eq!(payload, ((from as u64) << 32) | me as u64);
+                assert!(got[from].is_none(), "duplicate from {from}");
+                got[from] = Some(payload);
+            }
+            got.into_iter().flatten().collect()
+        });
     for (rank, got) in results.iter().enumerate() {
         assert_eq!(got.len(), size - 1, "rank {rank} missed messages");
     }

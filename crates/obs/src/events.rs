@@ -1,0 +1,154 @@
+//! Structured event trace: a bounded ring of typed events, each stamped
+//! with the simulated clock and host wall time.
+
+use copra_simtime::SimInstant;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity; oldest events are evicted first.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// What happened. Variants mirror the archive stack's layers: tape
+/// mechanics, HSM data movement, PFTool scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EventKind {
+    /// A cartridge was mounted into a drive (robot fetch + load + verify).
+    TapeMount { drive: u32, tape: String },
+    /// A cartridge was dismounted (rewind + unload + robot stow).
+    TapeDismount { drive: u32, tape: String },
+    /// A mounted drive changed owning storage agent (§6.2 hand-off:
+    /// forced rewind + label re-verify).
+    AgentHandoff { drive: u32, tape: String },
+    /// HSM migrated a file to tape.
+    Migrate { bytes: u64 },
+    /// HSM recalled a file from tape.
+    Recall { bytes: u64 },
+    /// An aggregation container filled and was flushed to tape.
+    ContainerFill { members: u32, bytes: u64 },
+    /// The recall scheduler assigned a tape's requests to a node;
+    /// `affinity_hit` is true when the tape was already bound to that node.
+    RecallAssign {
+        tape: String,
+        node: u32,
+        affinity_hit: bool,
+    },
+    /// A PFTool worker went busy (was dispatched a job).
+    WorkerBusy { rank: u32 },
+    /// A PFTool worker went idle (asked the manager for work).
+    WorkerIdle { rank: u32 },
+    /// Manager queue depths at a sampling point.
+    QueueSample {
+        dirq: u32,
+        nameq: u32,
+        copyq: u32,
+        tapecq: u32,
+    },
+    /// Free-form marker (campaign phase boundaries etc).
+    Marker { label: String },
+}
+
+/// One trace entry: the simulated instant it describes, the host wall
+/// clock when it was recorded (microseconds since the Unix epoch), and
+/// the typed payload.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    pub sim_ns: u64,
+    pub wall_us: u64,
+    pub kind: EventKind,
+}
+
+/// Bounded ring buffer of [`Event`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: Mutex<u64>,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    fn wall_us() -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    pub fn record(&self, now: SimInstant, kind: EventKind) {
+        let event = Event {
+            sim_ns: now.as_nanos(),
+            wall_us: Self::wall_us(),
+            kind,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            *self.dropped.lock() += 1;
+        }
+        ring.push_back(event);
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// How many events were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.ring.lock().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_in_order() {
+        let ring = EventRing::with_capacity(8);
+        ring.record(
+            SimInstant::from_secs(1),
+            EventKind::TapeMount {
+                drive: 0,
+                tape: "T00001".into(),
+            },
+        );
+        ring.record(SimInstant::from_secs(2), EventKind::Recall { bytes: 42 });
+        let events = ring.to_vec();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].sim_ns, 1_000_000_000);
+        assert!(matches!(events[1].kind, EventKind::Recall { bytes: 42 }));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::with_capacity(4);
+        for i in 0..10u64 {
+            ring.record(SimInstant::from_nanos(i), EventKind::Migrate { bytes: i });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.to_vec()[0].sim_ns, 6);
+    }
+}

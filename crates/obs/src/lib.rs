@@ -1,0 +1,40 @@
+//! # copra-obs — unified observability for the archive stack
+//!
+//! Every layer of the simulator (tape library, TSM server/agents, PFTool
+//! engine, the integrated `ArchiveSystem`) reports into one shared
+//! [`Registry`]:
+//!
+//! - **Counters** — monotonic `AtomicU64` (tape mounts, LAN bytes, recall
+//!   affinity hits). Incrementing is a single relaxed atomic add; no locks
+//!   on the hot path.
+//! - **Gauges** — last-value `AtomicI64` plus a bounded sample ring so
+//!   sampled series (PFTool queue depths under the WatchDog cadence)
+//!   survive into the snapshot.
+//! - **Histograms** — fixed 64-bucket log2 latency/size histograms, one
+//!   atomic per bucket (tape backhitch penalties, container fill sizes).
+//! - **Events** — a bounded ring of typed [`Event`]s, each stamped with
+//!   the simulated clock ([`SimInstant`]) *and* host wall time, so traces
+//!   can be correlated with the run that produced them.
+//!
+//! A [`Registry::snapshot`] is a plain-data [`MetricsSnapshot`]: serde
+//! round-trippable, JSON-exportable (`--metrics-out` in the bench
+//! binaries), and the substrate for `ArchiveSystem`'s campaign dashboard.
+//!
+//! Handles are shared by `Arc`: the registry is created once at the top of
+//! the stack and threaded down through constructors; components built
+//! stand-alone (unit tests, micro-benches) create their own private
+//! registry so instrumentation never needs a feature gate.
+
+mod events;
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use events::{Event, EventKind, EventRing, DEFAULT_EVENT_CAPACITY};
+pub use metrics::{Counter, Gauge, GaugeSample, Histogram, DEFAULT_GAUGE_SAMPLE_CAPACITY};
+pub use registry::Registry;
+pub use snapshot::{
+    EventSnapshot, GaugeSnapshot, HistogramBucket, HistogramSnapshot, MetricsSnapshot,
+};
+
+pub use copra_simtime::SimInstant;

@@ -70,7 +70,11 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for s in [HsmState::Resident, HsmState::Premigrated, HsmState::Migrated] {
+        for s in [
+            HsmState::Resident,
+            HsmState::Premigrated,
+            HsmState::Migrated,
+        ] {
             assert_eq!(s.as_str().parse::<HsmState>().unwrap(), s);
         }
         assert!("bogus".parse::<HsmState>().is_err());

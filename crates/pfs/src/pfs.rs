@@ -119,7 +119,11 @@ impl Pfs {
     /// rules (PanFS stand-in).
     pub fn scratch(name: &str, clock: Clock, devices: usize) -> Pfs {
         PfsBuilder::new(name, clock)
-            .pool(PoolConfig::fast_disk("scratch", devices, DataSize::tb(2000)))
+            .pool(PoolConfig::fast_disk(
+                "scratch",
+                devices,
+                DataSize::tb(2000),
+            ))
             .build()
     }
 
@@ -147,10 +151,7 @@ impl Pfs {
     }
 
     pub fn pool_by_name(&self, name: &str) -> Option<&StoragePool> {
-        self.shared
-            .pool_by_name
-            .get(name)
-            .map(|id| self.pool(*id))
+        self.shared.pool_by_name.get(name).map(|id| self.pool(*id))
     }
 
     /// Pool a file currently resides in.
@@ -436,7 +437,8 @@ impl Pfs {
         } else {
             attr.size
         };
-        self.pool(pool).account_remove(DataSize::from_bytes(on_disk));
+        self.pool(pool)
+            .account_remove(DataSize::from_bytes(on_disk));
         self.shared.file_pools.write().remove(&ino.0);
         Ok(attr)
     }
@@ -499,7 +501,9 @@ impl Pfs {
         }
         let size = content.len();
         self.shared.vfs.set_content(ino, content)?;
-        self.shared.vfs.remove_xattr(ino, HsmState::XATTR_STUB_SIZE)?;
+        self.shared
+            .vfs
+            .remove_xattr(ino, HsmState::XATTR_STUB_SIZE)?;
         self.shared
             .vfs
             .set_xattr(ino, HsmState::XATTR, HsmState::Premigrated.as_str())?;
@@ -588,7 +592,10 @@ mod tests {
         assert_eq!(pfs.pool(pfs.pool_of(small)).name(), "slow");
         assert_eq!(pfs.pool(pfs.pool_of(big)).name(), "fast");
         assert_eq!(pfs.pool_by_name("slow").unwrap().usage().files, 1);
-        assert_eq!(pfs.pool_by_name("fast").unwrap().usage().used, DataSize::from_bytes(10 << 20));
+        assert_eq!(
+            pfs.pool_by_name("fast").unwrap().usage().used,
+            DataSize::from_bytes(10 << 20)
+        );
     }
 
     #[test]
@@ -603,7 +610,10 @@ mod tests {
         assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Premigrated);
         assert_eq!(pfs.hsm_objid(ino).unwrap(), Some(777));
         // data still readable
-        assert!(matches!(pfs.read(ino, 0, 10).unwrap(), ReadOutcome::Data(_)));
+        assert!(matches!(
+            pfs.read(ino, 0, 10).unwrap(),
+            ReadOutcome::Data(_)
+        ));
 
         pfs.punch_hole(ino).unwrap();
         assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Migrated);
@@ -615,7 +625,10 @@ mod tests {
             other => panic!("expected NeedsRecall, got {other:?}"),
         }
         // disk usage dropped to zero for this file
-        assert_eq!(pfs.pool_by_name("fast").unwrap().usage().used, DataSize::ZERO);
+        assert_eq!(
+            pfs.pool_by_name("fast").unwrap().usage().used,
+            DataSize::ZERO
+        );
 
         pfs.restore_stub(ino, content.clone()).unwrap();
         assert_eq!(pfs.hsm_state(ino).unwrap(), HsmState::Premigrated);
@@ -628,7 +641,9 @@ mod tests {
     #[test]
     fn punch_hole_requires_premigrated() {
         let pfs = archive_fs();
-        let ino = pfs.create_file("/f", 0, Content::synthetic(1, 100)).unwrap();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 100))
+            .unwrap();
         assert!(pfs.punch_hole(ino).is_err());
     }
 
@@ -700,7 +715,9 @@ mod tests {
         assert_eq!(pfs.pool(pfs.pool_of(ino)).name(), "slow");
         assert!(pfs.move_to_pool(ino, "tape", SimInstant::EPOCH).is_err());
         // idempotent same-pool move is free
-        let r2 = pfs.move_to_pool(ino, "slow", SimInstant::from_secs(5)).unwrap();
+        let r2 = pfs
+            .move_to_pool(ino, "slow", SimInstant::from_secs(5))
+            .unwrap();
         assert_eq!(r2.start, r2.end);
     }
 

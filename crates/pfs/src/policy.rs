@@ -11,8 +11,8 @@
 //! the actual movement); both modes are supported here so the naive
 //! GPFS-driven migration can serve as the T-MIGR baseline.
 
-use crate::hsmstate::HsmState;
 use crate::glob::wildcard_match;
+use crate::hsmstate::HsmState;
 use copra_simtime::{SimDuration, SimInstant};
 use copra_vfs::Ino;
 use rayon::prelude::*;
@@ -297,15 +297,10 @@ mod tests {
     fn combinators() {
         let r = rec("/data/a.dat", 500, "fast", HsmState::Resident);
         let now = SimInstant::EPOCH;
-        let p = Predicate::SizeBytes(Cmp::Lt, 1000)
-            .and(Predicate::InPool("fast".to_string()));
+        let p = Predicate::SizeBytes(Cmp::Lt, 1000).and(Predicate::InPool("fast".to_string()));
         assert!(p.eval(&r, now));
         assert!(!Predicate::Not(Box::new(p.clone())).eval(&r, now));
-        assert!(Predicate::Any(vec![
-            Predicate::SizeBytes(Cmp::Gt, 1_000_000),
-            p
-        ])
-        .eval(&r, now));
+        assert!(Predicate::Any(vec![Predicate::SizeBytes(Cmp::Gt, 1_000_000), p]).eval(&r, now));
         assert!(Predicate::All(vec![]).eval(&r, now)); // vacuous truth
         assert!(!Predicate::Any(vec![]).eval(&r, now));
     }
@@ -332,11 +327,7 @@ mod tests {
 
     #[test]
     fn scan_output_is_sorted_and_deterministic() {
-        let engine = PolicyEngine::new(vec![Rule::list(
-            "all",
-            "all",
-            Predicate::True,
-        )]);
+        let engine = PolicyEngine::new(vec![Rule::list("all", "all", Predicate::True)]);
         let records: Vec<_> = (0..100)
             .rev()
             .map(|i| rec(&format!("/f/{i:03}"), i, "fast", HsmState::Resident))

@@ -158,11 +158,7 @@ impl StoragePool {
 
     /// Charge a read/write of `bytes` against the earliest-available device.
     /// External pools charge nothing here (their cost lives on tape).
-    pub fn charge_io(
-        &self,
-        ready: SimInstant,
-        bytes: DataSize,
-    ) -> copra_simtime::Reservation {
+    pub fn charge_io(&self, ready: SimInstant, bytes: DataSize) -> copra_simtime::Reservation {
         match &self.devices {
             Some(bank) => bank.transfer_earliest(ready, bytes).1,
             None => copra_simtime::Reservation {
@@ -242,7 +238,10 @@ mod tests {
 
     #[test]
     fn usage_accounting() {
-        let p = StoragePool::new(PoolId(0), PoolConfig::fast_disk("fast", 1, DataSize::mb(10)));
+        let p = StoragePool::new(
+            PoolId(0),
+            PoolConfig::fast_disk("fast", 1, DataSize::mb(10)),
+        );
         p.account_add(DataSize::mb(6));
         p.account_add(DataSize::mb(6));
         let u = p.usage();

@@ -14,9 +14,11 @@ use crate::view::FsView;
 use copra_cluster::NodeId;
 use copra_fuse::{ChunkInfo, FuseRead, XATTR_CHUNKED, XATTR_FPRINT, XATTR_LOGICAL};
 use copra_mpirt::Comm;
+use copra_obs::{Counter, EventKind, Gauge, Registry};
 use copra_pfs::{HsmState, ReadOutcome};
 use copra_simtime::{DataSize, SimInstant};
 use copra_vfs::{Content, FsResult, Ino};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a PFTool run does.
@@ -71,6 +73,19 @@ impl Engine<'_> {
 
     fn node_of(&self, rank: usize) -> NodeId {
         self.nodes[rank % self.nodes.len()]
+    }
+
+    /// The shared metrics registry, when this run can reach one. Archive
+    /// views expose the stack-wide registry through their HSM's server —
+    /// on either side of the run (pfcp in has it on the destination,
+    /// pfcp out on the source). Plain scratch-to-scratch runs have none
+    /// and stay uninstrumented.
+    pub fn obs(&self) -> Option<&Arc<Registry>> {
+        self.src
+            .hsm
+            .as_ref()
+            .or_else(|| self.dst.and_then(|d| d.hsm.as_ref()))
+            .map(|h| h.server().obs())
     }
 
     /// Run the world and return (report, output lines).
@@ -136,14 +151,18 @@ impl Engine<'_> {
             aborted: false,
             pending_chunks: rustc_hash::FxHashMap::default(),
             tape_attempts: rustc_hash::FxHashMap::default(),
+            mobs: self.obs().map(|o| ManagerObs::new(o.clone())),
         };
         st.seed(run_start);
+        st.sample_queues(true);
         st.event_loop();
+        st.sample_queues(true);
         st.stats.wall_seconds = t0.elapsed().as_secs_f64();
         st.stats.aborted = st.aborted;
         // Mismatch paths ride in the output channel for pfcm.
         for m in &st.mismatch_lines {
-            st.comm.send(OUTPUT, PfMsg::OutputLine(format!("MISMATCH {m}")));
+            st.comm
+                .send(OUTPUT, PfMsg::OutputLine(format!("MISMATCH {m}")));
         }
         for rank in 1..self.world_size() {
             st.comm.send(rank, PfMsg::Shutdown);
@@ -182,8 +201,7 @@ impl Engine<'_> {
                     let due = samples
                         .last()
                         .map(|s| {
-                            wall_secs - s.wall_secs
-                                >= self.config.watchdog_interval.as_secs_f64()
+                            wall_secs - s.wall_secs >= self.config.watchdog_interval.as_secs_f64()
                         })
                         .unwrap_or(true);
                     if due {
@@ -273,11 +291,14 @@ impl Engine<'_> {
         loop {
             comm.send(MANAGER, PfMsg::RequestWork);
             match comm.recv() {
-                Some((_, PfMsg::StatJob {
-                    path,
-                    chunked,
-                    ready,
-                })) => {
+                Some((
+                    _,
+                    PfMsg::StatJob {
+                        path,
+                        chunked,
+                        ready,
+                    },
+                )) => {
                     let ready = self.src.pfs.charge_meta(ready).end;
                     let msg = match self.stat_file(&path, chunked) {
                         Ok(meta) => PfMsg::StatDone {
@@ -411,36 +432,30 @@ impl Engine<'_> {
             DstMode::CreateChunk { uid } => {
                 let fp = data.fingerprint();
                 let dst_ino = dst.pfs.create_file(&job.dst_path, *uid, data)?;
-                dst.pfs
-                    .set_xattr(dst_ino, XATTR_FPRINT, &fp.to_string())?;
+                dst.pfs.set_xattr(dst_ino, XATTR_FPRINT, &fp.to_string())?;
                 dst.pfs.charge_write(dst_ino, r2.end, len).end
             }
         };
         Ok(end)
     }
 
-    fn read_logical(
-        view: &FsView,
-        path: &str,
-        offset: u64,
-        len: u64,
-    ) -> FsResult<Content> {
+    fn read_logical(view: &FsView, path: &str, offset: u64, len: u64) -> FsResult<Content> {
         if let Some(fuse) = &view.fuse {
             if fuse.is_chunked(path)? {
                 return match fuse.read_file(path)? {
                     FuseRead::Data(c) => Ok(c.slice(offset, len)),
-                    FuseRead::NeedsRecall(_) => Err(copra_vfs::FsError::PermissionDenied(
-                        format!("{path} has migrated chunks; recall first"),
-                    )),
+                    FuseRead::NeedsRecall(_) => Err(copra_vfs::FsError::PermissionDenied(format!(
+                        "{path} has migrated chunks; recall first"
+                    ))),
                 };
             }
         }
         let ino = view.pfs.resolve(path)?;
         match view.pfs.read(ino, offset, len)? {
             ReadOutcome::Data(c) => Ok(c),
-            ReadOutcome::NeedsRecall { .. } => Err(copra_vfs::FsError::PermissionDenied(
-                format!("{path} is migrated; recall first"),
-            )),
+            ReadOutcome::NeedsRecall { .. } => Err(copra_vfs::FsError::PermissionDenied(format!(
+                "{path} is migrated; recall first"
+            ))),
         }
     }
 
@@ -519,6 +534,36 @@ impl Engine<'_> {
 
 // ================= Manager state machine =================
 
+/// Cached registry handles for the manager's telemetry: the four queue
+/// depth gauges of Figure 3 plus worker busy/idle transition counters.
+struct ManagerObs {
+    dirq: Arc<Gauge>,
+    nameq: Arc<Gauge>,
+    copyq: Arc<Gauge>,
+    tapecq: Arc<Gauge>,
+    worker_busy: Arc<Counter>,
+    worker_idle: Arc<Counter>,
+    obs: Arc<Registry>,
+    /// Wall-clock throttle so depth samples land on the WatchDog cadence
+    /// rather than once per manager message.
+    last_sample: Option<Instant>,
+}
+
+impl ManagerObs {
+    fn new(obs: Arc<Registry>) -> Self {
+        ManagerObs {
+            dirq: obs.gauge("pftool.dirq_depth"),
+            nameq: obs.gauge("pftool.nameq_depth"),
+            copyq: obs.gauge("pftool.copyq_depth"),
+            tapecq: obs.gauge("pftool.tapecq_depth"),
+            worker_busy: obs.counter("pftool.worker_busy_transitions"),
+            worker_idle: obs.counter("pftool.worker_idle_transitions"),
+            obs,
+            last_sample: None,
+        }
+    }
+}
+
 struct ManagerState<'e, 'a> {
     engine: &'e Engine<'a>,
     comm: Comm<PfMsg>,
@@ -539,6 +584,8 @@ struct ManagerState<'e, 'a> {
     /// How many times a migrated file has been routed to tape (guards
     /// against re-queue loops when a restore keeps failing).
     tape_attempts: rustc_hash::FxHashMap<String, u32>,
+    /// Telemetry handles; absent when the run has no registry in reach.
+    mobs: Option<ManagerObs>,
 }
 
 impl ManagerState<'_, '_> {
@@ -589,6 +636,61 @@ impl ManagerState<'_, '_> {
         self.stats.errors.push((path, msg));
     }
 
+    /// Record the four queue depths — gauge samples plus one QueueSample
+    /// event — on the WatchDog cadence. `force` bypasses the throttle so
+    /// runs shorter than one interval still leave a start and end sample.
+    fn sample_queues(&mut self, force: bool) {
+        let interval = self.engine.config.watchdog_interval;
+        let now = self.engine.src.pfs.clock().now();
+        let Some(mo) = &mut self.mobs else { return };
+        let due = force
+            || mo
+                .last_sample
+                .map(|t| t.elapsed() >= interval)
+                .unwrap_or(true);
+        if !due {
+            return;
+        }
+        mo.last_sample = Some(Instant::now());
+        let (dirq, nameq, copyq, tapecq) = (
+            self.q.dirq.len() as u32,
+            self.q.nameq.len() as u32,
+            self.q.copyq.len() as u32,
+            self.q.tapecq.len() as u32,
+        );
+        mo.dirq.sample(now, dirq as i64);
+        mo.nameq.sample(now, nameq as i64);
+        mo.copyq.sample(now, copyq as i64);
+        mo.tapecq.sample(now, tapecq as i64);
+        mo.obs.event(
+            now,
+            EventKind::QueueSample {
+                dirq,
+                nameq,
+                copyq,
+                tapecq,
+            },
+        );
+    }
+
+    /// A worker rank picked up a job.
+    fn note_worker_busy(&self, rank: usize) {
+        let Some(mo) = &self.mobs else { return };
+        mo.worker_busy.inc();
+        let now = self.engine.src.pfs.clock().now();
+        mo.obs
+            .event(now, EventKind::WorkerBusy { rank: rank as u32 });
+    }
+
+    /// A worker rank came back asking for work.
+    fn note_worker_idle(&self, rank: usize) {
+        let Some(mo) = &self.mobs else { return };
+        mo.worker_idle.inc();
+        let now = self.engine.src.pfs.clock().now();
+        mo.obs
+            .event(now, EventKind::WorkerIdle { rank: rank as u32 });
+    }
+
     fn rank_kind(&self, rank: usize) -> RankKind {
         if rank < self.engine.first_worker() {
             RankKind::ReadDir
@@ -615,6 +717,7 @@ impl ManagerState<'_, '_> {
     }
 
     fn dispatch(&mut self) {
+        self.sample_queues(false);
         // ReadDirs <- DirQ
         while !self.q.dirq.is_empty() && !self.idle_readdirs.is_empty() {
             let (path, ready) = self.q.dirq.pop_front().unwrap();
@@ -634,6 +737,7 @@ impl ManagerState<'_, '_> {
                         ready,
                     },
                 );
+                self.note_worker_busy(rank);
                 self.inflight_stat += 1;
             } else if let Some(job) = self.q.copyq.pop_front() {
                 let rank = self.idle_workers.pop().unwrap();
@@ -645,6 +749,7 @@ impl ManagerState<'_, '_> {
                         self.comm.send(rank, PfMsg::Compare(j));
                     }
                 }
+                self.note_worker_busy(rank);
                 self.inflight_move += 1;
             } else {
                 break;
@@ -693,7 +798,10 @@ impl ManagerState<'_, '_> {
         match msg {
             PfMsg::RequestWork => match self.rank_kind(from) {
                 RankKind::ReadDir => self.idle_readdirs.push(from),
-                RankKind::Worker => self.idle_workers.push(from),
+                RankKind::Worker => {
+                    self.note_worker_idle(from);
+                    self.idle_workers.push(from);
+                }
                 RankKind::TapeProc => self.idle_tapeprocs.push(from),
             },
             PfMsg::DirDone {
@@ -719,8 +827,7 @@ impl ManagerState<'_, '_> {
                             }
                         }
                         if self.engine.op == Op::List {
-                            self.comm
-                                .send(OUTPUT, PfMsg::OutputLine(format!("d {d}")));
+                            self.comm.send(OUTPUT, PfMsg::OutputLine(format!("d {d}")));
                         }
                         self.q.dirq.push_back((d, ready));
                     }
@@ -851,10 +958,7 @@ impl ManagerState<'_, '_> {
                     OUTPUT,
                     PfMsg::OutputLine(format!(
                         "{tag} {} {} uid={} {}",
-                        meta.path,
-                        meta.size,
-                        meta.uid,
-                        meta.hsm
+                        meta.path, meta.size, meta.uid, meta.hsm
                     )),
                 );
             }

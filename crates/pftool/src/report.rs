@@ -128,4 +128,97 @@ mod tests {
         assert_eq!(stats.rate_mb_s(), 0.0);
         assert_eq!(stats.avg_file_mb(), 0.0);
     }
+
+    #[test]
+    fn ok_rejects_errors_and_aborts() {
+        let mut stats = RunStats::default();
+        assert!(stats.ok());
+        stats.errors.push(("/p".into(), "io error".into()));
+        assert!(!stats.ok());
+        let aborted = RunStats {
+            aborted: true,
+            ..RunStats::default()
+        };
+        assert!(!aborted.ok());
+    }
+
+    #[test]
+    fn rate_is_zero_for_degenerate_intervals() {
+        // Bytes moved in zero simulated time must not divide by zero.
+        let instant = RunStats {
+            bytes: 5_000_000,
+            sim_start: SimInstant::from_secs(7),
+            sim_end: SimInstant::from_secs(7),
+            ..RunStats::default()
+        };
+        assert_eq!(instant.rate_mb_s(), 0.0);
+        assert_eq!(instant.sim_seconds(), 0.0);
+        // An end before the start saturates instead of panicking.
+        let backwards = RunStats {
+            bytes: 5_000_000,
+            sim_start: SimInstant::from_secs(9),
+            sim_end: SimInstant::from_secs(7),
+            ..RunStats::default()
+        };
+        assert_eq!(backwards.rate_mb_s(), 0.0);
+    }
+
+    #[test]
+    fn reports_serde_round_trip() {
+        let stats = RunStats {
+            files: 3,
+            dirs: 1,
+            bytes: 123_456,
+            skipped_files: 1,
+            skipped_bytes: 99,
+            tape_restores: 2,
+            sim_start: SimInstant::from_secs(1),
+            sim_end: SimInstant::from_secs(4),
+            wall_seconds: 0.25,
+            errors: vec![("/a".into(), "io".into())],
+            aborted: false,
+            progress_samples: vec![
+                ProgressSample {
+                    wall_secs: 0.1,
+                    files: 1,
+                    bytes: 40,
+                },
+                ProgressSample {
+                    wall_secs: 0.3,
+                    files: 3,
+                    bytes: 123_456,
+                },
+            ],
+        };
+
+        let copy = CopyReport {
+            stats: stats.clone(),
+        };
+        let back: CopyReport =
+            serde_json::from_str(&serde_json::to_string(&copy).unwrap()).unwrap();
+        assert_eq!(back.stats.files, stats.files);
+        assert_eq!(back.stats.bytes, stats.bytes);
+        assert_eq!(back.stats.sim_end, stats.sim_end);
+        assert_eq!(back.stats.errors, stats.errors);
+        assert_eq!(back.stats.progress_samples, stats.progress_samples);
+        assert!((back.stats.rate_mb_s() - stats.rate_mb_s()).abs() < 1e-12);
+
+        let list = ListReport {
+            stats: stats.clone(),
+            lines: vec!["-rw- /a 1".into(), "drw- /d".into()],
+        };
+        let back: ListReport =
+            serde_json::from_str(&serde_json::to_string(&list).unwrap()).unwrap();
+        assert_eq!(back.lines, list.lines);
+        assert_eq!(back.stats.dirs, stats.dirs);
+
+        let cmp = CompareReport {
+            stats,
+            mismatches: vec!["/a/diff".into()],
+        };
+        let back: CompareReport =
+            serde_json::from_str(&serde_json::to_string(&cmp).unwrap()).unwrap();
+        assert_eq!(back.mismatches, cmp.mismatches);
+        assert!(!back.identical());
+    }
 }

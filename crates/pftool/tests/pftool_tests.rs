@@ -36,13 +36,7 @@ fn rig() -> Rig {
     let fuse = ArchiveFuse::new(archive_pfs.clone(), DataSize::mb(200), DataSize::mb(50));
     let catalog = Arc::new(TsmCatalog::new());
     let scratch = FsView::plain(scratch_pfs, cluster.clone());
-    let archive = FsView::archive(
-        archive_pfs,
-        fuse,
-        hsm.clone(),
-        catalog.clone(),
-        cluster,
-    );
+    let archive = FsView::archive(archive_pfs, fuse, hsm.clone(), catalog.clone(), cluster);
     Rig {
         clock,
         scratch,
@@ -68,8 +62,12 @@ fn populate_tree(pfs: &Pfs) -> (usize, u64) {
     .iter()
     .enumerate()
     {
-        pfs.create_file(path, 1000 + i as u32, Content::synthetic(i as u64 + 1, *size))
-            .unwrap();
+        pfs.create_file(
+            path,
+            1000 + i as u32,
+            Content::synthetic(i as u64 + 1, *size),
+        )
+        .unwrap();
         files += 1;
         bytes += size;
     }
@@ -114,7 +112,12 @@ fn pfcp_copies_tree_and_pfcm_verifies() {
 
     // pfcm agrees.
     let cmp = pfcm(&r.scratch, "/proj", &r.archive, "/arch/proj", &cfg(), &[]);
-    assert!(cmp.identical(), "{:?} / {:?}", cmp.mismatches, cmp.stats.errors);
+    assert!(
+        cmp.identical(),
+        "{:?} / {:?}",
+        cmp.mismatches,
+        cmp.stats.errors
+    );
     assert_eq!(cmp.stats.files as usize, files);
 }
 
@@ -359,12 +362,62 @@ fn watchdog_aborts_stalled_run() {
     );
 }
 
+/// The WatchDog keeps one ProgressSample per check interval: with copies
+/// slowed so the run spans many intervals, the report carries several
+/// samples, spaced at least one interval apart, with monotone counters.
+#[test]
+fn watchdog_samples_progress_on_cadence() {
+    let r = rig();
+    r.scratch.pfs.mkdir_p("/proj").unwrap();
+    for i in 0..12u64 {
+        r.scratch
+            .pfs
+            .create_file(&format!("/proj/f{i:02}"), 0, Content::synthetic(i, 1000))
+            .unwrap();
+    }
+    let interval = std::time::Duration::from_millis(5);
+    let config = PftoolConfig {
+        workers: 1,
+        watchdog_interval: interval,
+        inject_copy_delay: Some(std::time::Duration::from_millis(10)),
+        ..cfg()
+    };
+    let report = pfcp(&r.scratch, "/proj", &r.archive, "/dst", &config, &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    let samples = &report.stats.progress_samples;
+    assert!(
+        samples.len() >= 2,
+        "a run spanning many intervals should leave several samples, got {}",
+        samples.len()
+    );
+    for pair in samples.windows(2) {
+        assert!(
+            pair[1].wall_secs - pair[0].wall_secs >= interval.as_secs_f64(),
+            "samples closer than the check interval: {pair:?}"
+        );
+        assert!(
+            pair[1].files >= pair[0].files,
+            "files went backwards: {pair:?}"
+        );
+        assert!(
+            pair[1].bytes >= pair[0].bytes,
+            "bytes went backwards: {pair:?}"
+        );
+    }
+    let last = samples.last().unwrap();
+    assert!(last.files <= report.stats.files);
+    assert!(last.bytes <= report.stats.bytes);
+}
+
 #[test]
 fn single_file_copy_works() {
     let r = rig();
     r.scratch.pfs.mkdir_p("/d").unwrap();
     let content = Content::synthetic(5, 1234);
-    r.scratch.pfs.create_file("/d/one", 9, content.clone()).unwrap();
+    r.scratch
+        .pfs
+        .create_file("/d/one", 9, content.clone())
+        .unwrap();
     let report = pfcp(&r.scratch, "/d/one", &r.archive, "/copied/one", &cfg(), &[]);
     assert!(report.stats.ok(), "{:?}", report.stats.errors);
     assert_eq!(report.stats.files, 1);
@@ -434,7 +487,13 @@ fn pfls_shows_residency_without_recalling() {
         .unwrap();
     let (_, t) = r
         .hsm
-        .migrate_file(ino, NodeId(0), copra_hsm::DataPath::LanFree, SimInstant::EPOCH, true)
+        .migrate_file(
+            ino,
+            NodeId(0),
+            copra_hsm::DataPath::LanFree,
+            SimInstant::EPOCH,
+            true,
+        )
         .unwrap();
     apfs.create_file("/arch/hot.dat", 7, Content::synthetic(2, 1000))
         .unwrap();
@@ -469,7 +528,8 @@ fn chunked_file_with_migrated_chunks_restores() {
     let fuse = r.archive.fuse.as_ref().unwrap();
     r.archive.pfs.mkdir_p("/arch").unwrap();
     let content = Content::synthetic(31, 250_000_000); // 5 x 50 MB chunks
-    fuse.write_file("/arch/big.bin", 0, content.clone()).unwrap();
+    fuse.write_file("/arch/big.bin", 0, content.clone())
+        .unwrap();
     // Migrate all chunks to tape.
     let mut cursor = SimInstant::EPOCH;
     for c in fuse.chunks("/arch/big.bin").unwrap() {

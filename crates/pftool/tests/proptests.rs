@@ -19,14 +19,14 @@ struct GenFile {
 
 fn tree() -> impl Strategy<Value = Vec<GenFile>> {
     prop::collection::vec(
-        (0u8..6, "[a-e]{1,4}", 0u32..3_000_000, any::<u64>()).prop_map(|(dir, name, size, seed)| {
-            GenFile {
+        (0u8..6, "[a-e]{1,4}", 0u32..3_000_000, any::<u64>()).prop_map(
+            |(dir, name, size, seed)| GenFile {
                 dir,
                 name,
                 size,
                 seed,
-            }
-        }),
+            },
+        ),
         1..25,
     )
 }

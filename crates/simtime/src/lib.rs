@@ -24,6 +24,6 @@ pub mod timeline;
 
 pub use clock::Clock;
 pub use pool::TimelinePool;
-pub use rate::{Bandwidth, DataSize};
+pub use rate::{achieved_rate, Bandwidth, DataSize};
 pub use time::{SimDuration, SimInstant};
 pub use timeline::{Reservation, Timeline, TimelineStats};

@@ -17,12 +17,7 @@ pub struct TimelinePool {
 
 impl TimelinePool {
     /// Build `count` identical members named `{prefix}-{i}`.
-    pub fn new(
-        prefix: &str,
-        count: usize,
-        bandwidth: Bandwidth,
-        latency: SimDuration,
-    ) -> Self {
+    pub fn new(prefix: &str, count: usize, bandwidth: Bandwidth, latency: SimDuration) -> Self {
         assert!(count > 0, "a pool needs at least one member");
         let members = (0..count)
             .map(|i| Timeline::new(format!("{prefix}-{i}"), bandwidth, latency))

@@ -19,7 +19,9 @@ pub const GIB: u64 = 1 << 30;
 pub const TIB: u64 = 1 << 40;
 
 /// A byte count with unit-aware constructors and display.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataSize(u64);
 
 impl DataSize {
@@ -186,8 +188,8 @@ impl Bandwidth {
         );
         // nanos = bytes * 1e9 / rate, in u128 to avoid overflow for TB-scale
         // payloads.
-        let nanos =
-            (bytes.as_bytes() as u128 * crate::time::NANOS_PER_SEC as u128) / self.bytes_per_sec as u128;
+        let nanos = (bytes.as_bytes() as u128 * crate::time::NANOS_PER_SEC as u128)
+            / self.bytes_per_sec as u128;
         SimDuration::from_nanos(nanos as u64)
     }
 

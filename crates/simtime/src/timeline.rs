@@ -255,12 +255,11 @@ impl Timeline {
 ///
 /// Returns the reservation on the final leg (whose `end` is the transfer's
 /// completion time) and the overall start on the first leg.
-pub fn transfer_through(
-    route: &[&Timeline],
-    ready: SimInstant,
-    bytes: DataSize,
-) -> Reservation {
-    assert!(!route.is_empty(), "transfer_through requires at least one leg");
+pub fn transfer_through(route: &[&Timeline], ready: SimInstant, bytes: DataSize) -> Reservation {
+    assert!(
+        !route.is_empty(),
+        "transfer_through requires at least one leg"
+    );
     let mut cursor = ready;
     let mut first_start = None;
     let mut last = Reservation {

@@ -79,7 +79,8 @@ impl Cartridge {
     }
 
     pub fn remaining(&self) -> DataSize {
-        self.capacity.saturating_sub(DataSize::from_bytes(self.bytes_written))
+        self.capacity
+            .saturating_sub(DataSize::from_bytes(self.bytes_written))
     }
 
     pub fn record_count(&self) -> u32 {

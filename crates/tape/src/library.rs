@@ -7,7 +7,8 @@
 
 use crate::cartridge::{Cartridge, TapeAddress, TapeId};
 use crate::timing::TapeTiming;
-use copra_simtime::{DataSize, SimDuration, SimInstant, Timeline};
+use copra_obs::{Counter, EventKind, Registry};
+use copra_simtime::{DataSize, SimDuration, SimInstant, Timeline, TimelineStats};
 use copra_vfs::Content;
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
@@ -116,6 +117,50 @@ struct DriveState {
     stats: DriveStats,
 }
 
+/// Cached registry handles: looked up once at construction so the
+/// per-operation cost is a relaxed atomic add, not a map lookup.
+struct TapeMetrics {
+    mounts: Arc<Counter>,
+    dismounts: Arc<Counter>,
+    rewinds: Arc<Counter>,
+    locates: Arc<Counter>,
+    label_verifies: Arc<Counter>,
+    backhitches: Arc<Counter>,
+    handoffs: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    backhitch_penalty_ns: Arc<copra_obs::Histogram>,
+    handoff_penalty_ns: Arc<copra_obs::Histogram>,
+    /// Per-drive (backhitch count, accumulated backhitch penalty ns).
+    per_drive: Vec<(Arc<Counter>, Arc<Counter>)>,
+}
+
+impl TapeMetrics {
+    fn new(obs: &Registry, drives: usize) -> Self {
+        TapeMetrics {
+            mounts: obs.counter("tape.mounts"),
+            dismounts: obs.counter("tape.dismounts"),
+            rewinds: obs.counter("tape.rewinds"),
+            locates: obs.counter("tape.locates"),
+            label_verifies: obs.counter("tape.label_verifies"),
+            backhitches: obs.counter("tape.backhitches"),
+            handoffs: obs.counter("tape.handoffs"),
+            bytes_written: obs.counter("tape.bytes_written"),
+            bytes_read: obs.counter("tape.bytes_read"),
+            backhitch_penalty_ns: obs.histogram("tape.backhitch_penalty_ns"),
+            handoff_penalty_ns: obs.histogram("tape.handoff_penalty_ns"),
+            per_drive: (0..drives)
+                .map(|i| {
+                    (
+                        obs.counter(&format!("tape.drive{i}.backhitches")),
+                        obs.counter(&format!("tape.drive{i}.backhitch_penalty_ns")),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 struct LibShared {
     timing: TapeTiming,
     robot: Timeline,
@@ -123,6 +168,8 @@ struct LibShared {
     cartridges: Vec<Mutex<Cartridge>>,
     /// tape -> drive currently holding it
     mounted_in: Mutex<FxHashMap<u32, DriveId>>,
+    obs: Arc<Registry>,
+    metrics: TapeMetrics,
 }
 
 /// The library handle (cheap to clone).
@@ -132,8 +179,14 @@ pub struct TapeLibrary {
 }
 
 impl TapeLibrary {
-    /// A library with `drives` drives and `tapes` scratch volumes.
+    /// A library with `drives` drives and `tapes` scratch volumes,
+    /// reporting into a private metrics registry.
     pub fn new(drives: usize, tapes: usize, timing: TapeTiming) -> Self {
+        Self::with_obs(drives, tapes, timing, Registry::new())
+    }
+
+    /// A library reporting into a shared observability registry.
+    pub fn with_obs(drives: usize, tapes: usize, timing: TapeTiming, obs: Arc<Registry>) -> Self {
         assert!(drives > 0 && tapes > 0, "library needs drives and tapes");
         let drive_states = (0..drives)
             .map(|i| {
@@ -153,6 +206,7 @@ impl TapeLibrary {
         let cartridges = (0..tapes)
             .map(|i| Mutex::new(Cartridge::new(TapeId(i as u32), timing.capacity)))
             .collect();
+        let metrics = TapeMetrics::new(&obs, drives);
         TapeLibrary {
             shared: Arc::new(LibShared {
                 timing,
@@ -160,8 +214,15 @@ impl TapeLibrary {
                 drives: drive_states,
                 cartridges,
                 mounted_in: Mutex::new(FxHashMap::default()),
+                obs,
+                metrics,
             }),
         }
+    }
+
+    /// The registry this library reports into.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.shared.obs
     }
 
     pub fn timing(&self) -> &TapeTiming {
@@ -259,6 +320,7 @@ impl TapeLibrary {
             }
         }
         let t = &self.shared.timing;
+        let m = &self.shared.metrics;
         let mut cursor = ready;
         // Dismount current volume: rewind + unload on the drive, robot put-away.
         if let Some(old) = st.mounted {
@@ -267,9 +329,18 @@ impl TapeLibrary {
             cursor = r.end;
             st.stats.rewinds += u64::from(!rewind.is_zero());
             st.stats.dismounts += 1;
+            m.rewinds.add(u64::from(!rewind.is_zero()));
+            m.dismounts.inc();
             let r = self.shared.robot.reserve(cursor, t.robot_move);
             cursor = r.end;
             self.shared.mounted_in.lock().remove(&old.0);
+            self.shared.obs.event(
+                cursor,
+                EventKind::TapeDismount {
+                    drive: drive.0,
+                    tape: old.to_string(),
+                },
+            );
         }
         // Robot fetches the new volume.
         let r = self.shared.robot.reserve(cursor, t.robot_move);
@@ -282,7 +353,16 @@ impl TapeLibrary {
         st.last_agent = None;
         st.stats.mounts += 1;
         st.stats.label_verifies += 1;
+        m.mounts.inc();
+        m.label_verifies.inc();
         self.shared.mounted_in.lock().insert(tape.0, drive);
+        self.shared.obs.event(
+            cursor,
+            EventKind::TapeMount {
+                drive: drive.0,
+                tape: tape.to_string(),
+            },
+        );
         Ok(cursor)
     }
 
@@ -293,15 +373,25 @@ impl TapeLibrary {
             return Ok(ready);
         };
         let t = &self.shared.timing;
+        let m = &self.shared.metrics;
         let rewind = t.rewind_time(DataSize::from_bytes(st.head_bytes));
         let r = st.timeline.reserve(ready, rewind + t.unload);
         st.stats.rewinds += u64::from(!rewind.is_zero());
         st.stats.dismounts += 1;
+        m.rewinds.add(u64::from(!rewind.is_zero()));
+        m.dismounts.inc();
         let r2 = self.shared.robot.reserve(r.end, t.robot_move);
         st.mounted = None;
         st.head_bytes = 0;
         st.last_agent = None;
         self.shared.mounted_in.lock().remove(&old.0);
+        self.shared.obs.event(
+            r2.end,
+            EventKind::TapeDismount {
+                drive: drive.0,
+                tape: old.to_string(),
+            },
+        );
         Ok(r2.end)
     }
 
@@ -337,11 +427,13 @@ impl TapeLibrary {
     /// agent that used this drive's tape: the tape rewinds and the label is
     /// re-verified even though it never physically dismounts.
     fn agent_handoff(
+        &self,
         st: &mut DriveState,
-        timing: &TapeTiming,
+        drive: DriveId,
         agent: u32,
         ready: SimInstant,
     ) -> SimInstant {
+        let timing = &self.shared.timing;
         match st.last_agent {
             Some(a) if a == agent => ready,
             None => {
@@ -350,14 +442,27 @@ impl TapeLibrary {
             }
             Some(_) => {
                 let rewind = timing.rewind_time(DataSize::from_bytes(st.head_bytes));
-                let r = st
-                    .timeline
-                    .reserve(ready, rewind + timing.label_verify);
+                let r = st.timeline.reserve(ready, rewind + timing.label_verify);
                 st.head_bytes = 0;
                 st.last_agent = Some(agent);
                 st.stats.handoffs += 1;
                 st.stats.rewinds += u64::from(!rewind.is_zero());
                 st.stats.label_verifies += 1;
+                let m = &self.shared.metrics;
+                m.handoffs.inc();
+                m.rewinds.add(u64::from(!rewind.is_zero()));
+                m.label_verifies.inc();
+                m.handoff_penalty_ns
+                    .record(r.end.saturating_since(ready).as_nanos());
+                if let Some(tape) = st.mounted {
+                    self.shared.obs.event(
+                        r.end,
+                        EventKind::AgentHandoff {
+                            drive: drive.0,
+                            tape: tape.to_string(),
+                        },
+                    );
+                }
                 r.end
             }
         }
@@ -377,7 +482,7 @@ impl TapeLibrary {
         let mut st = self.drive(drive)?.lock();
         let tape = st.mounted.ok_or(TapeError::NotMounted(drive))?;
         let t = &self.shared.timing;
-        let cursor = Self::agent_handoff(&mut st, t, agent, ready);
+        let cursor = self.agent_handoff(&mut st, drive, agent, ready);
 
         let mut cart = self.cartridge(tape)?.lock();
         let eod = cart.bytes_written();
@@ -396,6 +501,15 @@ impl TapeLibrary {
         st.stats.locates += u64::from(dist > 0);
         st.stats.backhitches += 1;
         st.stats.bytes_written += len;
+        let m = &self.shared.metrics;
+        m.locates.add(u64::from(dist > 0));
+        m.backhitches.inc();
+        m.bytes_written.add(len);
+        m.backhitch_penalty_ns.record(t.backhitch.as_nanos());
+        if let Some((count, penalty)) = m.per_drive.get(drive.0 as usize) {
+            count.inc();
+            penalty.add(t.backhitch.as_nanos());
+        }
         Ok((TapeAddress { tape, seq }, r.end))
     }
 
@@ -417,19 +531,14 @@ impl TapeLibrary {
             });
         }
         let t = &self.shared.timing;
-        let cursor = Self::agent_handoff(&mut st, t, agent, ready);
+        let cursor = self.agent_handoff(&mut st, drive, agent, ready);
 
         let cart = self.cartridge(addr.tape)?.lock();
-        let rec = cart
-            .record(addr.seq)
-            .ok_or(TapeError::NoSuchRecord(addr))?;
+        let rec = cart.record(addr.seq).ok_or(TapeError::NoSuchRecord(addr))?;
         if rec.damaged {
             return Err(TapeError::MediaError(addr));
         }
-        let content = rec
-            .content
-            .clone()
-            .ok_or(TapeError::ObjectDeleted(addr))?;
+        let content = rec.content.clone().ok_or(TapeError::ObjectDeleted(addr))?;
         let dist = rec.start.abs_diff(st.head_bytes);
         let locate = t.locate_time(DataSize::from_bytes(dist));
         let r = st
@@ -438,6 +547,9 @@ impl TapeLibrary {
         st.head_bytes = rec.start + rec.len;
         st.stats.locates += u64::from(dist > 0);
         st.stats.bytes_read += rec.len;
+        let m = &self.shared.metrics;
+        m.locates.add(u64::from(dist > 0));
+        m.bytes_read.add(rec.len);
         Ok((content, r.end))
     }
 
@@ -464,19 +576,14 @@ impl TapeLibrary {
             });
         }
         let t = &self.shared.timing;
-        let cursor = Self::agent_handoff(&mut st, t, agent, ready);
+        let cursor = self.agent_handoff(&mut st, drive, agent, ready);
 
         let cart = self.cartridge(addr.tape)?.lock();
-        let rec = cart
-            .record(addr.seq)
-            .ok_or(TapeError::NoSuchRecord(addr))?;
+        let rec = cart.record(addr.seq).ok_or(TapeError::NoSuchRecord(addr))?;
         if rec.damaged {
             return Err(TapeError::MediaError(addr));
         }
-        let content = rec
-            .content
-            .as_ref()
-            .ok_or(TapeError::ObjectDeleted(addr))?;
+        let content = rec.content.as_ref().ok_or(TapeError::ObjectDeleted(addr))?;
         if offset + len > rec.len {
             return Err(TapeError::NoSuchRecord(addr));
         }
@@ -490,6 +597,9 @@ impl TapeLibrary {
         st.head_bytes = target + len;
         st.stats.locates += u64::from(dist > 0);
         st.stats.bytes_read += len;
+        let m = &self.shared.metrics;
+        m.locates.add(u64::from(dist > 0));
+        m.bytes_read.add(len);
         Ok((slice, r.end))
     }
 
@@ -525,8 +635,7 @@ impl TapeLibrary {
             .iter()
             .filter_map(|c| {
                 let c = c.lock();
-                (c.bytes_written() > 0 && c.reclaimable_fraction() >= threshold)
-                    .then(|| c.id())
+                (c.bytes_written() > 0 && c.reclaimable_fraction() >= threshold).then(|| c.id())
             })
             .collect()
     }
@@ -596,6 +705,16 @@ impl TapeLibrary {
             busy,
         }
     }
+
+    /// Per-drive timeline statistics (busy time, ops, bytes, next free),
+    /// indexed by drive id — the substrate for utilization reporting.
+    pub fn drive_timeline_stats(&self) -> Vec<TimelineStats> {
+        self.shared
+            .drives
+            .iter()
+            .map(|d| d.lock().timeline.stats())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -616,10 +735,7 @@ mod tests {
         assert_eq!(l.mounted_tape(DriveId(0)).unwrap(), Some(TapeId(0)));
         assert_eq!(l.drive_holding(TapeId(0)), Some(DriveId(0)));
         // remount of same tape is free
-        assert_eq!(
-            l.mount(DriveId(0), TapeId(0), end).unwrap(),
-            end
-        );
+        assert_eq!(l.mount(DriveId(0), TapeId(0), end).unwrap(), end);
     }
 
     #[test]
@@ -643,7 +759,13 @@ mod tests {
         let (addr, t1) = l
             .write_object(DriveId(0), 1, 42, content.clone(), t0)
             .unwrap();
-        assert_eq!(addr, TapeAddress { tape: TapeId(0), seq: 0 });
+        assert_eq!(
+            addr,
+            TapeAddress {
+                tape: TapeId(0),
+                seq: 0
+            }
+        );
         assert!(t1 > t0);
         let (back, t2) = l.read_object(DriveId(0), 1, addr, t1).unwrap();
         assert!(back.eq_content(&content));
@@ -764,7 +886,9 @@ mod tests {
     fn ensure_mounted_prefers_holder_then_empty() {
         let l = lib();
         let (d0, _) = l.ensure_mounted(TapeId(0), SimInstant::EPOCH).unwrap();
-        let (d0_again, t) = l.ensure_mounted(TapeId(0), SimInstant::from_secs(100)).unwrap();
+        let (d0_again, t) = l
+            .ensure_mounted(TapeId(0), SimInstant::from_secs(100))
+            .unwrap();
         assert_eq!(d0, d0_again);
         assert_eq!(t, SimInstant::from_secs(100)); // already mounted: free
         let (d1, _) = l.ensure_mounted(TapeId(1), SimInstant::EPOCH).unwrap();

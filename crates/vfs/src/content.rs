@@ -59,24 +59,10 @@ fn hash_bytes(bytes: &[u8]) -> u64 {
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SegmentData {
     /// Real bytes, held in memory. Used for small files and unit tests.
-    Literal(#[serde(with = "bytes_serde")] Bytes),
+    Literal(Bytes),
     /// A window of the deterministic stream `seed`, starting at absolute
     /// stream offset `offset`. The bytes are `synth_byte(seed, offset + i)`.
     Synthetic { seed: u64, offset: u64 },
-}
-
-mod bytes_serde {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl fmt::Debug for SegmentData {
@@ -194,8 +180,14 @@ impl Segment {
     fn abuts(&self, other: &Segment) -> bool {
         match (&self.data, &other.data) {
             (
-                SegmentData::Synthetic { seed: s1, offset: o1 },
-                SegmentData::Synthetic { seed: s2, offset: o2 },
+                SegmentData::Synthetic {
+                    seed: s1,
+                    offset: o1,
+                },
+                SegmentData::Synthetic {
+                    seed: s2,
+                    offset: o2,
+                },
             ) => s1 == s2 && o1 + self.len == *o2,
             _ => false,
         }
@@ -511,8 +503,14 @@ fn pieces_equal(a: &Piece<'_>, b: &Piece<'_>, take: u64) -> bool {
     let sb = b.seg.slice(b.start, take);
     match (sa.data(), sb.data()) {
         (
-            SegmentData::Synthetic { seed: s1, offset: o1 },
-            SegmentData::Synthetic { seed: s2, offset: o2 },
+            SegmentData::Synthetic {
+                seed: s1,
+                offset: o1,
+            },
+            SegmentData::Synthetic {
+                seed: s2,
+                offset: o2,
+            },
         ) => {
             if s1 == s2 && o1 == o2 {
                 true

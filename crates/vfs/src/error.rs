@@ -24,7 +24,11 @@ pub enum FsError {
     /// An inode handle outlived its file (e.g. unlinked underneath a scan).
     StaleInode(Ino),
     /// Read/write beyond EOF or with inconsistent ranges.
-    InvalidRange { len: u64, offset: u64, requested: u64 },
+    InvalidRange {
+        len: u64,
+        offset: u64,
+        requested: u64,
+    },
     /// Operation rejected by a higher layer's policy (e.g. chroot jail,
     /// managed-region protection).
     PermissionDenied(String),

@@ -299,7 +299,10 @@ impl Vfs {
         let parent_ino = Self::resolve_locked(&state, &parent)?;
         let target = Self::resolve_locked(&state, path)?;
         {
-            let node = state.nodes.get(&target.0).ok_or(FsError::StaleInode(target))?;
+            let node = state
+                .nodes
+                .get(&target.0)
+                .ok_or(FsError::StaleInode(target))?;
             match &node.kind {
                 NodeKind::Dir { entries } => {
                     if !entries.is_empty() {
@@ -359,7 +362,10 @@ impl Vfs {
     pub fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<Content> {
         let now = self.now();
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         match &node.kind {
             NodeKind::File { content } => {
                 if offset + len > content.len() {
@@ -389,7 +395,10 @@ impl Vfs {
     pub fn write_at(&self, ino: Ino, offset: u64, patch: Content) -> FsResult<()> {
         let now = self.now();
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         match &mut node.kind {
             NodeKind::File { content } => {
                 content.write_at(offset, patch);
@@ -404,7 +413,10 @@ impl Vfs {
     pub fn set_content(&self, ino: Ino, content: Content) -> FsResult<()> {
         let now = self.now();
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         match &mut node.kind {
             NodeKind::File { content: c } => {
                 *c = content;
@@ -430,7 +442,10 @@ impl Vfs {
     pub fn truncate(&self, ino: Ino, new_len: u64) -> FsResult<()> {
         let now = self.now();
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         match &mut node.kind {
             NodeKind::File { content } => {
                 content.truncate(new_len);
@@ -520,7 +535,10 @@ impl Vfs {
     pub fn set_xattr(&self, ino: Ino, key: &str, value: &str) -> FsResult<()> {
         let now = self.now();
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         node.xattrs.insert(key.to_string(), value.to_string());
         node.ctime = now;
         Ok(())
@@ -529,7 +547,10 @@ impl Vfs {
     pub fn remove_xattr(&self, ino: Ino, key: &str) -> FsResult<()> {
         let now = self.now();
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         node.xattrs.remove(key);
         node.ctime = now;
         Ok(())
@@ -545,7 +566,10 @@ impl Vfs {
     pub fn chown(&self, ino: Ino, uid: u32) -> FsResult<()> {
         let now = self.now();
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         node.uid = uid;
         node.ctime = now;
         Ok(())
@@ -554,7 +578,10 @@ impl Vfs {
     /// Backdate mtime/atime (workload generators age files for ILM tests).
     pub fn utimes(&self, ino: Ino, mtime: SimInstant, atime: SimInstant) -> FsResult<()> {
         let mut state = self.shared.state.write();
-        let node = state.nodes.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        let node = state
+            .nodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode(ino))?;
         node.mtime = mtime;
         node.atime = atime;
         Ok(())
@@ -734,7 +761,10 @@ mod tests {
         v.rename("/a/b", "/dst/b2").unwrap();
         assert!(v.exists("/dst/b2/f"));
         assert!(!v.exists("/a/b"));
-        assert_eq!(v.path_of(v.resolve("/dst/b2/f").unwrap()).unwrap(), "/dst/b2/f");
+        assert_eq!(
+            v.path_of(v.resolve("/dst/b2/f").unwrap()).unwrap(),
+            "/dst/b2/f"
+        );
     }
 
     #[test]
@@ -757,9 +787,15 @@ mod tests {
         let v = fs();
         v.mkdir("/d").unwrap();
         for name in ["zz", "aa", "mm"] {
-            v.create(&format!("/d/{name}"), 0, Content::empty()).unwrap();
+            v.create(&format!("/d/{name}"), 0, Content::empty())
+                .unwrap();
         }
-        let names: Vec<_> = v.readdir("/d").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<_> = v
+            .readdir("/d")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["aa", "mm", "zz"]);
     }
 
@@ -823,8 +859,10 @@ mod tests {
     #[test]
     fn write_file_creates_or_replaces() {
         let v = fs();
-        v.write_file("/f", 0, Content::literal(&b"one"[..])).unwrap();
-        v.write_file("/f", 0, Content::literal(&b"two!"[..])).unwrap();
+        v.write_file("/f", 0, Content::literal(&b"one"[..]))
+            .unwrap();
+        v.write_file("/f", 0, Content::literal(&b"two!"[..]))
+            .unwrap();
         assert_eq!(&v.read_all("/f").unwrap().materialize()[..], b"two!");
         assert_eq!(v.stat("/f").unwrap().size, 4);
     }

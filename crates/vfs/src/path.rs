@@ -39,7 +39,11 @@ pub fn parent_and_name(path: &str) -> FsResult<(String, String)> {
         return Err(FsError::InvalidPath("/ has no parent".to_string()));
     }
     let idx = norm.rfind('/').expect("normalized path contains /");
-    let parent = if idx == 0 { "/".to_string() } else { norm[..idx].to_string() };
+    let parent = if idx == 0 {
+        "/".to_string()
+    } else {
+        norm[..idx].to_string()
+    };
     let name = norm[idx + 1..].to_string();
     Ok((parent, name))
 }

@@ -10,7 +10,8 @@ fn content_strategy() -> impl Strategy<Value = Content> {
     prop::collection::vec(
         prop_oneof![
             prop::collection::vec(any::<u8>(), 0..512).prop_map(Segment::literal),
-            (0u64..16, 0u64..4096, 0u64..512).prop_map(|(seed, off, len)| Segment::synthetic(seed, off, len)),
+            (0u64..16, 0u64..4096, 0u64..512)
+                .prop_map(|(seed, off, len)| Segment::synthetic(seed, off, len)),
         ],
         0..8,
     )

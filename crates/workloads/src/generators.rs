@@ -156,7 +156,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(mixed_tree(50, 1000, 1.0, 4, 7), mixed_tree(50, 1000, 1.0, 4, 7));
+        assert_eq!(
+            mixed_tree(50, 1000, 1.0, 4, 7),
+            mixed_tree(50, 1000, 1.0, 4, 7)
+        );
         assert_eq!(huge_file("x", 10, 1), huge_file("x", 10, 1));
     }
 }

@@ -129,16 +129,14 @@ impl OpenScienceTrace {
     /// Generate a campaign deterministically from a seed.
     pub fn generate(spec: CampaignSpec, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let bytes_dist =
-            LogNormal::new(spec.bytes_mu, spec.bytes_sigma).expect("valid lognormal");
+        let bytes_dist = LogNormal::new(spec.bytes_mu, spec.bytes_sigma).expect("valid lognormal");
         let size_dist =
             LogNormal::new(spec.avg_size_mu, spec.avg_size_sigma).expect("valid lognormal");
         let mut jobs = Vec::with_capacity(spec.jobs);
         for id in 0..spec.jobs as u32 {
-            let bytes = (bytes_dist.sample(&mut rng) as u64)
-                .clamp(spec.bytes_min, spec.bytes_max);
-            let avg = (size_dist.sample(&mut rng) as u64)
-                .clamp(spec.avg_size_min, spec.avg_size_max);
+            let bytes = (bytes_dist.sample(&mut rng) as u64).clamp(spec.bytes_min, spec.bytes_max);
+            let avg =
+                (size_dist.sample(&mut rng) as u64).clamp(spec.avg_size_min, spec.avg_size_max);
             let files = bytes.div_ceil(avg.max(1)).clamp(1, spec.max_files);
             let day = rng.gen_range(0..spec.days);
             let hour_offset = rng.gen_range(0..86_400);
@@ -222,7 +220,12 @@ mod tests {
         );
         // Figure 11: average file size per job.
         let avg = t.avg_file_mb_per_job();
-        assert!(avg.iter().all(|&m| (0.0039..=4_220.0).contains(&m)), "avg range {:?}", avg.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v))));
+        assert!(
+            avg.iter().all(|&m| (0.0039..=4_220.0).contains(&m)),
+            "avg range {:?}",
+            avg.iter()
+                .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+        );
         let mavg = mean(&avg);
         assert!(
             (100.0..=2_000.0).contains(&mavg),

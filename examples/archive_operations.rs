@@ -113,7 +113,10 @@ fn main() {
         }
     }
     let reports = reclaim_eligible(sys.hsm().server(), 0.3, sys.clock().now()).unwrap();
-    let moved: f64 = reports.iter().map(|(_, r)| r.moved_bytes as f64 / 1e6).sum();
+    let moved: f64 = reports
+        .iter()
+        .map(|(_, r)| r.moved_bytes as f64 / 1e6)
+        .sum();
     let recovered = reports.iter().filter(|(_, r)| r.erased).count();
     println!(
         "reclamation: {} volumes processed, {:.1} MB of live data consolidated, {} cartridges back to scratch",

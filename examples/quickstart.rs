@@ -12,7 +12,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use copra::core::{migrate_candidates, ArchiveSystem, MigrationPolicy, SyncDeleter, SystemConfig, Trashcan};
+use copra::core::{
+    migrate_candidates, ArchiveSystem, MigrationPolicy, SyncDeleter, SystemConfig, Trashcan,
+};
 use copra::hsm::{reconcile, DataPath};
 use copra::pfs::HsmState;
 use copra::pftool::PftoolConfig;
@@ -28,7 +30,11 @@ fn main() {
         "system up: {} FTA nodes, {} tape drives, pools: {:?}",
         sys.cluster().node_count(),
         sys.hsm().server().library().drive_count(),
-        sys.archive().pools().iter().map(|p| p.name().to_string()).collect::<Vec<_>>(),
+        sys.archive()
+            .pools()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect::<Vec<_>>(),
     );
 
     // A simulation campaign drops results on the scratch file system.
@@ -67,11 +73,16 @@ fn main() {
 
     // 4. ILM: list aged candidates and migrate them to tape, size-balanced
     //    across the cluster.
-    sys.clock().advance_to(sys.clock().now() + SimDuration::from_secs(7 * 86_400));
+    sys.clock()
+        .advance_to(sys.clock().now() + SimDuration::from_secs(7 * 86_400));
     let policy = sys.migration_policy(SimDuration::from_secs(86_400));
     let scan = sys.archive().run_policy(&policy);
     let candidates = &scan.lists["migrate"];
-    println!("ILM scan: {} files scanned, {} migration candidates", scan.scanned, candidates.len());
+    println!(
+        "ILM scan: {} files scanned, {} migration candidates",
+        scan.scanned,
+        candidates.len()
+    );
     let nodes: Vec<NodeId> = sys.cluster().nodes().collect();
     let migration = migrate_candidates(
         sys.hsm(),
@@ -93,20 +104,29 @@ fn main() {
 
     // 5. Transparent recall: reading a stub raises the DMAPI event; the
     //    HSM brings the data back.
-    let stub = sys.archive().resolve("/archive/campaign/run1/snapshot007.dat").unwrap();
+    let stub = sys
+        .archive()
+        .resolve("/archive/campaign/run1/snapshot007.dat")
+        .unwrap();
     assert_eq!(sys.archive().hsm_state(stub).unwrap(), HsmState::Migrated);
     let t = sys
         .hsm()
         .recall_file(stub, NodeId(0), DataPath::LanFree, sys.clock().now())
         .unwrap();
     sys.clock().advance_to(t);
-    println!("recalled snapshot007.dat: state={}", sys.archive().hsm_state(stub).unwrap());
+    println!(
+        "recalled snapshot007.dat: state={}",
+        sys.archive().hsm_state(stub).unwrap()
+    );
 
     // 6. User deletes a file → trashcan; admin purge → synchronous delete.
     let trash = Trashcan::new(sys.fuse().clone());
-    let parked = trash.delete("/archive/campaign/run1/snapshot003.dat").unwrap();
+    let parked = trash
+        .delete("/archive/campaign/run1/snapshot003.dat")
+        .unwrap();
     println!("user delete parked at {parked}");
-    sys.clock().advance_to(sys.clock().now() + SimDuration::from_secs(40 * 86_400));
+    sys.clock()
+        .advance_to(sys.clock().now() + SimDuration::from_secs(40 * 86_400));
     let purge = trash.purge_candidates(SimDuration::from_secs(30 * 86_400), u64::MAX);
     let deleter = SyncDeleter::new(sys.hsm().clone(), sys.catalog().clone());
     let purged = deleter.purge(&purge, sys.clock().now());

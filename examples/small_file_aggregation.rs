@@ -12,10 +12,10 @@
 //! Run with: `cargo run --release --example small_file_aggregation`
 
 use copra::cluster::NodeId;
+use copra::core::{ArchiveSystem, SystemConfig};
 use copra::hsm::aggregate::migrate_aggregated;
 use copra::hsm::DataPath;
 use copra::pfs::HsmState;
-use copra::core::{ArchiveSystem, SystemConfig};
 use copra::simtime::{DataSize, SimInstant};
 use copra::workloads::{populate, small_file_storm};
 
@@ -88,6 +88,8 @@ fn main() {
     // --- the weekend arithmetic ------------------------------------------
     let weekend_h = 2_000_000.0 * 8e6 / (24.0 * per_file_rate * 1e6) / 3600.0;
     let agg_h = 2_000_000.0 * 8e6 / (24.0 * agg_rate * 1e6) / 3600.0;
-    println!("\n2M x 8MB files on 24 drives: {weekend_h:.0} h stock (the paper's 'entire weekend'),");
+    println!(
+        "\n2M x 8MB files on 24 drives: {weekend_h:.0} h stock (the paper's 'entire weekend'),"
+    );
     println!("                             {agg_h:.1} h aggregated.");
 }

@@ -26,7 +26,11 @@ fn build_migrated_archive(n: u64) -> (ArchiveSystem, Vec<copra::vfs::Ino>) {
     for i in 0..n {
         let ino = sys
             .archive()
-            .create_file(&format!("/arch/f{i:02}.dat"), 0, Content::synthetic(i, 80_000_000))
+            .create_file(
+                &format!("/arch/f{i:02}.dat"),
+                0,
+                Content::synthetic(i, 80_000_000),
+            )
             .unwrap();
         let (_, t) = sys
             .hsm()

@@ -23,6 +23,8 @@
 //! * [`fuse`] — ArchiveFUSE chunking overlay (N-to-1 → N-to-N).
 //! * [`cluster`] — FTA cluster nodes, LoadManager, batch launcher.
 //! * [`mpirt`] — mini message-passing runtime for PFTool's process model.
+//! * [`obs`] — metrics registry, event tracing, and the device-utilization
+//!   snapshot every subsystem reports into.
 //! * [`pftool`] — the paper's parallel tree walker / copier (`pfls`,
 //!   `pfcp`, `pfcm`).
 //! * [`core`] — the integrated archive system and its public API.
@@ -35,6 +37,7 @@ pub use copra_fuse as fuse;
 pub use copra_hsm as hsm;
 pub use copra_metadb as metadb;
 pub use copra_mpirt as mpirt;
+pub use copra_obs as obs;
 pub use copra_pfs as pfs;
 pub use copra_pftool as pftool;
 pub use copra_simtime as simtime;

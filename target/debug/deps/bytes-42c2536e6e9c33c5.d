@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-42c2536e6e9c33c5.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-42c2536e6e9c33c5.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

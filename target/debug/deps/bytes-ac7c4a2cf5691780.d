@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-ac7c4a2cf5691780.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-ac7c4a2cf5691780.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-ac7c4a2cf5691780.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-24e1a3d9c8340b02.d: crates/cluster/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-24e1a3d9c8340b02.rmeta: crates/cluster/tests/concurrency.rs Cargo.toml
+
+crates/cluster/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

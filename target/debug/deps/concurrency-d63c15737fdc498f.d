@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-d63c15737fdc498f.d: crates/cluster/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-d63c15737fdc498f: crates/cluster/tests/concurrency.rs
+
+crates/cluster/tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copra-2da0e407d11d4d3b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra-2da0e407d11d4d3b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

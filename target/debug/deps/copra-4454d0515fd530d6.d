@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra-4454d0515fd530d6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcopra-4454d0515fd530d6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcopra-4454d0515fd530d6.rmeta: src/lib.rs
+
+src/lib.rs:

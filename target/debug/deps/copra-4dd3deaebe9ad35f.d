@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra-4dd3deaebe9ad35f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcopra-4dd3deaebe9ad35f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcopra-4dd3deaebe9ad35f.rmeta: src/lib.rs
+
+src/lib.rs:

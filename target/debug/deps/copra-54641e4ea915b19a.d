@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/copra-54641e4ea915b19a.d: src/lib.rs
+
+/root/repo/target/debug/deps/copra-54641e4ea915b19a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/copra-768ffe1e4f5ed097.d: src/lib.rs
+
+/root/repo/target/debug/deps/copra-768ffe1e4f5ed097: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/copra_bench-244d20b64119d038.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/copra_bench-244d20b64119d038: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra_bench-a22066836d320e6f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_bench-a22066836d320e6f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_bench-a22066836d320e6f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/copra_bench-a61e887ebf5368ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/copra_bench-a61e887ebf5368ad: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

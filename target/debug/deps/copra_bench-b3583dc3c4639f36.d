@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copra_bench-b3583dc3c4639f36.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_bench-b3583dc3c4639f36.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

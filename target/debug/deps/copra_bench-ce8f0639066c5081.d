@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra_bench-ce8f0639066c5081.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_bench-ce8f0639066c5081.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_bench-ce8f0639066c5081.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/copra_cluster-37f235ba215bfcff.d: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_cluster-37f235ba215bfcff.rmeta: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/fta.rs:
+crates/cluster/src/loadmgr.rs:
+crates/cluster/src/moab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

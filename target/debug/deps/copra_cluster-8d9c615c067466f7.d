@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copra_cluster-8d9c615c067466f7.d: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+/root/repo/target/debug/deps/libcopra_cluster-8d9c615c067466f7.rlib: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+/root/repo/target/debug/deps/libcopra_cluster-8d9c615c067466f7.rmeta: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/fta.rs:
+crates/cluster/src/loadmgr.rs:
+crates/cluster/src/moab.rs:

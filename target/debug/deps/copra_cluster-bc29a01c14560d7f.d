@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/copra_cluster-bc29a01c14560d7f.d: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+/root/repo/target/debug/deps/copra_cluster-bc29a01c14560d7f: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/fta.rs:
+crates/cluster/src/loadmgr.rs:
+crates/cluster/src/moab.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/copra_core-384cb0d1cd1b19cd.d: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_core-384cb0d1cd1b19cd.rmeta: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/jail.rs:
+crates/core/src/migrator.rs:
+crates/core/src/obs.rs:
+crates/core/src/search.rs:
+crates/core/src/shell.rs:
+crates/core/src/syncdel.rs:
+crates/core/src/system.rs:
+crates/core/src/trashcan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/copra_core-68bc4ab732165fde.d: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs
+
+/root/repo/target/debug/deps/copra_core-68bc4ab732165fde: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs
+
+crates/core/src/lib.rs:
+crates/core/src/jail.rs:
+crates/core/src/migrator.rs:
+crates/core/src/obs.rs:
+crates/core/src/search.rs:
+crates/core/src/shell.rs:
+crates/core/src/syncdel.rs:
+crates/core/src/system.rs:
+crates/core/src/trashcan.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/copra_core-6b166b2a5fc1717e.d: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs
+
+/root/repo/target/debug/deps/libcopra_core-6b166b2a5fc1717e.rlib: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs
+
+/root/repo/target/debug/deps/libcopra_core-6b166b2a5fc1717e.rmeta: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs
+
+crates/core/src/lib.rs:
+crates/core/src/jail.rs:
+crates/core/src/migrator.rs:
+crates/core/src/obs.rs:
+crates/core/src/search.rs:
+crates/core/src/shell.rs:
+crates/core/src/syncdel.rs:
+crates/core/src/system.rs:
+crates/core/src/trashcan.rs:

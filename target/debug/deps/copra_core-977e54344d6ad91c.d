@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/copra_core-977e54344d6ad91c.d: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs
+
+/root/repo/target/debug/deps/copra_core-977e54344d6ad91c: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs
+
+crates/core/src/lib.rs:
+crates/core/src/jail.rs:
+crates/core/src/migrator.rs:
+crates/core/src/search.rs:
+crates/core/src/shell.rs:
+crates/core/src/syncdel.rs:
+crates/core/src/system.rs:
+crates/core/src/trashcan.rs:

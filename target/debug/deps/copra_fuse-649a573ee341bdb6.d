@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/copra_fuse-649a573ee341bdb6.d: crates/fuselayer/src/lib.rs
+
+/root/repo/target/debug/deps/copra_fuse-649a573ee341bdb6: crates/fuselayer/src/lib.rs
+
+crates/fuselayer/src/lib.rs:

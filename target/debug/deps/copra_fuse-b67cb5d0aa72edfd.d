@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra_fuse-b67cb5d0aa72edfd.d: crates/fuselayer/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_fuse-b67cb5d0aa72edfd.rlib: crates/fuselayer/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_fuse-b67cb5d0aa72edfd.rmeta: crates/fuselayer/src/lib.rs
+
+crates/fuselayer/src/lib.rs:

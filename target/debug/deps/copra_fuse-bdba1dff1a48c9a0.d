@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copra_fuse-bdba1dff1a48c9a0.d: crates/fuselayer/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_fuse-bdba1dff1a48c9a0.rmeta: crates/fuselayer/src/lib.rs Cargo.toml
+
+crates/fuselayer/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/copra_hsm-6a92845c6420073b.d: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+/root/repo/target/debug/deps/libcopra_hsm-6a92845c6420073b.rlib: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+/root/repo/target/debug/deps/libcopra_hsm-6a92845c6420073b.rmeta: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/agent.rs:
+crates/hsm/src/aggregate.rs:
+crates/hsm/src/backup.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/object.rs:
+crates/hsm/src/reclaim.rs:
+crates/hsm/src/reconcile.rs:
+crates/hsm/src/server.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/copra_hsm-855d7e7b5157f05a.d: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+/root/repo/target/debug/deps/copra_hsm-855d7e7b5157f05a: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/agent.rs:
+crates/hsm/src/aggregate.rs:
+crates/hsm/src/backup.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/object.rs:
+crates/hsm/src/reclaim.rs:
+crates/hsm/src/reconcile.rs:
+crates/hsm/src/server.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/copra_hsm-8bd0fb9c176844c3.d: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+/root/repo/target/debug/deps/libcopra_hsm-8bd0fb9c176844c3.rlib: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+/root/repo/target/debug/deps/libcopra_hsm-8bd0fb9c176844c3.rmeta: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/agent.rs:
+crates/hsm/src/aggregate.rs:
+crates/hsm/src/backup.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/object.rs:
+crates/hsm/src/reclaim.rs:
+crates/hsm/src/reconcile.rs:
+crates/hsm/src/server.rs:

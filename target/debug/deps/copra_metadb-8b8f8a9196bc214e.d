@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/copra_metadb-8b8f8a9196bc214e.d: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_metadb-8b8f8a9196bc214e.rmeta: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs Cargo.toml
+
+crates/metadb/src/lib.rs:
+crates/metadb/src/table.rs:
+crates/metadb/src/tsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

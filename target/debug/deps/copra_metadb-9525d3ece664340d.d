@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra_metadb-9525d3ece664340d.d: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+/root/repo/target/debug/deps/copra_metadb-9525d3ece664340d: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+crates/metadb/src/lib.rs:
+crates/metadb/src/table.rs:
+crates/metadb/src/tsm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copra_metadb-e7e76280be6ca5f9.d: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+/root/repo/target/debug/deps/libcopra_metadb-e7e76280be6ca5f9.rlib: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+/root/repo/target/debug/deps/libcopra_metadb-e7e76280be6ca5f9.rmeta: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+crates/metadb/src/lib.rs:
+crates/metadb/src/table.rs:
+crates/metadb/src/tsm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra_mpirt-69e0ae2da0e3a7e8.d: crates/mpirt/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_mpirt-69e0ae2da0e3a7e8.rlib: crates/mpirt/src/lib.rs
+
+/root/repo/target/debug/deps/libcopra_mpirt-69e0ae2da0e3a7e8.rmeta: crates/mpirt/src/lib.rs
+
+crates/mpirt/src/lib.rs:

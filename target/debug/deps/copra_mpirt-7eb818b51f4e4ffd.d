@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copra_mpirt-7eb818b51f4e4ffd.d: crates/mpirt/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_mpirt-7eb818b51f4e4ffd.rmeta: crates/mpirt/src/lib.rs Cargo.toml
+
+crates/mpirt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

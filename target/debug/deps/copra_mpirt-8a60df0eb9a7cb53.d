@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copra_mpirt-8a60df0eb9a7cb53.d: crates/mpirt/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_mpirt-8a60df0eb9a7cb53.rmeta: crates/mpirt/src/lib.rs Cargo.toml
+
+crates/mpirt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/copra_mpirt-972b4736a3a516cb.d: crates/mpirt/src/lib.rs
+
+/root/repo/target/debug/deps/copra_mpirt-972b4736a3a516cb: crates/mpirt/src/lib.rs
+
+crates/mpirt/src/lib.rs:

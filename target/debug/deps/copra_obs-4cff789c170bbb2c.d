@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/copra_obs-4cff789c170bbb2c.d: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcopra_obs-4cff789c170bbb2c.rlib: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/debug/deps/libcopra_obs-4cff789c170bbb2c.rmeta: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/copra_obs-f84e42573f5846bd.d: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_obs-f84e42573f5846bd.rmeta: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

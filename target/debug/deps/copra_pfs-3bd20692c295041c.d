@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/copra_pfs-3bd20692c295041c.d: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+/root/repo/target/debug/deps/libcopra_pfs-3bd20692c295041c.rlib: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+/root/repo/target/debug/deps/libcopra_pfs-3bd20692c295041c.rmeta: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/glob.rs:
+crates/pfs/src/hsmstate.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/policy.rs:
+crates/pfs/src/pool.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copra_pfs-67d3a375242826ac.d: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+/root/repo/target/debug/deps/copra_pfs-67d3a375242826ac: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/glob.rs:
+crates/pfs/src/hsmstate.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/policy.rs:
+crates/pfs/src/pool.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/copra_pfs-93fc056d488a5993.d: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_pfs-93fc056d488a5993.rmeta: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs Cargo.toml
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/glob.rs:
+crates/pfs/src/hsmstate.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/policy.rs:
+crates/pfs/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

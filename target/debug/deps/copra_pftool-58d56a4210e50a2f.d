@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/copra_pftool-58d56a4210e50a2f.d: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_pftool-58d56a4210e50a2f.rmeta: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs Cargo.toml
+
+crates/pftool/src/lib.rs:
+crates/pftool/src/api.rs:
+crates/pftool/src/config.rs:
+crates/pftool/src/engine.rs:
+crates/pftool/src/msg.rs:
+crates/pftool/src/queues.rs:
+crates/pftool/src/report.rs:
+crates/pftool/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

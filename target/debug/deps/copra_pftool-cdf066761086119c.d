@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/copra_pftool-cdf066761086119c.d: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+/root/repo/target/debug/deps/copra_pftool-cdf066761086119c: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+crates/pftool/src/lib.rs:
+crates/pftool/src/api.rs:
+crates/pftool/src/config.rs:
+crates/pftool/src/engine.rs:
+crates/pftool/src/msg.rs:
+crates/pftool/src/queues.rs:
+crates/pftool/src/report.rs:
+crates/pftool/src/view.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copra_simtime-26a0c58d230e0e0f.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/debug/deps/copra_simtime-26a0c58d230e0e0f: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/pool.rs:
+crates/simtime/src/rate.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/timeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/copra_simtime-7b9ef64658b6d2a6.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/debug/deps/libcopra_simtime-7b9ef64658b6d2a6.rlib: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/debug/deps/libcopra_simtime-7b9ef64658b6d2a6.rmeta: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/pool.rs:
+crates/simtime/src/rate.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/timeline.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/copra_simtime-e0e8d70021a1a634.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_simtime-e0e8d70021a1a634.rmeta: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs Cargo.toml
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/pool.rs:
+crates/simtime/src/rate.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

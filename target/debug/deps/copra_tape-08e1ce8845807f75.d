@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copra_tape-08e1ce8845807f75.d: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/debug/deps/libcopra_tape-08e1ce8845807f75.rlib: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/debug/deps/libcopra_tape-08e1ce8845807f75.rmeta: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/cartridge.rs:
+crates/tape/src/library.rs:
+crates/tape/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/copra_tape-26ebee8ceed9500c.d: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/debug/deps/copra_tape-26ebee8ceed9500c: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/cartridge.rs:
+crates/tape/src/library.rs:
+crates/tape/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copra_tape-3c3d896d73f19ecf.d: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/debug/deps/libcopra_tape-3c3d896d73f19ecf.rlib: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/debug/deps/libcopra_tape-3c3d896d73f19ecf.rmeta: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/cartridge.rs:
+crates/tape/src/library.rs:
+crates/tape/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/copra_tape-c6e3280b4a38019e.d: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_tape-c6e3280b4a38019e.rmeta: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs Cargo.toml
+
+crates/tape/src/lib.rs:
+crates/tape/src/cartridge.rs:
+crates/tape/src/library.rs:
+crates/tape/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

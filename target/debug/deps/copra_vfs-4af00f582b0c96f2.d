@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/copra_vfs-4af00f582b0c96f2.d: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+/root/repo/target/debug/deps/copra_vfs-4af00f582b0c96f2: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/content.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/inode.rs:
+crates/vfs/src/path.rs:

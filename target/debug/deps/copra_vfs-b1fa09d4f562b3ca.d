@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/copra_vfs-b1fa09d4f562b3ca.d: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+/root/repo/target/debug/deps/libcopra_vfs-b1fa09d4f562b3ca.rlib: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+/root/repo/target/debug/deps/libcopra_vfs-b1fa09d4f562b3ca.rmeta: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/content.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/inode.rs:
+crates/vfs/src/path.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/copra_vfs-c711abdbadc7bdfa.d: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_vfs-c711abdbadc7bdfa.rmeta: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs Cargo.toml
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/content.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/inode.rs:
+crates/vfs/src/path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/copra_workloads-63d7f071d205d96a.d: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+/root/repo/target/debug/deps/libcopra_workloads-63d7f071d205d96a.rlib: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+/root/repo/target/debug/deps/libcopra_workloads-63d7f071d205d96a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generators.rs:
+crates/workloads/src/open_science.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/copra_workloads-9f861a92e3d03239.d: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+/root/repo/target/debug/deps/copra_workloads-9f861a92e3d03239: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generators.rs:
+crates/workloads/src/open_science.rs:

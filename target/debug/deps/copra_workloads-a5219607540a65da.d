@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/copra_workloads-a5219607540a65da.d: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcopra_workloads-a5219607540a65da.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generators.rs:
+crates/workloads/src/open_science.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-2d2671ebe6f54034.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-2d2671ebe6f54034: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-43f37b3e3272f555.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-43f37b3e3272f555: tests/failure_injection.rs
+
+tests/failure_injection.rs:

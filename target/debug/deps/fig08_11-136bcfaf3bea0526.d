@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_11-136bcfaf3bea0526.d: crates/bench/src/bin/fig08_11.rs
+
+/root/repo/target/debug/deps/fig08_11-136bcfaf3bea0526: crates/bench/src/bin/fig08_11.rs
+
+crates/bench/src/bin/fig08_11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_11-7d5c770849c99c42.d: crates/bench/src/bin/fig08_11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_11-7d5c770849c99c42.rmeta: crates/bench/src/bin/fig08_11.rs Cargo.toml
+
+crates/bench/src/bin/fig08_11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

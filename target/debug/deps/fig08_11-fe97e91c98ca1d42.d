@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_11-fe97e91c98ca1d42.d: crates/bench/src/bin/fig08_11.rs
+
+/root/repo/target/debug/deps/fig08_11-fe97e91c98ca1d42: crates/bench/src/bin/fig08_11.rs
+
+crates/bench/src/bin/fig08_11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_lifecycle-118011a2d9fb3902.d: tests/full_lifecycle.rs
+
+/root/repo/target/debug/deps/full_lifecycle-118011a2d9fb3902: tests/full_lifecycle.rs
+
+tests/full_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_lifecycle-b95525478fc3b1db.d: tests/full_lifecycle.rs
+
+/root/repo/target/debug/deps/full_lifecycle-b95525478fc3b1db: tests/full_lifecycle.rs
+
+tests/full_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-ab80852a56fb9690.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-ab80852a56fb9690: tests/observability.rs
+
+tests/observability.rs:

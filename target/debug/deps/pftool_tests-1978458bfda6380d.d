@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pftool_tests-1978458bfda6380d.d: crates/pftool/tests/pftool_tests.rs
+
+/root/repo/target/debug/deps/pftool_tests-1978458bfda6380d: crates/pftool/tests/pftool_tests.rs
+
+crates/pftool/tests/pftool_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pftool_tests-847de35c3cafa541.d: crates/pftool/tests/pftool_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpftool_tests-847de35c3cafa541.rmeta: crates/pftool/tests/pftool_tests.rs Cargo.toml
+
+crates/pftool/tests/pftool_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pftool_tests-8cbd9525c984e515.d: crates/pftool/tests/pftool_tests.rs
+
+/root/repo/target/debug/deps/pftool_tests-8cbd9525c984e515: crates/pftool/tests/pftool_tests.rs
+
+crates/pftool/tests/pftool_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pftool_tests-9428adbdf4ce9d4d.d: crates/pftool/tests/pftool_tests.rs
+
+/root/repo/target/debug/deps/pftool_tests-9428adbdf4ce9d4d: crates/pftool/tests/pftool_tests.rs
+
+crates/pftool/tests/pftool_tests.rs:

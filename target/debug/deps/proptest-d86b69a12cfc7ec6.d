@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d86b69a12cfc7ec6.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d86b69a12cfc7ec6.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

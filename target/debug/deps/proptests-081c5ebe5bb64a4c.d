@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-081c5ebe5bb64a4c.d: crates/simtime/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-081c5ebe5bb64a4c: crates/simtime/tests/proptests.rs
+
+crates/simtime/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-104435ea80019336.d: crates/pftool/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-104435ea80019336.rmeta: crates/pftool/tests/proptests.rs Cargo.toml
+
+crates/pftool/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

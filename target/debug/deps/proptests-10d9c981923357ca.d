@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-10d9c981923357ca.d: crates/tape/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-10d9c981923357ca: crates/tape/tests/proptests.rs
+
+crates/tape/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2fa65719bf63ec8d.d: crates/pfs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2fa65719bf63ec8d: crates/pfs/tests/proptests.rs
+
+crates/pfs/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3026be4ef59aeb9a.d: crates/tape/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3026be4ef59aeb9a.rmeta: crates/tape/tests/proptests.rs Cargo.toml
+
+crates/tape/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

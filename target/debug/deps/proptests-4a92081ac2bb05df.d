@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4a92081ac2bb05df.d: crates/vfs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4a92081ac2bb05df: crates/vfs/tests/proptests.rs
+
+crates/vfs/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5a33701f13d738e7.d: crates/pftool/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5a33701f13d738e7: crates/pftool/tests/proptests.rs
+
+crates/pftool/tests/proptests.rs:

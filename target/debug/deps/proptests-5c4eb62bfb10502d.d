@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5c4eb62bfb10502d.d: crates/pftool/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5c4eb62bfb10502d: crates/pftool/tests/proptests.rs
+
+crates/pftool/tests/proptests.rs:

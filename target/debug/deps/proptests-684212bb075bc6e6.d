@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-684212bb075bc6e6.d: crates/tape/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-684212bb075bc6e6: crates/tape/tests/proptests.rs
+
+crates/tape/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-810ce3dfd6efdd80.d: crates/vfs/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-810ce3dfd6efdd80.rmeta: crates/vfs/tests/proptests.rs Cargo.toml
+
+crates/vfs/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

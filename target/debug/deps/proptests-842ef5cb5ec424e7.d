@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-842ef5cb5ec424e7.d: crates/pfs/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-842ef5cb5ec424e7.rmeta: crates/pfs/tests/proptests.rs Cargo.toml
+
+crates/pfs/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

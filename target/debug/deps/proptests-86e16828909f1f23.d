@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-86e16828909f1f23.d: crates/hsm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-86e16828909f1f23: crates/hsm/tests/proptests.rs
+
+crates/hsm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-91a651d803a4f78a.d: crates/metadb/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-91a651d803a4f78a: crates/metadb/tests/proptests.rs
+
+crates/metadb/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-afff8503b1fff1f6.d: crates/hsm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-afff8503b1fff1f6: crates/hsm/tests/proptests.rs
+
+crates/hsm/tests/proptests.rs:

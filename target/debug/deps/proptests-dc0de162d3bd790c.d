@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-dc0de162d3bd790c.d: crates/hsm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-dc0de162d3bd790c.rmeta: crates/hsm/tests/proptests.rs Cargo.toml
+
+crates/hsm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

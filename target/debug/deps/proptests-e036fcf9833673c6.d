@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e036fcf9833673c6.d: crates/pftool/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e036fcf9833673c6: crates/pftool/tests/proptests.rs
+
+crates/pftool/tests/proptests.rs:

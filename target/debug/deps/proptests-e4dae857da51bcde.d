@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e4dae857da51bcde.d: crates/metadb/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e4dae857da51bcde.rmeta: crates/metadb/tests/proptests.rs Cargo.toml
+
+crates/metadb/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

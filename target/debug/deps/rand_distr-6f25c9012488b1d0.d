@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-6f25c9012488b1d0.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-6f25c9012488b1d0.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

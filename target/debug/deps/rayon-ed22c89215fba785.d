@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-ed22c89215fba785.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ed22c89215fba785.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rustc_hash-4cb4b35183e588de.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-4cb4b35183e588de.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rustc_hash-ce50b13fdec24d11.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-ce50b13fdec24d11.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/debug/deps/librustc_hash-ce50b13fdec24d11.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-32936bd65bcc9895.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-32936bd65bcc9895.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-32936bd65bcc9895.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-d4f2824fab44afdb.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d4f2824fab44afdb.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-6ff1b17ac504b082.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-6ff1b17ac504b082.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-ef7912d03b856670.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ef7912d03b856670.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ef7912d03b856670.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

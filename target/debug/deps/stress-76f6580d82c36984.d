@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-76f6580d82c36984.d: crates/mpirt/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-76f6580d82c36984: crates/mpirt/tests/stress.rs
+
+crates/mpirt/tests/stress.rs:

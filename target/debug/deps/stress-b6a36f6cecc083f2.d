@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-b6a36f6cecc083f2.d: crates/mpirt/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-b6a36f6cecc083f2.rmeta: crates/mpirt/tests/stress.rs Cargo.toml
+
+crates/mpirt/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_ablation-7d9539242307193d.d: crates/bench/src/bin/tbl_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_ablation-7d9539242307193d.rmeta: crates/bench/src/bin/tbl_ablation.rs Cargo.toml
+
+crates/bench/src/bin/tbl_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_ablation-c20ecd8656a120a3.d: crates/bench/src/bin/tbl_ablation.rs
+
+/root/repo/target/debug/deps/tbl_ablation-c20ecd8656a120a3: crates/bench/src/bin/tbl_ablation.rs
+
+crates/bench/src/bin/tbl_ablation.rs:

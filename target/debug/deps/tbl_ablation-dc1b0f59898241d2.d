@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_ablation-dc1b0f59898241d2.d: crates/bench/src/bin/tbl_ablation.rs
+
+/root/repo/target/debug/deps/tbl_ablation-dc1b0f59898241d2: crates/bench/src/bin/tbl_ablation.rs
+
+crates/bench/src/bin/tbl_ablation.rs:

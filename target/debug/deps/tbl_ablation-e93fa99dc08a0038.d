@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_ablation-e93fa99dc08a0038.d: crates/bench/src/bin/tbl_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_ablation-e93fa99dc08a0038.rmeta: crates/bench/src/bin/tbl_ablation.rs Cargo.toml
+
+crates/bench/src/bin/tbl_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

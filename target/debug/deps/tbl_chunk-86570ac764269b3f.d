@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_chunk-86570ac764269b3f.d: crates/bench/src/bin/tbl_chunk.rs
+
+/root/repo/target/debug/deps/tbl_chunk-86570ac764269b3f: crates/bench/src/bin/tbl_chunk.rs
+
+crates/bench/src/bin/tbl_chunk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_chunk-9732908ae21f54b9.d: crates/bench/src/bin/tbl_chunk.rs
+
+/root/repo/target/debug/deps/tbl_chunk-9732908ae21f54b9: crates/bench/src/bin/tbl_chunk.rs
+
+crates/bench/src/bin/tbl_chunk.rs:

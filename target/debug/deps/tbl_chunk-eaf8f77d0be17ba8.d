@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_chunk-eaf8f77d0be17ba8.d: crates/bench/src/bin/tbl_chunk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_chunk-eaf8f77d0be17ba8.rmeta: crates/bench/src/bin/tbl_chunk.rs Cargo.toml
+
+crates/bench/src/bin/tbl_chunk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

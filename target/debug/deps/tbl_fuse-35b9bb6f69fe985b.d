@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_fuse-35b9bb6f69fe985b.d: crates/bench/src/bin/tbl_fuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_fuse-35b9bb6f69fe985b.rmeta: crates/bench/src/bin/tbl_fuse.rs Cargo.toml
+
+crates/bench/src/bin/tbl_fuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_fuse-6ee6160071de41a9.d: crates/bench/src/bin/tbl_fuse.rs
+
+/root/repo/target/debug/deps/tbl_fuse-6ee6160071de41a9: crates/bench/src/bin/tbl_fuse.rs
+
+crates/bench/src/bin/tbl_fuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_fuse-78f3038d89191b94.d: crates/bench/src/bin/tbl_fuse.rs
+
+/root/repo/target/debug/deps/tbl_fuse-78f3038d89191b94: crates/bench/src/bin/tbl_fuse.rs
+
+crates/bench/src/bin/tbl_fuse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_fuse-84f45c84e8675cc2.d: crates/bench/src/bin/tbl_fuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_fuse-84f45c84e8675cc2.rmeta: crates/bench/src/bin/tbl_fuse.rs Cargo.toml
+
+crates/bench/src/bin/tbl_fuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_lanfree-5b3e6a42bba9e207.d: crates/bench/src/bin/tbl_lanfree.rs
+
+/root/repo/target/debug/deps/tbl_lanfree-5b3e6a42bba9e207: crates/bench/src/bin/tbl_lanfree.rs
+
+crates/bench/src/bin/tbl_lanfree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_lanfree-9669ae7cfb9992e0.d: crates/bench/src/bin/tbl_lanfree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_lanfree-9669ae7cfb9992e0.rmeta: crates/bench/src/bin/tbl_lanfree.rs Cargo.toml
+
+crates/bench/src/bin/tbl_lanfree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_lanfree-fb4687c8a66e92dd.d: crates/bench/src/bin/tbl_lanfree.rs
+
+/root/repo/target/debug/deps/tbl_lanfree-fb4687c8a66e92dd: crates/bench/src/bin/tbl_lanfree.rs
+
+crates/bench/src/bin/tbl_lanfree.rs:

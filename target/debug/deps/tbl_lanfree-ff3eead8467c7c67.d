@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_lanfree-ff3eead8467c7c67.d: crates/bench/src/bin/tbl_lanfree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_lanfree-ff3eead8467c7c67.rmeta: crates/bench/src/bin/tbl_lanfree.rs Cargo.toml
+
+crates/bench/src/bin/tbl_lanfree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

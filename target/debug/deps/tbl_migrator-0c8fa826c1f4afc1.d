@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_migrator-0c8fa826c1f4afc1.d: crates/bench/src/bin/tbl_migrator.rs
+
+/root/repo/target/debug/deps/tbl_migrator-0c8fa826c1f4afc1: crates/bench/src/bin/tbl_migrator.rs
+
+crates/bench/src/bin/tbl_migrator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_migrator-22e4f534ed01ce68.d: crates/bench/src/bin/tbl_migrator.rs
+
+/root/repo/target/debug/deps/tbl_migrator-22e4f534ed01ce68: crates/bench/src/bin/tbl_migrator.rs
+
+crates/bench/src/bin/tbl_migrator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_migrator-ed3a41a532e43a7b.d: crates/bench/src/bin/tbl_migrator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_migrator-ed3a41a532e43a7b.rmeta: crates/bench/src/bin/tbl_migrator.rs Cargo.toml
+
+crates/bench/src/bin/tbl_migrator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_order-5e8373d5d5f11c5f.d: crates/bench/src/bin/tbl_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_order-5e8373d5d5f11c5f.rmeta: crates/bench/src/bin/tbl_order.rs Cargo.toml
+
+crates/bench/src/bin/tbl_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

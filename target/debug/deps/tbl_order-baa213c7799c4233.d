@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_order-baa213c7799c4233.d: crates/bench/src/bin/tbl_order.rs
+
+/root/repo/target/debug/deps/tbl_order-baa213c7799c4233: crates/bench/src/bin/tbl_order.rs
+
+crates/bench/src/bin/tbl_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_order-e2dfcd914f2aa3e9.d: crates/bench/src/bin/tbl_order.rs
+
+/root/repo/target/debug/deps/tbl_order-e2dfcd914f2aa3e9: crates/bench/src/bin/tbl_order.rs
+
+crates/bench/src/bin/tbl_order.rs:

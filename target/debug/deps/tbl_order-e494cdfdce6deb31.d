@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_order-e494cdfdce6deb31.d: crates/bench/src/bin/tbl_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_order-e494cdfdce6deb31.rmeta: crates/bench/src/bin/tbl_order.rs Cargo.toml
+
+crates/bench/src/bin/tbl_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_restart-860d69c747ca5336.d: crates/bench/src/bin/tbl_restart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_restart-860d69c747ca5336.rmeta: crates/bench/src/bin/tbl_restart.rs Cargo.toml
+
+crates/bench/src/bin/tbl_restart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

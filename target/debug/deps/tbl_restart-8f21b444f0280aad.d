@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_restart-8f21b444f0280aad.d: crates/bench/src/bin/tbl_restart.rs
+
+/root/repo/target/debug/deps/tbl_restart-8f21b444f0280aad: crates/bench/src/bin/tbl_restart.rs
+
+crates/bench/src/bin/tbl_restart.rs:

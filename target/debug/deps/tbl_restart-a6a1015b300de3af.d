@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_restart-a6a1015b300de3af.d: crates/bench/src/bin/tbl_restart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_restart-a6a1015b300de3af.rmeta: crates/bench/src/bin/tbl_restart.rs Cargo.toml
+
+crates/bench/src/bin/tbl_restart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

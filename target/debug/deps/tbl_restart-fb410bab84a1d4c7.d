@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_restart-fb410bab84a1d4c7.d: crates/bench/src/bin/tbl_restart.rs
+
+/root/repo/target/debug/deps/tbl_restart-fb410bab84a1d4c7: crates/bench/src/bin/tbl_restart.rs
+
+crates/bench/src/bin/tbl_restart.rs:

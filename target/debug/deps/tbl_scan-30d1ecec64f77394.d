@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_scan-30d1ecec64f77394.d: crates/bench/src/bin/tbl_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_scan-30d1ecec64f77394.rmeta: crates/bench/src/bin/tbl_scan.rs Cargo.toml
+
+crates/bench/src/bin/tbl_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

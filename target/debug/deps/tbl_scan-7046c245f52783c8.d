@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_scan-7046c245f52783c8.d: crates/bench/src/bin/tbl_scan.rs
+
+/root/repo/target/debug/deps/tbl_scan-7046c245f52783c8: crates/bench/src/bin/tbl_scan.rs
+
+crates/bench/src/bin/tbl_scan.rs:

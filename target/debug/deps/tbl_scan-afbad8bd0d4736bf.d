@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_scan-afbad8bd0d4736bf.d: crates/bench/src/bin/tbl_scan.rs
+
+/root/repo/target/debug/deps/tbl_scan-afbad8bd0d4736bf: crates/bench/src/bin/tbl_scan.rs
+
+crates/bench/src/bin/tbl_scan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_small_file-1c59dc74c8c30918.d: crates/bench/src/bin/tbl_small_file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_small_file-1c59dc74c8c30918.rmeta: crates/bench/src/bin/tbl_small_file.rs Cargo.toml
+
+crates/bench/src/bin/tbl_small_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

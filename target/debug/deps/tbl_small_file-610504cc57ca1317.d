@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_small_file-610504cc57ca1317.d: crates/bench/src/bin/tbl_small_file.rs
+
+/root/repo/target/debug/deps/tbl_small_file-610504cc57ca1317: crates/bench/src/bin/tbl_small_file.rs
+
+crates/bench/src/bin/tbl_small_file.rs:

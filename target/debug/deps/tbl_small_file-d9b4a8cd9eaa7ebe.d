@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_small_file-d9b4a8cd9eaa7ebe.d: crates/bench/src/bin/tbl_small_file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_small_file-d9b4a8cd9eaa7ebe.rmeta: crates/bench/src/bin/tbl_small_file.rs Cargo.toml
+
+crates/bench/src/bin/tbl_small_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

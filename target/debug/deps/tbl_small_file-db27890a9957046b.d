@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_small_file-db27890a9957046b.d: crates/bench/src/bin/tbl_small_file.rs
+
+/root/repo/target/debug/deps/tbl_small_file-db27890a9957046b: crates/bench/src/bin/tbl_small_file.rs
+
+crates/bench/src/bin/tbl_small_file.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_syncdel-231eac872fadd94f.d: crates/bench/src/bin/tbl_syncdel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_syncdel-231eac872fadd94f.rmeta: crates/bench/src/bin/tbl_syncdel.rs Cargo.toml
+
+crates/bench/src/bin/tbl_syncdel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_syncdel-5e580ced9a8a8a8d.d: crates/bench/src/bin/tbl_syncdel.rs
+
+/root/repo/target/debug/deps/tbl_syncdel-5e580ced9a8a8a8d: crates/bench/src/bin/tbl_syncdel.rs
+
+crates/bench/src/bin/tbl_syncdel.rs:

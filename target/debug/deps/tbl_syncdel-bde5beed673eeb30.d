@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_syncdel-bde5beed673eeb30.d: crates/bench/src/bin/tbl_syncdel.rs
+
+/root/repo/target/debug/deps/tbl_syncdel-bde5beed673eeb30: crates/bench/src/bin/tbl_syncdel.rs
+
+crates/bench/src/bin/tbl_syncdel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_thrash-5d4a86bf72fac13b.d: crates/bench/src/bin/tbl_thrash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_thrash-5d4a86bf72fac13b.rmeta: crates/bench/src/bin/tbl_thrash.rs Cargo.toml
+
+crates/bench/src/bin/tbl_thrash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_thrash-c4c8b78becf81d46.d: crates/bench/src/bin/tbl_thrash.rs
+
+/root/repo/target/debug/deps/tbl_thrash-c4c8b78becf81d46: crates/bench/src/bin/tbl_thrash.rs
+
+crates/bench/src/bin/tbl_thrash.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tbl_thrash-f40d47a28cae0c35.d: crates/bench/src/bin/tbl_thrash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtbl_thrash-f40d47a28cae0c35.rmeta: crates/bench/src/bin/tbl_thrash.rs Cargo.toml
+
+crates/bench/src/bin/tbl_thrash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tbl_thrash-ff4ba83a4fcbc9dd.d: crates/bench/src/bin/tbl_thrash.rs
+
+/root/repo/target/debug/deps/tbl_thrash-ff4ba83a4fcbc9dd: crates/bench/src/bin/tbl_thrash.rs
+
+crates/bench/src/bin/tbl_thrash.rs:

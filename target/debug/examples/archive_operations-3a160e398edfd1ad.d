@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_operations-3a160e398edfd1ad.d: examples/archive_operations.rs
+
+/root/repo/target/debug/examples/archive_operations-3a160e398edfd1ad: examples/archive_operations.rs
+
+examples/archive_operations.rs:

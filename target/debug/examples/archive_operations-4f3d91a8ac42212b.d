@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/archive_operations-4f3d91a8ac42212b.d: examples/archive_operations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarchive_operations-4f3d91a8ac42212b.rmeta: examples/archive_operations.rs Cargo.toml
+
+examples/archive_operations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/archive_operations-7ae199965ae6fe9b.d: examples/archive_operations.rs
+
+/root/repo/target/debug/examples/archive_operations-7ae199965ae6fe9b: examples/archive_operations.rs
+
+examples/archive_operations.rs:

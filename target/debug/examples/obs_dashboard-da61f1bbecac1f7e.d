@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/obs_dashboard-da61f1bbecac1f7e.d: examples/obs_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libobs_dashboard-da61f1bbecac1f7e.rmeta: examples/obs_dashboard.rs Cargo.toml
+
+examples/obs_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_science_campaign-286371b35cf2c018.d: examples/open_science_campaign.rs
+
+/root/repo/target/debug/examples/open_science_campaign-286371b35cf2c018: examples/open_science_campaign.rs
+
+examples/open_science_campaign.rs:

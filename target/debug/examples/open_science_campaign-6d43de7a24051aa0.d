@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/open_science_campaign-6d43de7a24051aa0.d: examples/open_science_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libopen_science_campaign-6d43de7a24051aa0.rmeta: examples/open_science_campaign.rs Cargo.toml
+
+examples/open_science_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

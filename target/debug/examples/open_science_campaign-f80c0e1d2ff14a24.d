@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_science_campaign-f80c0e1d2ff14a24.d: examples/open_science_campaign.rs
+
+/root/repo/target/debug/examples/open_science_campaign-f80c0e1d2ff14a24: examples/open_science_campaign.rs
+
+examples/open_science_campaign.rs:

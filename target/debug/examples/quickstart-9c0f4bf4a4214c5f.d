@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9c0f4bf4a4214c5f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9c0f4bf4a4214c5f: examples/quickstart.rs
+
+examples/quickstart.rs:

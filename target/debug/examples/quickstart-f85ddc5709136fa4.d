@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f85ddc5709136fa4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f85ddc5709136fa4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restartable_transfer-33b4795927e3c533.d: examples/restartable_transfer.rs
+
+/root/repo/target/debug/examples/restartable_transfer-33b4795927e3c533: examples/restartable_transfer.rs
+
+examples/restartable_transfer.rs:

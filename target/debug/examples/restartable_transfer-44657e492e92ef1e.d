@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restartable_transfer-44657e492e92ef1e.d: examples/restartable_transfer.rs
+
+/root/repo/target/debug/examples/restartable_transfer-44657e492e92ef1e: examples/restartable_transfer.rs
+
+examples/restartable_transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/restartable_transfer-de109e94dc43347f.d: examples/restartable_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/librestartable_transfer-de109e94dc43347f.rmeta: examples/restartable_transfer.rs Cargo.toml
+
+examples/restartable_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

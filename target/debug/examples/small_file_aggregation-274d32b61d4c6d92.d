@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/small_file_aggregation-274d32b61d4c6d92.d: examples/small_file_aggregation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmall_file_aggregation-274d32b61d4c6d92.rmeta: examples/small_file_aggregation.rs Cargo.toml
+
+examples/small_file_aggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

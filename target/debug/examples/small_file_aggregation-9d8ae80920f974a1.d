@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/small_file_aggregation-9d8ae80920f974a1.d: examples/small_file_aggregation.rs
+
+/root/repo/target/debug/examples/small_file_aggregation-9d8ae80920f974a1: examples/small_file_aggregation.rs
+
+examples/small_file_aggregation.rs:

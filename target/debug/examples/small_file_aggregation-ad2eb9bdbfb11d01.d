@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/small_file_aggregation-ad2eb9bdbfb11d01.d: examples/small_file_aggregation.rs
+
+/root/repo/target/debug/examples/small_file_aggregation-ad2eb9bdbfb11d01: examples/small_file_aggregation.rs
+
+examples/small_file_aggregation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tape_thrashing-1dc8bd1dea76195f.d: examples/tape_thrashing.rs
+
+/root/repo/target/debug/examples/tape_thrashing-1dc8bd1dea76195f: examples/tape_thrashing.rs
+
+examples/tape_thrashing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tape_thrashing-55f68298922af9fe.d: examples/tape_thrashing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtape_thrashing-55f68298922af9fe.rmeta: examples/tape_thrashing.rs Cargo.toml
+
+examples/tape_thrashing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tape_thrashing-a818c72837f4a931.d: examples/tape_thrashing.rs
+
+/root/repo/target/debug/examples/tape_thrashing-a818c72837f4a931: examples/tape_thrashing.rs
+
+examples/tape_thrashing.rs:

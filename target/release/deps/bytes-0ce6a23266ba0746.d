@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-0ce6a23266ba0746.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0ce6a23266ba0746.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0ce6a23266ba0746.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

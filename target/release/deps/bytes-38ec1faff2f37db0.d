@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-38ec1faff2f37db0.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-38ec1faff2f37db0.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

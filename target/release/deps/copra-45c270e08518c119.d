@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/copra-45c270e08518c119.d: src/lib.rs
+
+/root/repo/target/release/deps/libcopra-45c270e08518c119.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcopra-45c270e08518c119.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/copra-f3365b11e07708ad.d: src/lib.rs
+
+/root/repo/target/release/deps/libcopra-f3365b11e07708ad.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcopra-f3365b11e07708ad.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/copra_bench-0a39b06caf864d61.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_bench-0a39b06caf864d61.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/copra_bench-ae3287a17cba5ec0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcopra_bench-ae3287a17cba5ec0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcopra_bench-ae3287a17cba5ec0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/copra_cluster-448e53948ec06d26.d: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+/root/repo/target/release/deps/libcopra_cluster-448e53948ec06d26.rlib: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+/root/repo/target/release/deps/libcopra_cluster-448e53948ec06d26.rmeta: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/fta.rs:
+crates/cluster/src/loadmgr.rs:
+crates/cluster/src/moab.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/copra_cluster-abcd6ea6be71f536.d: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_cluster-abcd6ea6be71f536.rmeta: crates/cluster/src/lib.rs crates/cluster/src/fta.rs crates/cluster/src/loadmgr.rs crates/cluster/src/moab.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/fta.rs:
+crates/cluster/src/loadmgr.rs:
+crates/cluster/src/moab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

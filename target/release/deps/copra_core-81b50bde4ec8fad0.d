@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/copra_core-81b50bde4ec8fad0.d: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_core-81b50bde4ec8fad0.rmeta: crates/core/src/lib.rs crates/core/src/jail.rs crates/core/src/migrator.rs crates/core/src/obs.rs crates/core/src/search.rs crates/core/src/shell.rs crates/core/src/syncdel.rs crates/core/src/system.rs crates/core/src/trashcan.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/jail.rs:
+crates/core/src/migrator.rs:
+crates/core/src/obs.rs:
+crates/core/src/search.rs:
+crates/core/src/shell.rs:
+crates/core/src/syncdel.rs:
+crates/core/src/system.rs:
+crates/core/src/trashcan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/copra_fuse-75ede4f3394a0243.d: crates/fuselayer/src/lib.rs
+
+/root/repo/target/release/deps/libcopra_fuse-75ede4f3394a0243.rlib: crates/fuselayer/src/lib.rs
+
+/root/repo/target/release/deps/libcopra_fuse-75ede4f3394a0243.rmeta: crates/fuselayer/src/lib.rs
+
+crates/fuselayer/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/copra_fuse-f3935d4ef2363e4b.d: crates/fuselayer/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_fuse-f3935d4ef2363e4b.rmeta: crates/fuselayer/src/lib.rs Cargo.toml
+
+crates/fuselayer/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/copra_hsm-479eaf202b2d1304.d: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_hsm-479eaf202b2d1304.rmeta: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs Cargo.toml
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/agent.rs:
+crates/hsm/src/aggregate.rs:
+crates/hsm/src/backup.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/object.rs:
+crates/hsm/src/reclaim.rs:
+crates/hsm/src/reconcile.rs:
+crates/hsm/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

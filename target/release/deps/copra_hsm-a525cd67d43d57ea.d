@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/copra_hsm-a525cd67d43d57ea.d: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+/root/repo/target/release/deps/libcopra_hsm-a525cd67d43d57ea.rlib: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+/root/repo/target/release/deps/libcopra_hsm-a525cd67d43d57ea.rmeta: crates/hsm/src/lib.rs crates/hsm/src/agent.rs crates/hsm/src/aggregate.rs crates/hsm/src/backup.rs crates/hsm/src/error.rs crates/hsm/src/hsm.rs crates/hsm/src/object.rs crates/hsm/src/reclaim.rs crates/hsm/src/reconcile.rs crates/hsm/src/server.rs
+
+crates/hsm/src/lib.rs:
+crates/hsm/src/agent.rs:
+crates/hsm/src/aggregate.rs:
+crates/hsm/src/backup.rs:
+crates/hsm/src/error.rs:
+crates/hsm/src/hsm.rs:
+crates/hsm/src/object.rs:
+crates/hsm/src/reclaim.rs:
+crates/hsm/src/reconcile.rs:
+crates/hsm/src/server.rs:

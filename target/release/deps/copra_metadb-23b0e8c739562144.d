@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/copra_metadb-23b0e8c739562144.d: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_metadb-23b0e8c739562144.rmeta: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs Cargo.toml
+
+crates/metadb/src/lib.rs:
+crates/metadb/src/table.rs:
+crates/metadb/src/tsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/copra_metadb-de2b9f759c8fb4ff.d: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+/root/repo/target/release/deps/libcopra_metadb-de2b9f759c8fb4ff.rlib: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+/root/repo/target/release/deps/libcopra_metadb-de2b9f759c8fb4ff.rmeta: crates/metadb/src/lib.rs crates/metadb/src/table.rs crates/metadb/src/tsm.rs
+
+crates/metadb/src/lib.rs:
+crates/metadb/src/table.rs:
+crates/metadb/src/tsm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/copra_mpirt-45e570acbed09378.d: crates/mpirt/src/lib.rs
+
+/root/repo/target/release/deps/libcopra_mpirt-45e570acbed09378.rlib: crates/mpirt/src/lib.rs
+
+/root/repo/target/release/deps/libcopra_mpirt-45e570acbed09378.rmeta: crates/mpirt/src/lib.rs
+
+crates/mpirt/src/lib.rs:

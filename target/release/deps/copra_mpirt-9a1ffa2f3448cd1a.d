@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/copra_mpirt-9a1ffa2f3448cd1a.d: crates/mpirt/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_mpirt-9a1ffa2f3448cd1a.rmeta: crates/mpirt/src/lib.rs Cargo.toml
+
+crates/mpirt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/copra_obs-4420136cd1afb573.d: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libcopra_obs-4420136cd1afb573.rlib: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs
+
+/root/repo/target/release/deps/libcopra_obs-4420136cd1afb573.rmeta: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/copra_obs-dfdff6e9e9467ae7.d: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_obs-dfdff6e9e9467ae7.rmeta: crates/obs/src/lib.rs crates/obs/src/events.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/events.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/copra_pfs-7b884952f0fdfeec.d: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+/root/repo/target/release/deps/libcopra_pfs-7b884952f0fdfeec.rlib: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+/root/repo/target/release/deps/libcopra_pfs-7b884952f0fdfeec.rmeta: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/glob.rs:
+crates/pfs/src/hsmstate.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/policy.rs:
+crates/pfs/src/pool.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/copra_pfs-eb1effef21d9c283.d: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_pfs-eb1effef21d9c283.rmeta: crates/pfs/src/lib.rs crates/pfs/src/glob.rs crates/pfs/src/hsmstate.rs crates/pfs/src/pfs.rs crates/pfs/src/policy.rs crates/pfs/src/pool.rs Cargo.toml
+
+crates/pfs/src/lib.rs:
+crates/pfs/src/glob.rs:
+crates/pfs/src/hsmstate.rs:
+crates/pfs/src/pfs.rs:
+crates/pfs/src/policy.rs:
+crates/pfs/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

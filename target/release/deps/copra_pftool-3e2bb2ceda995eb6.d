@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/copra_pftool-3e2bb2ceda995eb6.d: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_pftool-3e2bb2ceda995eb6.rmeta: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs Cargo.toml
+
+crates/pftool/src/lib.rs:
+crates/pftool/src/api.rs:
+crates/pftool/src/config.rs:
+crates/pftool/src/engine.rs:
+crates/pftool/src/msg.rs:
+crates/pftool/src/queues.rs:
+crates/pftool/src/report.rs:
+crates/pftool/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

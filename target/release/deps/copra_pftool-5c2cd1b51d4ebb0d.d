@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/copra_pftool-5c2cd1b51d4ebb0d.d: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+/root/repo/target/release/deps/libcopra_pftool-5c2cd1b51d4ebb0d.rlib: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+/root/repo/target/release/deps/libcopra_pftool-5c2cd1b51d4ebb0d.rmeta: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+crates/pftool/src/lib.rs:
+crates/pftool/src/api.rs:
+crates/pftool/src/config.rs:
+crates/pftool/src/engine.rs:
+crates/pftool/src/msg.rs:
+crates/pftool/src/queues.rs:
+crates/pftool/src/report.rs:
+crates/pftool/src/view.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/copra_pftool-d7da47b853daecc3.d: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+/root/repo/target/release/deps/libcopra_pftool-d7da47b853daecc3.rlib: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+/root/repo/target/release/deps/libcopra_pftool-d7da47b853daecc3.rmeta: crates/pftool/src/lib.rs crates/pftool/src/api.rs crates/pftool/src/config.rs crates/pftool/src/engine.rs crates/pftool/src/msg.rs crates/pftool/src/queues.rs crates/pftool/src/report.rs crates/pftool/src/view.rs
+
+crates/pftool/src/lib.rs:
+crates/pftool/src/api.rs:
+crates/pftool/src/config.rs:
+crates/pftool/src/engine.rs:
+crates/pftool/src/msg.rs:
+crates/pftool/src/queues.rs:
+crates/pftool/src/report.rs:
+crates/pftool/src/view.rs:

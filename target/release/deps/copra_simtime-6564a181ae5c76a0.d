@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/copra_simtime-6564a181ae5c76a0.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/release/deps/libcopra_simtime-6564a181ae5c76a0.rlib: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/release/deps/libcopra_simtime-6564a181ae5c76a0.rmeta: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/pool.rs:
+crates/simtime/src/rate.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/timeline.rs:

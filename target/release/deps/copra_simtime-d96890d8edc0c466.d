@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/copra_simtime-d96890d8edc0c466.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_simtime-d96890d8edc0c466.rmeta: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/pool.rs crates/simtime/src/rate.rs crates/simtime/src/time.rs crates/simtime/src/timeline.rs Cargo.toml
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/pool.rs:
+crates/simtime/src/rate.rs:
+crates/simtime/src/time.rs:
+crates/simtime/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/copra_tape-850a3b8175553a05.d: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/release/deps/libcopra_tape-850a3b8175553a05.rlib: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/release/deps/libcopra_tape-850a3b8175553a05.rmeta: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/cartridge.rs:
+crates/tape/src/library.rs:
+crates/tape/src/timing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/copra_tape-8c4eeb5d957da2b6.d: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_tape-8c4eeb5d957da2b6.rmeta: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs Cargo.toml
+
+crates/tape/src/lib.rs:
+crates/tape/src/cartridge.rs:
+crates/tape/src/library.rs:
+crates/tape/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

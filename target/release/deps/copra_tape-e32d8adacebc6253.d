@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/copra_tape-e32d8adacebc6253.d: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/release/deps/libcopra_tape-e32d8adacebc6253.rlib: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+/root/repo/target/release/deps/libcopra_tape-e32d8adacebc6253.rmeta: crates/tape/src/lib.rs crates/tape/src/cartridge.rs crates/tape/src/library.rs crates/tape/src/timing.rs
+
+crates/tape/src/lib.rs:
+crates/tape/src/cartridge.rs:
+crates/tape/src/library.rs:
+crates/tape/src/timing.rs:

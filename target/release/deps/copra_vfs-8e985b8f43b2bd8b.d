@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/copra_vfs-8e985b8f43b2bd8b.d: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+/root/repo/target/release/deps/libcopra_vfs-8e985b8f43b2bd8b.rlib: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+/root/repo/target/release/deps/libcopra_vfs-8e985b8f43b2bd8b.rmeta: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/content.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/inode.rs:
+crates/vfs/src/path.rs:

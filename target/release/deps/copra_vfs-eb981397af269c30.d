@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/copra_vfs-eb981397af269c30.d: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_vfs-eb981397af269c30.rmeta: crates/vfs/src/lib.rs crates/vfs/src/content.rs crates/vfs/src/error.rs crates/vfs/src/fs.rs crates/vfs/src/inode.rs crates/vfs/src/path.rs Cargo.toml
+
+crates/vfs/src/lib.rs:
+crates/vfs/src/content.rs:
+crates/vfs/src/error.rs:
+crates/vfs/src/fs.rs:
+crates/vfs/src/inode.rs:
+crates/vfs/src/path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

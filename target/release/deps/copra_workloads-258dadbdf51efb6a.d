@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/copra_workloads-258dadbdf51efb6a.d: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+/root/repo/target/release/deps/libcopra_workloads-258dadbdf51efb6a.rlib: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+/root/repo/target/release/deps/libcopra_workloads-258dadbdf51efb6a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generators.rs:
+crates/workloads/src/open_science.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/copra_workloads-2ae4b6faf245c357.d: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs Cargo.toml
+
+/root/repo/target/release/deps/libcopra_workloads-2ae4b6faf245c357.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/open_science.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generators.rs:
+crates/workloads/src/open_science.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-59a69f0edcfd9c5a.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-59a69f0edcfd9c5a.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_11-3a49a2226cbe0d2b.d: crates/bench/src/bin/fig08_11.rs
+
+/root/repo/target/release/deps/fig08_11-3a49a2226cbe0d2b: crates/bench/src/bin/fig08_11.rs
+
+crates/bench/src/bin/fig08_11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_11-6ec1aeac781d0d1b.d: crates/bench/src/bin/fig08_11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_11-6ec1aeac781d0d1b.rmeta: crates/bench/src/bin/fig08_11.rs Cargo.toml
+
+crates/bench/src/bin/fig08_11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

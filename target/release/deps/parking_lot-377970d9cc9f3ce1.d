@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-377970d9cc9f3ce1.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-377970d9cc9f3ce1.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-ac8b5991e2f171d9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ac8b5991e2f171d9.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ac8b5991e2f171d9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

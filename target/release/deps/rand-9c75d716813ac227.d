@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-9c75d716813ac227.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9c75d716813ac227.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

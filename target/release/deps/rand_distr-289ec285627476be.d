@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_distr-289ec285627476be.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-289ec285627476be.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

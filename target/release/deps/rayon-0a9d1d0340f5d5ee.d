@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-0a9d1d0340f5d5ee.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-0a9d1d0340f5d5ee.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

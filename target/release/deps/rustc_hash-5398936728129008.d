@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rustc_hash-5398936728129008.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-5398936728129008.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rustc_hash-9517631e50f3a927.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-9517631e50f3a927.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-9517631e50f3a927.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-d375bc838a2cc7d1.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d375bc838a2cc7d1.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d375bc838a2cc7d1.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-d7b7694d2b10c203.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d7b7694d2b10c203.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

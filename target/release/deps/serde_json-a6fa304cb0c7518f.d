@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-a6fa304cb0c7518f.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a6fa304cb0c7518f.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a6fa304cb0c7518f.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-c56afce3c40e0c71.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c56afce3c40e0c71.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

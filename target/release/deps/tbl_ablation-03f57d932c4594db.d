@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_ablation-03f57d932c4594db.d: crates/bench/src/bin/tbl_ablation.rs
+
+/root/repo/target/release/deps/tbl_ablation-03f57d932c4594db: crates/bench/src/bin/tbl_ablation.rs
+
+crates/bench/src/bin/tbl_ablation.rs:

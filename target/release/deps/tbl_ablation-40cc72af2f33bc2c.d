@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_ablation-40cc72af2f33bc2c.d: crates/bench/src/bin/tbl_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_ablation-40cc72af2f33bc2c.rmeta: crates/bench/src/bin/tbl_ablation.rs Cargo.toml
+
+crates/bench/src/bin/tbl_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_chunk-1de9dfd105f12821.d: crates/bench/src/bin/tbl_chunk.rs
+
+/root/repo/target/release/deps/tbl_chunk-1de9dfd105f12821: crates/bench/src/bin/tbl_chunk.rs
+
+crates/bench/src/bin/tbl_chunk.rs:

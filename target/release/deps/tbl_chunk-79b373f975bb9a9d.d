@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_chunk-79b373f975bb9a9d.d: crates/bench/src/bin/tbl_chunk.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_chunk-79b373f975bb9a9d.rmeta: crates/bench/src/bin/tbl_chunk.rs Cargo.toml
+
+crates/bench/src/bin/tbl_chunk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

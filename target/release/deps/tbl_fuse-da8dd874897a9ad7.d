@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_fuse-da8dd874897a9ad7.d: crates/bench/src/bin/tbl_fuse.rs
+
+/root/repo/target/release/deps/tbl_fuse-da8dd874897a9ad7: crates/bench/src/bin/tbl_fuse.rs
+
+crates/bench/src/bin/tbl_fuse.rs:

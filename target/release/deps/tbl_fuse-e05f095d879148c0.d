@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_fuse-e05f095d879148c0.d: crates/bench/src/bin/tbl_fuse.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_fuse-e05f095d879148c0.rmeta: crates/bench/src/bin/tbl_fuse.rs Cargo.toml
+
+crates/bench/src/bin/tbl_fuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_lanfree-4037f66f86549d88.d: crates/bench/src/bin/tbl_lanfree.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_lanfree-4037f66f86549d88.rmeta: crates/bench/src/bin/tbl_lanfree.rs Cargo.toml
+
+crates/bench/src/bin/tbl_lanfree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

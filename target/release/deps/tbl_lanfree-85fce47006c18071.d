@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_lanfree-85fce47006c18071.d: crates/bench/src/bin/tbl_lanfree.rs
+
+/root/repo/target/release/deps/tbl_lanfree-85fce47006c18071: crates/bench/src/bin/tbl_lanfree.rs
+
+crates/bench/src/bin/tbl_lanfree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_migrator-2aa60287b6c73bc1.d: crates/bench/src/bin/tbl_migrator.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_migrator-2aa60287b6c73bc1.rmeta: crates/bench/src/bin/tbl_migrator.rs Cargo.toml
+
+crates/bench/src/bin/tbl_migrator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_migrator-39e79dfdac55f4ae.d: crates/bench/src/bin/tbl_migrator.rs
+
+/root/repo/target/release/deps/tbl_migrator-39e79dfdac55f4ae: crates/bench/src/bin/tbl_migrator.rs
+
+crates/bench/src/bin/tbl_migrator.rs:

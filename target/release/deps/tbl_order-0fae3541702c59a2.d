@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_order-0fae3541702c59a2.d: crates/bench/src/bin/tbl_order.rs
+
+/root/repo/target/release/deps/tbl_order-0fae3541702c59a2: crates/bench/src/bin/tbl_order.rs
+
+crates/bench/src/bin/tbl_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_order-f668b32627546f03.d: crates/bench/src/bin/tbl_order.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_order-f668b32627546f03.rmeta: crates/bench/src/bin/tbl_order.rs Cargo.toml
+
+crates/bench/src/bin/tbl_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_restart-a3a1fce101f158ef.d: crates/bench/src/bin/tbl_restart.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_restart-a3a1fce101f158ef.rmeta: crates/bench/src/bin/tbl_restart.rs Cargo.toml
+
+crates/bench/src/bin/tbl_restart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

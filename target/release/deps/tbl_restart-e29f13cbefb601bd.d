@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_restart-e29f13cbefb601bd.d: crates/bench/src/bin/tbl_restart.rs
+
+/root/repo/target/release/deps/tbl_restart-e29f13cbefb601bd: crates/bench/src/bin/tbl_restart.rs
+
+crates/bench/src/bin/tbl_restart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_scan-9fcb438cfe83b84c.d: crates/bench/src/bin/tbl_scan.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_scan-9fcb438cfe83b84c.rmeta: crates/bench/src/bin/tbl_scan.rs Cargo.toml
+
+crates/bench/src/bin/tbl_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_scan-c1e645d85af370cc.d: crates/bench/src/bin/tbl_scan.rs
+
+/root/repo/target/release/deps/tbl_scan-c1e645d85af370cc: crates/bench/src/bin/tbl_scan.rs
+
+crates/bench/src/bin/tbl_scan.rs:

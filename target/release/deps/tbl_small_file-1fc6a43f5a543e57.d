@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_small_file-1fc6a43f5a543e57.d: crates/bench/src/bin/tbl_small_file.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_small_file-1fc6a43f5a543e57.rmeta: crates/bench/src/bin/tbl_small_file.rs Cargo.toml
+
+crates/bench/src/bin/tbl_small_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

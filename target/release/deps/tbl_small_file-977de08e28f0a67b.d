@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_small_file-977de08e28f0a67b.d: crates/bench/src/bin/tbl_small_file.rs
+
+/root/repo/target/release/deps/tbl_small_file-977de08e28f0a67b: crates/bench/src/bin/tbl_small_file.rs
+
+crates/bench/src/bin/tbl_small_file.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_syncdel-21218d58cab7a1fb.d: crates/bench/src/bin/tbl_syncdel.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_syncdel-21218d58cab7a1fb.rmeta: crates/bench/src/bin/tbl_syncdel.rs Cargo.toml
+
+crates/bench/src/bin/tbl_syncdel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

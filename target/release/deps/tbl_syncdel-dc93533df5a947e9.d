@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_syncdel-dc93533df5a947e9.d: crates/bench/src/bin/tbl_syncdel.rs
+
+/root/repo/target/release/deps/tbl_syncdel-dc93533df5a947e9: crates/bench/src/bin/tbl_syncdel.rs
+
+crates/bench/src/bin/tbl_syncdel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tbl_thrash-01b102250a07a241.d: crates/bench/src/bin/tbl_thrash.rs Cargo.toml
+
+/root/repo/target/release/deps/libtbl_thrash-01b102250a07a241.rmeta: crates/bench/src/bin/tbl_thrash.rs Cargo.toml
+
+crates/bench/src/bin/tbl_thrash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tbl_thrash-685fbc7f0ca18895.d: crates/bench/src/bin/tbl_thrash.rs
+
+/root/repo/target/release/deps/tbl_thrash-685fbc7f0ca18895: crates/bench/src/bin/tbl_thrash.rs
+
+crates/bench/src/bin/tbl_thrash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/obs_dashboard-9bc4d9383ea1eb86.d: examples/obs_dashboard.rs
+
+/root/repo/target/release/examples/obs_dashboard-9bc4d9383ea1eb86: examples/obs_dashboard.rs
+
+examples/obs_dashboard.rs:

@@ -128,10 +128,7 @@ fn out_of_volumes_is_explicit() {
             }
         }
     }
-    assert_eq!(
-        failed,
-        Some(HsmError::OutOfVolumes { needed: 8_000_000 })
-    );
+    assert_eq!(failed, Some(HsmError::OutOfVolumes { needed: 8_000_000 }));
 }
 
 /// The catalog replica can be stale (export not yet run); PFTool falls

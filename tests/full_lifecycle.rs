@@ -126,7 +126,10 @@ fn huge_file_fuse_tape_roundtrip() {
         .iter()
         .map(|o| o.addr.tape.0)
         .collect();
-    assert!(tapes.len() > 1, "chunks should spread over volumes: {tapes:?}");
+    assert!(
+        tapes.len() > 1,
+        "chunks should spread over volumes: {tapes:?}"
+    );
     sys.clock().advance_to(migration.makespan);
     sys.export_catalog();
 
@@ -261,7 +264,12 @@ fn jail_permits_the_supported_workflow() {
     ] {
         assert!(jail.check(cmd).is_ok(), "{cmd} should be allowed");
     }
-    for cmd in ["grep x /archive", "cat /archive/f", "rm /archive/f", "find /archive -exec cat {} ;"] {
+    for cmd in [
+        "grep x /archive",
+        "cat /archive/f",
+        "rm /archive/f",
+        "find /archive -exec cat {} ;",
+    ] {
         assert!(jail.check(cmd).is_err(), "{cmd} should be refused");
     }
 }

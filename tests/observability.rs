@@ -1,0 +1,147 @@
+//! Cross-crate integration: the observability stack over a small campaign.
+//!
+//! Drives archive → migrate → batch recall through `ArchiveSystem`, then
+//! checks that the shared metrics registry saw every layer: tape mounts,
+//! recall-daemon affinity accounting, PFTool queue-depth samples, and
+//! per-device utilizations — and that the snapshot survives a JSON round
+//! trip and renders a dashboard.
+
+use copra::cluster::NodeId;
+use copra::core::{
+    migrate_candidates, ArchiveSystem, MigrationPolicy, SystemConfig, SystemSnapshot,
+};
+use copra::hsm::{DataPath, RecallPolicy, RecallRequest};
+use copra::obs::EventKind;
+use copra::pftool::PftoolConfig;
+use copra::simtime::{DataSize, SimDuration};
+use copra::workloads::{mixed_tree, populate};
+
+#[test]
+fn campaign_metrics_snapshot() {
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    let config = PftoolConfig::test_small();
+    let tree = mixed_tree(40, 2_000_000, 1.2, 5, 7);
+    populate(sys.scratch(), "/campaign", &tree);
+
+    // Archive the tree (PFTool: queue gauges + worker transitions fire).
+    let report = sys.archive_tree("/campaign", "/archive/campaign", &config);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+
+    // Age the files past the policy window, then migrate all to tape.
+    sys.clock()
+        .advance_to(sys.clock().now() + SimDuration::from_secs(86_400));
+    let policy = sys.migration_policy(SimDuration::from_secs(3600));
+    let scan = sys.archive().run_policy(&policy);
+    let candidates = &scan.lists["migrate"];
+    assert!(
+        !candidates.is_empty(),
+        "policy scan found nothing to migrate"
+    );
+    let nodes: Vec<NodeId> = sys.cluster().nodes().collect();
+    let migration = migrate_candidates(
+        sys.hsm(),
+        candidates,
+        &nodes,
+        MigrationPolicy::SizeBalanced,
+        DataPath::LanFree,
+        sys.clock().now(),
+        true,
+        Some((DataSize::mb(1), DataSize::mb(64))),
+    );
+    assert!(migration.errors.is_empty(), "{:?}", migration.errors);
+    sys.clock().advance_to(migration.makespan);
+
+    // Recall everything through the per-node daemons so the affinity
+    // accounting (hits vs handoffs) fires.
+    let requests: Vec<RecallRequest> = candidates
+        .iter()
+        .map(|c| RecallRequest { ino: c.ino })
+        .collect();
+    let recall = sys
+        .hsm()
+        .recall_batch(
+            &requests,
+            RecallPolicy::TapeAffinity,
+            DataPath::LanFree,
+            sys.clock().now(),
+        )
+        .unwrap();
+    sys.clock().advance_to(recall.makespan);
+
+    let snap = sys.snapshot();
+    let m = &snap.metrics;
+
+    // Tape layer: the migration mounted cartridges and wrote bytes.
+    assert!(m.counter("tape.mounts") > 0, "no tape mounts recorded");
+    assert!(m.counter("tape.bytes_written") > 0);
+    assert!(m.counter("tape.bytes_read") > 0, "recalls read nothing");
+
+    // HSM layer: migrate/recall ops and the affinity accounting.
+    assert!(m.counter("hsm.migrate_ops") > 0);
+    assert!(m.counter("hsm.recall_ops") > 0);
+    let affinity_total =
+        m.counter("hsm.recall.affinity_hits") + m.counter("hsm.recall.affinity_misses");
+    assert_eq!(
+        affinity_total,
+        requests.len() as u64,
+        "every daemon assignment is either an affinity hit or a miss"
+    );
+    assert!(
+        m.events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RecallAssign { .. })),
+        "no RecallAssign events traced"
+    );
+
+    // PFTool layer: the WatchDog-cadence queue sampling left gauge samples
+    // and QueueSample events behind.
+    for gauge in [
+        "pftool.dirq_depth",
+        "pftool.nameq_depth",
+        "pftool.copyq_depth",
+        "pftool.tapecq_depth",
+    ] {
+        let g = m.gauge(gauge).unwrap_or_else(|| panic!("{gauge} missing"));
+        assert!(
+            g.samples.len() >= 2,
+            "{gauge}: expected start+end samples at least, got {}",
+            g.samples.len()
+        );
+    }
+    assert!(
+        m.events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::QueueSample { .. })),
+        "no QueueSample events traced"
+    );
+
+    // Device layer: everything that did work shows a utilization in (0, 1].
+    let busy: Vec<_> = snap.devices.iter().filter(|d| d.ops > 0).collect();
+    assert!(!busy.is_empty(), "no device recorded any operations");
+    assert!(
+        busy.iter().any(|d| d.name.starts_with("tape.drive")),
+        "no tape drive did work: {:?}",
+        busy.iter().map(|d| &d.name).collect::<Vec<_>>()
+    );
+    for dev in &busy {
+        assert!(
+            dev.utilization > 0.0 && dev.utilization <= 1.0,
+            "{}: utilization {} out of (0, 1]",
+            dev.name,
+            dev.utilization
+        );
+        assert!(dev.busy_secs > 0.0, "{}: ops but no busy time", dev.name);
+    }
+
+    // The snapshot survives a JSON round trip…
+    let back = SystemSnapshot::from_json(&snap.to_json()).expect("parse snapshot back");
+    assert_eq!(back.sim_now_ns, snap.sim_now_ns);
+    assert_eq!(back.devices.len(), snap.devices.len());
+    assert_eq!(back.metrics, snap.metrics);
+
+    // …and the dashboard renders every layer of it.
+    let dash = sys.dashboard();
+    assert!(dash.contains("campaign dashboard"));
+    assert!(dash.contains("tape.mounts"));
+    assert!(dash.contains("pftool.copyq_depth"));
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/bytes/target/debug/deps/bytes-36f08bf84682572d.d: src/lib.rs
+
+/root/repo/vendor/bytes/target/debug/deps/libbytes-36f08bf84682572d.rlib: src/lib.rs
+
+/root/repo/vendor/bytes/target/debug/deps/libbytes-36f08bf84682572d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/bytes/target/debug/deps/bytes-5c2ec98ab8b9078e.d: src/lib.rs
+
+/root/repo/vendor/bytes/target/debug/deps/bytes-5c2ec98ab8b9078e: src/lib.rs
+
+src/lib.rs:

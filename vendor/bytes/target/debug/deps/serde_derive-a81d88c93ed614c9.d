@@ -1,0 +1,5 @@
+/root/repo/vendor/bytes/target/debug/deps/serde_derive-a81d88c93ed614c9.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/bytes/target/debug/deps/libserde_derive-a81d88c93ed614c9.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/crossbeam/target/debug/deps/crossbeam-17e47230fec05c8f.d: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libcrossbeam-17e47230fec05c8f.rlib: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libcrossbeam-17e47230fec05c8f.rmeta: src/lib.rs
+
+src/lib.rs:

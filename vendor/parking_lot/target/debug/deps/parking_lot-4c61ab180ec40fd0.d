@@ -1,0 +1,7 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-4c61ab180ec40fd0.d: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-4c61ab180ec40fd0.rlib: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-4c61ab180ec40fd0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-60daf9a6c2037339.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-60daf9a6c2037339: src/lib.rs
+
+src/lib.rs:

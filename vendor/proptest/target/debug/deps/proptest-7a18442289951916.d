@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-7a18442289951916.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-7a18442289951916.rlib: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-7a18442289951916.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,130 @@
+//! Offline substitute for `rand_distr`.
+//!
+//! Normal and LogNormal via Box–Muller, over the vendored `rand`. Matches
+//! the distributions' parameterization exactly (ln-space mean/sigma for
+//! LogNormal), so calibrated workload statistics land in the same bands.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Standard deviation (or sigma) was negative or non-finite.
+    BadVariance,
+    /// Mean (or mu) was non-finite.
+    BadMean,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadVariance => write!(f, "standard deviation must be finite and non-negative"),
+            Error::BadMean => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Gaussian with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() {
+            return Err(Error::BadMean);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite; u2 in [0, 1).
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// exp(N(mu, sigma)): heavy-tailed sizes, parameterized in ln-space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2)
+        let (mu, sigma) = (1.0f64, 0.5f64);
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = (mu + sigma * sigma / 2.0).exp();
+        assert!(
+            (mean / expected - 1.0).abs() < 0.02,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/rand_distr/target/debug/deps/rand_distr-6f4e26c0940d6855.d: src/lib.rs
+
+/root/repo/vendor/rand_distr/target/debug/deps/librand_distr-6f4e26c0940d6855.rlib: src/lib.rs
+
+/root/repo/vendor/rand_distr/target/debug/deps/librand_distr-6f4e26c0940d6855.rmeta: src/lib.rs
+
+src/lib.rs:

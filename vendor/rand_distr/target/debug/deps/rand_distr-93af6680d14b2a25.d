@@ -1,0 +1,5 @@
+/root/repo/vendor/rand_distr/target/debug/deps/rand_distr-93af6680d14b2a25.d: src/lib.rs
+
+/root/repo/vendor/rand_distr/target/debug/deps/rand_distr-93af6680d14b2a25: src/lib.rs
+
+src/lib.rs:

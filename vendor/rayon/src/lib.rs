@@ -1,0 +1,175 @@
+//! Offline substitute for `rayon`.
+//!
+//! Implements the slice of the rayon API the policy engine uses —
+//! `par_iter().filter_map(..).collect()` and `par_iter().map(..).collect()`
+//! — with real data parallelism: the input slice is split into one chunk
+//! per available core and processed under `std::thread::scope`, with
+//! results concatenated in input order (matching rayon's indexed
+//! semantics).
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+fn worker_count(len: usize) -> usize {
+    if len < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len)
+}
+
+/// Run `f` over equal chunks of `items` on scoped threads, preserving
+/// chunk order in the concatenated output.
+fn chunked<'data, T: Sync, R: Send>(
+    items: &'data [T],
+    f: impl Fn(&'data [T]) -> Vec<R> + Sync,
+) -> Vec<R> {
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(|| f(c))).collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+/// The combinators the workspace uses, shaped like rayon's trait.
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    fn filter_map<R, F>(self, f: F) -> ParFilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync,
+    {
+        ParFilterMap { inner: self, f }
+    }
+
+    /// Evaluate eagerly into an ordered `Vec`.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+
+    fn run(self) -> Vec<&'data T> {
+        chunked(self.items, |chunk| chunk.iter().collect())
+    }
+}
+
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'data, T, R, F> ParallelIterator for ParMap<ParIter<'data, T>, F>
+where
+    T: Sync + 'data,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let f = &self.f;
+        chunked(self.inner.items, |chunk| chunk.iter().map(f).collect())
+    }
+}
+
+pub struct ParFilterMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'data, T, R, F> ParallelIterator for ParFilterMap<ParIter<'data, T>, F>
+where
+    T: Sync + 'data,
+    R: Send,
+    F: Fn(&'data T) -> Option<R> + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let f = &self.f;
+        chunked(self.inner.items, |chunk| {
+            chunk.iter().filter_map(f).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let odds: Vec<u64> = v
+            .par_iter()
+            .filter_map(|&x| if x % 2 == 1 { Some(x * 10) } else { None })
+            .collect();
+        let expected: Vec<u64> = (0..10_000).filter(|x| x % 2 == 1).map(|x| x * 10).collect();
+        assert_eq!(odds, expected);
+    }
+
+    #[test]
+    fn map_over_empty_and_tiny() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

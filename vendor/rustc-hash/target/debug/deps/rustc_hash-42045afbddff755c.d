@@ -1,0 +1,7 @@
+/root/repo/vendor/rustc-hash/target/debug/deps/rustc_hash-42045afbddff755c.d: src/lib.rs
+
+/root/repo/vendor/rustc-hash/target/debug/deps/librustc_hash-42045afbddff755c.rlib: src/lib.rs
+
+/root/repo/vendor/rustc-hash/target/debug/deps/librustc_hash-42045afbddff755c.rmeta: src/lib.rs
+
+src/lib.rs:

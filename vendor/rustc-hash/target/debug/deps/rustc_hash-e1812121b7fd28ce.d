@@ -1,0 +1,5 @@
+/root/repo/vendor/rustc-hash/target/debug/deps/rustc_hash-e1812121b7fd28ce.d: src/lib.rs
+
+/root/repo/vendor/rustc-hash/target/debug/deps/rustc_hash-e1812121b7fd28ce: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde-2cc1cc5e9181505d.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/serde-2cc1cc5e9181505d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde/target/debug/deps/serde-8d9dc9a527520267.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-8d9dc9a527520267.rlib: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-8d9dc9a527520267.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde-7ca3ddd49e97c1ee.d: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-7ca3ddd49e97c1ee.rlib: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-7ca3ddd49e97c1ee.rmeta: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde/src/lib.rs:

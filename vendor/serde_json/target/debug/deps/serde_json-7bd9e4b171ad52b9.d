@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-7bd9e4b171ad52b9.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-7bd9e4b171ad52b9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-fcf6dde5dddee528.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-fcf6dde5dddee528.rlib: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-fcf6dde5dddee528.rmeta: src/lib.rs
+
+src/lib.rs:
