@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/obs_dashboard-e43f69bb41cf4b5d.d: examples/obs_dashboard.rs
+
+/root/repo/target/debug/examples/obs_dashboard-e43f69bb41cf4b5d: examples/obs_dashboard.rs
+
+examples/obs_dashboard.rs:
