@@ -1,0 +1,195 @@
+//! T-FAULTS: goodput and completion under injected failures.
+//!
+//! The paper's production claim is operational, not just fast: drives die,
+//! media goes bad, movers crash, and the archive must finish anyway. This
+//! binary retrieves a migrated campaign under a seeded fault plan — drive
+//! hard-failures, media errors on two addresses, one mover crash, and a
+//! transient-I/O storm — at 0, 1 and 2 failed drives, and reports goodput
+//! against the fault-free baseline.
+//!
+//! Self-asserting: every row must complete with zero lost bytes (every
+//! retrieved file is fingerprint-checked against its original), the
+//! 1-failed-drive scenario must be bit-identical across two runs (same
+//! seed → same fault sequence → same simulated outcome), and the baseline
+//! row must leave the `faults.*` metric family empty.
+
+use copra_bench::{mb_per_sec, print_table, small_rig, write_json};
+use copra_cluster::NodeId;
+use copra_faults::FaultPlan;
+use copra_hsm::DataPath;
+use copra_pftool::PftoolConfig;
+use copra_simtime::{SimDuration, SimInstant};
+use copra_vfs::Content;
+use serde::Serialize;
+
+const BIG_FILES: u64 = 24;
+/// Rank layout with one ReadDir proc: rank 4 is the single Worker.
+const WORKER_RANK: u32 = 4;
+const SEED: u64 = 0xFA17;
+
+fn big(i: u64) -> Content {
+    Content::synthetic(300 + i, 6_000_000 + i * 40_000)
+}
+fn small(i: u64) -> Content {
+    Content::synthetic(400 + i, 400_000)
+}
+
+/// One of each mover kind: the serial world keeps the simulated outcome
+/// reproducible, which is what the determinism self-check demands.
+fn serial_config() -> PftoolConfig {
+    PftoolConfig {
+        readdir_procs: 1,
+        workers: 1,
+        tape_procs: 1,
+        ..PftoolConfig::test_small()
+    }
+}
+
+#[derive(Serialize, Clone, PartialEq, Debug)]
+struct Row {
+    failed_drives: usize,
+    sim_seconds: f64,
+    goodput_mb_s: f64,
+    restores: u64,
+    retries: u64,
+    fences: u64,
+    redispatches: u64,
+}
+
+/// Migrate the campaign, arm the scenario's fault plan, retrieve it back,
+/// verify every byte, and report the row. `fail_at` gives the drive-kill
+/// instants as offsets into the campaign (taken from the baseline row's
+/// duration so they land mid-flight).
+fn run(failed_drives: usize, fail_at: &[SimDuration]) -> Row {
+    let sys = small_rig();
+    copra_bench::note_rig(&sys);
+    sys.archive().mkdir_p("/camp").unwrap();
+    let mut files = Vec::new();
+    for i in 0..BIG_FILES {
+        let p = format!("/camp/f{i:03}.dat");
+        sys.archive().create_file(&p, 0, big(i)).unwrap();
+        files.push((p, big(i)));
+    }
+    for i in 0..2u64 {
+        let p = format!("/camp/s{i}.dat");
+        sys.archive().create_file(&p, 0, small(i)).unwrap();
+        files.push((p, small(i)));
+    }
+    let mut cursor = sys.clock().now();
+    let mut victims = Vec::new();
+    for (p, _) in &files {
+        let ino = sys.archive().resolve(p).unwrap();
+        let (objid, t) = sys
+            .hsm()
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+            .unwrap();
+        if p.contains("/s") {
+            victims.push(objid);
+        }
+        cursor = t;
+    }
+    sys.clock().advance_to(cursor);
+
+    if failed_drives > 0 {
+        let mut plan = FaultPlan::new(SEED)
+            .crash_mover(WORKER_RANK, 30)
+            .transient_io(0.25, SimDuration::from_secs(2));
+        for (d, at) in fail_at.iter().take(failed_drives).enumerate() {
+            plan = plan.fail_drive(d as u32, cursor + *at);
+        }
+        for objid in &victims {
+            let addr = sys.hsm().server().get(*objid).unwrap().addr;
+            plan = plan.media_error(addr.tape.0, addr.seq, 1);
+        }
+        sys.arm_faults(plan);
+    }
+
+    let report = sys.retrieve_tree("/camp", "/back", &serial_config());
+    assert!(
+        report.stats.ok(),
+        "campaign must complete: {:?}",
+        report.stats.errors
+    );
+    // Zero lost bytes, fingerprint-verified.
+    for (p, expected) in &files {
+        let back = p.replace("/camp", "/back");
+        let ino = sys.scratch().resolve(&back).unwrap();
+        let got = sys.scratch().vfs().peek_content(ino).unwrap();
+        assert!(got.eq_content(expected), "{back} lost or corrupted bytes");
+    }
+
+    let m = sys.snapshot().metrics;
+    if failed_drives == 0 {
+        assert_eq!(
+            m.counter("faults.retries") + m.counter("faults.fences"),
+            0,
+            "fault-free baseline must not touch the recovery machinery"
+        );
+    }
+    Row {
+        failed_drives,
+        sim_seconds: report.stats.sim_seconds(),
+        goodput_mb_s: mb_per_sec(
+            report.stats.bytes,
+            report.stats.sim_start,
+            report.stats.sim_end,
+        ),
+        restores: report.stats.tape_restores,
+        retries: m.counter("faults.retries"),
+        fences: m.counter("faults.fences"),
+        redispatches: m.counter("faults.redispatches"),
+    }
+}
+
+fn main() {
+    // Baseline first: its duration positions the drive kills mid-campaign.
+    let base = run(0, &[]);
+    let span = SimInstant::from_secs(0) + SimDuration::from_nanos((base.sim_seconds * 1e9) as u64);
+    let kill = [
+        SimDuration::from_nanos(span.as_nanos() / 5),
+        SimDuration::from_nanos(span.as_nanos() / 2),
+    ];
+    let one = run(1, &kill);
+    let two = run(2, &kill);
+    // Same seed, same plan → the same simulated outcome, twice.
+    let again = run(1, &kill);
+    assert_eq!(one, again, "fault scenario must be deterministic");
+
+    let rows = vec![base, one, two];
+    print_table(
+        "T-FAULTS: retrieval under injected failures (seeded, deterministic)",
+        &[
+            "failed drives",
+            "sim s",
+            "goodput MB/s",
+            "restores",
+            "retries",
+            "fences",
+            "redispatch",
+            "vs baseline",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.failed_drives.to_string(),
+                    format!("{:.1}", r.sim_seconds),
+                    format!("{:.1}", r.goodput_mb_s),
+                    r.restores.to_string(),
+                    r.retries.to_string(),
+                    r.fences.to_string(),
+                    r.redispatches.to_string(),
+                    format!(
+                        "{:.0}%",
+                        100.0 * r.goodput_mb_s / rows[0].goodput_mb_s.max(1e-9)
+                    ),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\n  Every row completed with zero lost bytes (fingerprint-verified);\n  the 1-drive scenario reproduced bit-identically on a second run.\n  Fencing re-queues the dead drive's tape work onto healthy drives, so\n  goodput degrades instead of the campaign failing."
+    );
+    write_json("tbl_faults", &rows);
+    copra_bench::dump_metrics_if_requested();
+}

@@ -15,6 +15,7 @@
 //! | `tbl_lanfree` | §4.2.2 LAN vs LAN-free data movement |
 //! | `tbl_syncdel` | §4.2.6 synchronous delete vs reconcile |
 //! | `tbl_restart` | §4.5 restartable transfer chunk marking |
+//! | `tbl_faults` | retrieval goodput under injected drive/media/mover failures |
 //!
 //! Each binary prints an aligned table and writes the same rows as JSON to
 //! `target/experiments/<name>.json`; `EXPERIMENTS.md` quotes these runs.

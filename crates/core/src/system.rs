@@ -1,6 +1,7 @@
 //! The assembled archive system.
 
 use copra_cluster::{ClusterConfig, FtaCluster, LoadManager, Moab};
+use copra_faults::{FaultPlan, FaultPlane};
 use copra_fuse::ArchiveFuse;
 use copra_hsm::{Hsm, TsmServer};
 use copra_metadb::TsmCatalog;
@@ -215,6 +216,20 @@ impl ArchiveSystem {
     /// The stack-wide metrics registry.
     pub fn obs(&self) -> &Arc<Registry> {
         &self.obs
+    }
+
+    // ----- fault injection --------------------------------------------------
+
+    /// Arm a fault plan against the whole stack: the plan freezes into a
+    /// [`FaultPlane`] wired to this system's metrics registry, and the
+    /// tape library starts consulting it — which puts it in reach of the
+    /// HSM agents and PFTool's movers too. Fault-free systems never arm a
+    /// plane, so the `faults.*` metric family stays unregistered and a
+    /// snapshot reports zero for all of it.
+    pub fn arm_faults(&self, plan: FaultPlan) -> Arc<FaultPlane> {
+        let plane = plan.arm(self.obs.clone());
+        self.hsm.server().library().arm_faults(plane.clone());
+        plane
     }
 
     // ----- observability ----------------------------------------------------

@@ -10,6 +10,7 @@ use crate::error::{HsmError, HsmResult};
 use crate::object::{ObjectKind, TsmObject};
 use crate::server::TsmServer;
 use copra_cluster::{FtaCluster, NodeId};
+use copra_faults::{FaultPlane, RetryPolicy};
 use copra_obs::{Counter, EventKind};
 use copra_simtime::{DataSize, SimInstant};
 use copra_tape::{DriveId, TapeError, TapeId};
@@ -93,6 +94,27 @@ impl StorageAgent {
         self.shared.node.0
     }
 
+    /// The armed fault plane (if any) and the retry policy recoveries use:
+    /// backoff-with-jitter under a plan, immediate bounded retries on the
+    /// fault-free baseline (keeping its sim timings unchanged).
+    fn recovery(&self) -> (Option<Arc<FaultPlane>>, RetryPolicy) {
+        let plane = self.shared.server.library().armed_faults();
+        let policy = plane
+            .as_ref()
+            .map(|p| p.retry())
+            .unwrap_or_else(|| RetryPolicy::immediate(8));
+        (plane, policy)
+    }
+
+    /// A mount attempt worth retrying: volume races with other agents and
+    /// injected faults whose recovery is "try again elsewhere/later".
+    fn mount_retryable(e: &TapeError) -> bool {
+        matches!(
+            e,
+            TapeError::TapeInUse { .. } | TapeError::DriveFailed(_) | TapeError::TransientIo(_)
+        )
+    }
+
     /// Make sure this agent has a mounted volume with room for `len`.
     /// Returns (drive, mount-completion instant).
     fn ensure_volume(&self, len: DataSize, ready: SimInstant) -> HsmResult<(DriveId, SimInstant)> {
@@ -107,24 +129,106 @@ impl StorageAgent {
                 return Ok((drive, ready));
             }
         }
-        // Ask the server for a volume and mount it. Retry a few times to
-        // absorb races with other agents grabbing the same scratch volume.
+        // Ask the server for a volume and mount it, under the retry
+        // budget: volume races with other agents and fenced/flaky drives
+        // back off and try again.
+        let (plane, policy) = self.recovery();
         let mut cursor = ready;
-        for _ in 0..8 {
+        let mut attempt = 0u32;
+        loop {
             let (tape, t) = server.assign_volume(len, cursor)?;
             cursor = t;
             match lib.ensure_mounted(tape, cursor) {
                 Ok((drive, end)) => {
                     st.current = Some((drive, tape));
+                    if attempt > 0 {
+                        if let Some(p) = &plane {
+                            p.note_recovery(end.saturating_since(ready));
+                        }
+                    }
                     return Ok((drive, end));
                 }
-                Err(TapeError::TapeInUse { .. }) => continue,
+                Err(ref e) if Self::mount_retryable(e) && attempt + 1 < policy.budget => {
+                    let delay = policy.delay(tape.0 as u64, attempt);
+                    cursor += delay;
+                    if let Some(p) = &plane {
+                        p.note_retry(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(TapeError::TapeInUse { .. }) => {
+                    return Err(HsmError::OutOfVolumes {
+                        needed: len.as_bytes(),
+                    })
+                }
                 Err(e) => return Err(e.into()),
             }
         }
-        Err(HsmError::OutOfVolumes {
-            needed: len.as_bytes(),
-        })
+    }
+
+    /// Write `objid` with recovery: a full/stolen volume rolls to a fresh
+    /// one (the pre-existing behavior), a fenced drive re-places the
+    /// object through `ensure_volume` (which now skips it), and transient
+    /// I/O errors back off and retry in place — all under the retry budget.
+    fn write_with_recovery(
+        &self,
+        objid: u64,
+        content: Content,
+        len: DataSize,
+        mut drive: DriveId,
+        mut t: SimInstant,
+    ) -> HsmResult<(copra_tape::TapeAddress, SimInstant)> {
+        let server = &self.shared.server;
+        let (plane, policy) = self.recovery();
+        // The baseline keeps the historical "retry once" semantics; a plan
+        // gets its full budget.
+        let budget = policy.budget.max(2);
+        let first = t;
+        let mut attempt = 0u32;
+        loop {
+            match server
+                .library()
+                .write_object(drive, self.agent_id(), objid, content.clone(), t)
+            {
+                Ok((addr, end)) => {
+                    if attempt > 0 {
+                        if let Some(p) = &plane {
+                            p.note_recovery(end.saturating_since(first));
+                        }
+                    }
+                    return Ok((addr, end));
+                }
+                Err(
+                    TapeError::TapeFull(_) | TapeError::WrongTape { .. } | TapeError::NotMounted(_),
+                ) if attempt + 1 < budget => {
+                    self.shared.state.lock().current = None;
+                    let (d2, t2) = self.ensure_volume(len, t)?;
+                    drive = d2;
+                    t = t2;
+                    attempt += 1;
+                }
+                Err(TapeError::DriveFailed(_)) if attempt + 1 < budget => {
+                    let delay = policy.delay(objid, attempt);
+                    if let Some(p) = &plane {
+                        p.note_retry(delay);
+                    }
+                    self.shared.state.lock().current = None;
+                    let (d2, t2) = self.ensure_volume(len, t + delay)?;
+                    drive = d2;
+                    t = t2;
+                    attempt += 1;
+                }
+                Err(TapeError::TransientIo(_)) if attempt + 1 < budget => {
+                    let delay = policy.delay(objid, attempt);
+                    if let Some(p) = &plane {
+                        p.note_retry(delay);
+                    }
+                    t += delay;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Store one object (one tape transaction). Returns (objid, completion).
@@ -152,26 +256,10 @@ impl StorageAgent {
             }
             DataPath::LanFree => self.shared.cluster.charge_san(self.shared.node, t, len).end,
         };
-        // Write the tape record; retry once if the volume filled or was
-        // stolen between ensure_volume and here.
+        // Write the tape record, recovering from volume rolls, fenced
+        // drives and transient I/O under the retry budget.
         let stored_at = t;
-        let (addr, t) =
-            match server
-                .library()
-                .write_object(drive, self.agent_id(), objid, content.clone(), t)
-            {
-                Ok(ok) => ok,
-                Err(TapeError::TapeFull(_))
-                | Err(TapeError::WrongTape { .. })
-                | Err(TapeError::NotMounted(_)) => {
-                    self.shared.state.lock().current = None;
-                    let (drive, t2) = self.ensure_volume(len, t)?;
-                    server
-                        .library()
-                        .write_object(drive, self.agent_id(), objid, content, t2)?
-                }
-                Err(e) => return Err(e.into()),
-            };
+        let (addr, t) = self.write_with_recovery(objid, content, len, drive, t)?;
         // Close-transaction metadata hop and DB insert.
         let t = server.meta_op(t);
         server.register(TsmObject {
@@ -262,25 +350,7 @@ impl StorageAgent {
             DataPath::LanFree => self.shared.cluster.charge_san(self.shared.node, t, len).end,
         };
         let stored_at = t;
-        let (addr, t) = match server.library().write_object(
-            drive,
-            self.agent_id(),
-            container_id,
-            image.clone(),
-            t,
-        ) {
-            Ok(ok) => ok,
-            Err(TapeError::TapeFull(_))
-            | Err(TapeError::WrongTape { .. })
-            | Err(TapeError::NotMounted(_)) => {
-                self.shared.state.lock().current = None;
-                let (drive, t2) = self.ensure_volume(len, t)?;
-                server
-                    .library()
-                    .write_object(drive, self.agent_id(), container_id, image, t2)?
-            }
-            Err(e) => return Err(e.into()),
-        };
+        let (addr, t) = self.write_with_recovery(container_id, image, len, drive, t)?;
         let t = server.meta_op(t);
         server.register(TsmObject {
             objid: container_id,
@@ -336,23 +406,30 @@ impl StorageAgent {
         let server = &self.shared.server;
         let objid = server.alloc_objid();
         let t = server.meta_op(ready);
+        let (plane, policy) = self.recovery();
         let mut cursor = t;
-        let mut placed = None;
-        for _ in 0..8 {
+        let mut attempt = 0u32;
+        let (drive, t) = loop {
             let (tape, t2) = server.assign_volume_avoiding(len, avoid, cursor)?;
             cursor = t2;
             match server.library().ensure_mounted(tape, cursor) {
-                Ok((drive, end)) => {
-                    placed = Some((drive, end));
-                    break;
+                Ok(placed) => break placed,
+                Err(ref e) if Self::mount_retryable(e) && attempt + 1 < policy.budget => {
+                    let delay = policy.delay(tape.0 as u64 ^ objid, attempt);
+                    cursor += delay;
+                    if let Some(p) = &plane {
+                        p.note_retry(delay);
+                    }
+                    attempt += 1;
                 }
-                Err(TapeError::TapeInUse { .. }) => continue,
+                Err(TapeError::TapeInUse { .. }) => {
+                    return Err(HsmError::OutOfVolumes {
+                        needed: len.as_bytes(),
+                    })
+                }
                 Err(e) => return Err(e.into()),
             }
-        }
-        let (drive, t) = placed.ok_or(HsmError::OutOfVolumes {
-            needed: len.as_bytes(),
-        })?;
+        };
         self.note_path(data_path, len);
         let t = match data_path {
             DataPath::Lan => {
@@ -407,7 +484,9 @@ impl StorageAgent {
         }
     }
 
-    /// Fetch exactly this object id, no copy fallback.
+    /// Fetch exactly this object id, no copy fallback. Fenced drives and
+    /// transient I/O errors back off and retry under the budget — a fence
+    /// is persistent, so the remount lands on a healthy drive.
     pub fn fetch_exact(
         &self,
         objid: u64,
@@ -416,15 +495,42 @@ impl StorageAgent {
     ) -> HsmResult<(Content, SimInstant)> {
         let server = &self.shared.server;
         let obj = server.get(objid)?;
-        let t = server.meta_op(ready);
         let lib = server.library();
-        let (drive, t) = lib.ensure_mounted(obj.addr.tape, t)?;
-        let (content, t) = match obj.kind {
-            ObjectKind::Simple | ObjectKind::Container { .. } => {
-                lib.read_object(drive, self.agent_id(), obj.addr, t)?
-            }
-            ObjectKind::Member { offset, .. } => {
-                lib.read_object_range(drive, self.agent_id(), obj.addr, offset, obj.len, t)?
+        let (plane, policy) = self.recovery();
+        let mut cursor = server.meta_op(ready);
+        let mut attempt = 0u32;
+        let (content, t) = loop {
+            let read = lib
+                .ensure_mounted(obj.addr.tape, cursor)
+                .and_then(|(drive, t)| match obj.kind {
+                    ObjectKind::Simple | ObjectKind::Container { .. } => {
+                        lib.read_object(drive, self.agent_id(), obj.addr, t)
+                    }
+                    ObjectKind::Member { offset, .. } => {
+                        lib.read_object_range(drive, self.agent_id(), obj.addr, offset, obj.len, t)
+                    }
+                });
+            match read {
+                Ok(ok) => {
+                    if attempt > 0 {
+                        if let Some(p) = &plane {
+                            p.note_recovery(ok.1.saturating_since(ready));
+                        }
+                    }
+                    break ok;
+                }
+                Err(e @ (TapeError::DriveFailed(_) | TapeError::TransientIo(_)))
+                    if attempt + 1 < policy.budget =>
+                {
+                    let _ = e;
+                    let delay = policy.delay(objid ^ 0x5EED, attempt);
+                    cursor += delay;
+                    if let Some(p) = &plane {
+                        p.note_retry(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
             }
         };
         let len = DataSize::from_bytes(content.len());
@@ -631,6 +737,62 @@ mod tests {
             lanfree_makespan < makespan / 2.0,
             "lan-free {lanfree_makespan} vs lan {makespan}"
         );
+    }
+
+    #[test]
+    fn store_recovers_from_drive_failure() {
+        use copra_faults::FaultPlan;
+        let (cluster, server) = setup(1, 2, 4);
+        let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
+        let c1 = Content::synthetic(1, 20 << 20);
+        let (_, t1) = agent
+            .store("/a", 1, c1, SimInstant::EPOCH, DataPath::LanFree)
+            .unwrap();
+        // The drive streaming this agent's volume hard-fails before the
+        // next store touches it.
+        let lib = server.library().clone();
+        lib.arm_faults(FaultPlan::new(3).fail_drive(0, t1).arm(lib.obs().clone()));
+        let c2 = Content::synthetic(2, 20 << 20);
+        let (obj2, t2) = agent
+            .store("/b", 2, c2.clone(), t1, DataPath::LanFree)
+            .unwrap();
+        assert!(lib.is_fenced(DriveId(0)).unwrap());
+        // The write landed on the healthy drive and the bytes are intact.
+        let (back, _) = agent.fetch(obj2, t2, DataPath::LanFree).unwrap();
+        assert!(back.eq_content(&c2));
+        let snap = lib.obs().snapshot();
+        assert_eq!(snap.counter("faults.fences"), 1);
+        assert!(snap.counter("faults.retries") >= 1, "backoff retry counted");
+    }
+
+    #[test]
+    fn fetch_exhausts_its_retry_budget_on_persistent_transients() {
+        use copra_faults::FaultPlan;
+        let (cluster, server) = setup(1, 1, 2);
+        let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
+        let (objid, t1) = agent
+            .store(
+                "/a",
+                1,
+                Content::synthetic(1, 4 << 20),
+                SimInstant::EPOCH,
+                DataPath::LanFree,
+            )
+            .unwrap();
+        let lib = server.library().clone();
+        // Every operation faults: the bounded budget must give up.
+        lib.arm_faults(
+            FaultPlan::new(6)
+                .transient_io(1.0, copra_simtime::SimDuration::from_secs(2))
+                .arm(lib.obs().clone()),
+        );
+        let err = agent.fetch(objid, t1, DataPath::LanFree).unwrap_err();
+        assert!(
+            matches!(err, HsmError::Tape(TapeError::TransientIo(_))),
+            "{err:?}"
+        );
+        let budget = lib.armed_faults().unwrap().retry().budget as u64;
+        assert_eq!(lib.obs().snapshot().counter("faults.retries"), budget - 1);
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub enum EventKind {
         copyq: u32,
         tapecq: u32,
     },
+    /// The fault plane injected a scripted or probabilistic fault.
+    FaultInjected { kind: String, detail: String },
+    /// The tape library fenced a hard-failed drive (volume freed, all
+    /// further operations on the drive rejected).
+    DriveFenced { drive: u32 },
+    /// A mover/FTA daemon died holding an assignment.
+    WorkerDied { rank: u32 },
+    /// The manager re-dispatched in-flight work lost to a fault.
+    Redispatch { what: String, count: u64 },
     /// Free-form marker (campaign phase boundaries etc).
     Marker { label: String },
 }

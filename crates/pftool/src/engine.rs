@@ -11,7 +11,9 @@ use crate::msg::{CompareJob, CopyJob, DstMode, FileMeta, PfMsg, TapeJob};
 use crate::queues::{ManagerQueues, TapeEntry, WorkerJob};
 use crate::report::RunStats;
 use crate::view::FsView;
+use crate::watchdog::StallTracker;
 use copra_cluster::NodeId;
+use copra_faults::FaultPlane;
 use copra_fuse::{ChunkInfo, FuseRead, XATTR_CHUNKED, XATTR_FPRINT, XATTR_LOGICAL};
 use copra_mpirt::Comm;
 use copra_obs::{Counter, EventKind, Gauge, Registry};
@@ -88,6 +90,18 @@ impl Engine<'_> {
             .map(|h| h.server().obs())
     }
 
+    /// The armed fault plane, when this run can reach one: the plane rides
+    /// on the tape library, which archive views expose through their HSM.
+    /// Scratch-to-scratch runs (and unarmed libraries) report `None` and
+    /// every fault consult short-circuits.
+    fn faults(&self) -> Option<Arc<FaultPlane>> {
+        self.src
+            .hsm
+            .as_ref()
+            .or_else(|| self.dst.and_then(|d| d.hsm.as_ref()))
+            .and_then(|h| h.server().library().armed_faults())
+    }
+
     /// Run the world and return (report, output lines).
     pub fn run(&self) -> (RunStats, Vec<String>) {
         self.config.validate();
@@ -151,6 +165,7 @@ impl Engine<'_> {
             aborted: false,
             pending_chunks: rustc_hash::FxHashMap::default(),
             tape_attempts: rustc_hash::FxHashMap::default(),
+            pending: rustc_hash::FxHashMap::default(),
             mobs: self.obs().map(|o| ManagerObs::new(o.clone())),
         };
         st.seed(run_start);
@@ -188,14 +203,12 @@ impl Engine<'_> {
 
     fn watchdog(&self, comm: Comm<PfMsg>) -> RankOutcome {
         let start = Instant::now();
-        let mut last_progress = Instant::now();
-        let mut reported = false;
+        let mut stall = StallTracker::new(self.config.watchdog_stall, start);
         let mut samples: Vec<crate::report::ProgressSample> = Vec::new();
         loop {
             match comm.recv_timeout(self.config.watchdog_interval) {
                 Ok(Some((_, PfMsg::Progress { files, bytes }))) => {
-                    last_progress = Instant::now();
-                    reported = false;
+                    stall.progress(Instant::now());
                     // Keep one sample per check interval, not per message.
                     let wall_secs = start.elapsed().as_secs_f64();
                     let due = samples
@@ -215,12 +228,19 @@ impl Engine<'_> {
                         last.bytes = bytes;
                     }
                 }
+                Ok(Some((_, PfMsg::WorkerDied { rank }))) => {
+                    // A mover death is detected, not a hang: escalate to
+                    // the Manager for re-dispatch, and treat the recovery
+                    // as activity so the stall clock doesn't fire while
+                    // the respawn is in flight.
+                    stall.progress(Instant::now());
+                    comm.send(MANAGER, PfMsg::WorkerDied { rank });
+                }
                 Ok(Some((_, PfMsg::Shutdown))) | Err(copra_mpirt::Disconnected) => break,
                 Ok(Some(_)) => {}
                 Ok(None) => {
-                    if !reported && last_progress.elapsed() >= self.config.watchdog_stall {
+                    if stall.check(Instant::now()) {
                         comm.send(MANAGER, PfMsg::Stalled);
-                        reported = true;
                     }
                 }
             }
@@ -284,21 +304,34 @@ impl Engine<'_> {
 
     fn worker_loop(&self, comm: Comm<PfMsg>) -> RankOutcome {
         let node = self.node_of(comm.rank());
+        let faults = self.faults();
         // A mover process handles one data-movement job at a time: its
         // next job cannot start (in simulated time) before the previous
         // one finished. Stats are charged on the metadata service instead.
         let mut pipeline_free = SimInstant::EPOCH;
         loop {
             comm.send(MANAGER, PfMsg::RequestWork);
-            match comm.recv() {
-                Some((
-                    _,
-                    PfMsg::StatJob {
-                        path,
-                        chunked,
-                        ready,
-                    },
-                )) => {
+            let Some((_, msg)) = comm.recv() else { break };
+            if matches!(
+                msg,
+                PfMsg::StatJob { .. } | PfMsg::Copy(_) | PfMsg::Compare(_)
+            ) {
+                match self.mover_crash(&faults, &comm) {
+                    Crash::No => {}
+                    Crash::Respawned => {
+                        // Fresh mover process: its pipeline starts empty.
+                        pipeline_free = SimInstant::EPOCH;
+                        continue;
+                    }
+                    Crash::Shutdown => break,
+                }
+            }
+            match msg {
+                PfMsg::StatJob {
+                    path,
+                    chunked,
+                    ready,
+                } => {
                     let ready = self.src.pfs.charge_meta(ready).end;
                     let msg = match self.stat_file(&path, chunked) {
                         Ok(meta) => PfMsg::StatDone {
@@ -314,7 +347,7 @@ impl Engine<'_> {
                     };
                     comm.send(MANAGER, msg);
                 }
-                Some((_, PfMsg::Copy(mut job))) => {
+                PfMsg::Copy(mut job) => {
                     job.ready = job.ready.max(pipeline_free);
                     let msg = match self.exec_copy(&job, node) {
                         Ok(end) => {
@@ -333,7 +366,7 @@ impl Engine<'_> {
                     };
                     comm.send(MANAGER, msg);
                 }
-                Some((_, PfMsg::Compare(mut job))) => {
+                PfMsg::Compare(mut job) => {
                     job.ready = job.ready.max(pipeline_free);
                     let msg = match self.exec_compare(&job, node) {
                         Ok((equal, end)) => {
@@ -356,11 +389,35 @@ impl Engine<'_> {
                     };
                     comm.send(MANAGER, msg);
                 }
-                Some((_, PfMsg::Shutdown)) | None => break,
-                Some((_, other)) => unreachable!("worker got {other:?}"),
+                PfMsg::Shutdown => break,
+                other => unreachable!("worker got {other:?}"),
             }
         }
         RankOutcome::Unit
+    }
+
+    /// Consult the fault plane for a scheduled mover crash on this rank.
+    /// A crashing mover dies with the assignment it just received: it
+    /// reports the death to the WatchDog and stays dead until the Manager
+    /// answers with [`PfMsg::Respawn`]. Blocking here (instead of racing
+    /// back with `RequestWork`) guarantees the Manager sees the death
+    /// before this rank can hold a second assignment.
+    fn mover_crash(&self, faults: &Option<Arc<FaultPlane>>, comm: &Comm<PfMsg>) -> Crash {
+        let Some(plane) = faults else {
+            return Crash::No;
+        };
+        let now = self.src.pfs.clock().now();
+        if !plane.take_mover_crash(comm.rank() as u32, now) {
+            return Crash::No;
+        }
+        comm.send(WATCHDOG, PfMsg::WorkerDied { rank: comm.rank() });
+        loop {
+            match comm.recv() {
+                Some((_, PfMsg::Respawn)) => return Crash::Respawned,
+                Some((_, PfMsg::Shutdown)) | None => return Crash::Shutdown,
+                Some(_) => {}
+            }
+        }
     }
 
     fn stat_file(&self, path: &str, chunked: bool) -> FsResult<FileMeta> {
@@ -493,10 +550,16 @@ impl Engine<'_> {
 
     fn tapeproc_loop(&self, comm: Comm<PfMsg>) -> RankOutcome {
         let node = self.node_of(comm.rank());
+        let faults = self.faults();
         loop {
             comm.send(MANAGER, PfMsg::RequestWork);
             match comm.recv() {
                 Some((_, PfMsg::Tape(job))) => {
+                    match self.mover_crash(&faults, &comm) {
+                        Crash::No => {}
+                        Crash::Respawned => continue,
+                        Crash::Shutdown => break,
+                    }
                     let msg = self.exec_tape(&job, node);
                     comm.send(MANAGER, msg);
                 }
@@ -511,11 +574,12 @@ impl Engine<'_> {
         let Some(hsm) = &self.src.hsm else {
             return PfMsg::TapeDone {
                 restored: vec![],
+                failed: vec![],
                 err: Some("no HSM on source view".to_string()),
             };
         };
         let mut restored = Vec::with_capacity(job.files.len());
-        let mut err = None;
+        let mut failed = Vec::new();
         let mut cursor = job.ready;
         for (path, ino, parent) in &job.files {
             match hsm.recall_file(*ino, node, self.config.data_path, cursor) {
@@ -523,12 +587,17 @@ impl Engine<'_> {
                     restored.push((path.clone(), end, parent.clone()));
                     cursor = end;
                 }
-                Err(e) => {
-                    err = Some(format!("{path}: {e}"));
-                }
+                // A failed entry does not sink the batch: the rest of the
+                // tape keeps restoring and the Manager decides whether to
+                // re-queue the stragglers.
+                Err(e) => failed.push((path.clone(), *ino, parent.clone(), e.to_string())),
             }
         }
-        PfMsg::TapeDone { restored, err }
+        PfMsg::TapeDone {
+            restored,
+            failed,
+            err: None,
+        }
     }
 }
 
@@ -584,8 +653,28 @@ struct ManagerState<'e, 'a> {
     /// How many times a migrated file has been routed to tape (guards
     /// against re-queue loops when a restore keeps failing).
     tape_attempts: rustc_hash::FxHashMap<String, u32>,
+    /// The single assignment each Worker/TapeProc rank currently holds,
+    /// kept so a mover death re-queues exactly the lost work. One slot per
+    /// rank suffices: a dead rank blocks until its Respawn, so it can
+    /// never hold two assignments.
+    pending: rustc_hash::FxHashMap<usize, PendingJob>,
     /// Telemetry handles; absent when the run has no registry in reach.
     mobs: Option<ManagerObs>,
+}
+
+/// What a Worker or TapeProc rank is currently executing, from the
+/// Manager's point of view.
+enum PendingJob {
+    Stat {
+        path: String,
+        chunked: bool,
+        ready: SimInstant,
+    },
+    Move(WorkerJob),
+    Tape {
+        tape: u32,
+        entries: Vec<TapeEntry>,
+    },
 }
 
 impl ManagerState<'_, '_> {
@@ -729,6 +818,14 @@ impl ManagerState<'_, '_> {
         while !self.idle_workers.is_empty() {
             if let Some((path, chunked, ready)) = self.q.nameq.pop_front() {
                 let rank = self.idle_workers.pop().unwrap();
+                self.pending.insert(
+                    rank,
+                    PendingJob::Stat {
+                        path: path.clone(),
+                        chunked,
+                        ready,
+                    },
+                );
                 self.comm.send(
                     rank,
                     PfMsg::StatJob {
@@ -741,6 +838,7 @@ impl ManagerState<'_, '_> {
                 self.inflight_stat += 1;
             } else if let Some(job) = self.q.copyq.pop_front() {
                 let rank = self.idle_workers.pop().unwrap();
+                self.pending.insert(rank, PendingJob::Move(job.clone()));
                 match job {
                     WorkerJob::Copy(j) => {
                         self.comm.send(rank, PfMsg::Copy(j));
@@ -762,6 +860,13 @@ impl ManagerState<'_, '_> {
                 let (tape, entries) = self.q.tapecq.pop_tape().unwrap();
                 let rank = self.idle_tapeprocs.pop().unwrap();
                 let ready = self.stats.sim_start;
+                self.pending.insert(
+                    rank,
+                    PendingJob::Tape {
+                        tape,
+                        entries: entries.clone(),
+                    },
+                );
                 self.comm.send(
                     rank,
                     PfMsg::Tape(TapeJob {
@@ -842,6 +947,7 @@ impl ManagerState<'_, '_> {
             }
             PfMsg::StatDone { meta, ready, err } => {
                 self.inflight_stat -= 1;
+                self.pending.remove(&from);
                 if let Some(e) = err {
                     self.record_error(String::new(), e);
                 } else if let Some(meta) = meta {
@@ -853,6 +959,7 @@ impl ManagerState<'_, '_> {
             }
             PfMsg::CopyDone { bytes, end, err } => {
                 self.inflight_move -= 1;
+                self.pending.remove(&from);
                 if let Some(e) = err {
                     self.record_error(String::new(), e);
                 } else {
@@ -869,6 +976,7 @@ impl ManagerState<'_, '_> {
                 err,
             } => {
                 self.inflight_move -= 1;
+                self.pending.remove(&from);
                 match err {
                     Some(e) => self.record_error(path, e),
                     None => {
@@ -881,12 +989,20 @@ impl ManagerState<'_, '_> {
                 }
                 self.progress();
             }
-            PfMsg::TapeDone { restored, err } => {
+            PfMsg::TapeDone {
+                restored,
+                failed,
+                err,
+            } => {
                 self.inflight_tape -= 1;
+                self.pending.remove(&from);
                 if let Some(e) = err {
                     self.record_error(String::new(), e);
                 }
                 if !self.aborted {
+                    for (path, ino, parent, emsg) in failed {
+                        self.requeue_failed_restore(path, ino, parent, emsg);
+                    }
                     for (path, end, parent) in restored {
                         self.stats.tape_restores += 1;
                         self.stats.sim_end = self.stats.sim_end.max(end);
@@ -924,7 +1040,93 @@ impl ManagerState<'_, '_> {
                 self.q.copyq.clear();
                 while self.q.tapecq.pop_tape().is_some() {}
             }
+            PfMsg::WorkerDied { rank } => self.worker_died(rank),
             other => unreachable!("manager got {other:?}"),
+        }
+    }
+
+    /// A mover rank died (relayed by the WatchDog). Its single in-flight
+    /// assignment died with it: re-queue that work at the back of the
+    /// right queue, fix the in-flight accounting, and tell the rank its
+    /// daemon has been restarted.
+    fn worker_died(&mut self, rank: usize) {
+        let now = self.engine.src.pfs.clock().now();
+        let mut requeued = 0u64;
+        match self.pending.remove(&rank) {
+            Some(PendingJob::Stat {
+                path,
+                chunked,
+                ready,
+            }) => {
+                self.inflight_stat -= 1;
+                if !self.aborted {
+                    self.q.nameq.push_back((path, chunked, ready));
+                    requeued = 1;
+                }
+            }
+            Some(PendingJob::Move(job)) => {
+                self.inflight_move -= 1;
+                if !self.aborted {
+                    self.q.copyq.push_back(job);
+                    requeued = 1;
+                }
+            }
+            Some(PendingJob::Tape { tape, entries }) => {
+                self.inflight_tape -= 1;
+                if !self.aborted {
+                    requeued = entries.len() as u64;
+                    for e in entries {
+                        self.q.tapecq.push(tape, e);
+                    }
+                }
+            }
+            None => {}
+        }
+        if let Some(plane) = self.engine.faults() {
+            plane.note_redispatch("worker-death", requeued, now);
+        }
+        self.comm.send(rank, PfMsg::Respawn);
+        self.progress();
+    }
+
+    /// One file in a tape batch failed to restore. Charge it against the
+    /// file's attempt budget and either line it back up on its tape's
+    /// queue or give up with a per-file error.
+    fn requeue_failed_restore(
+        &mut self,
+        path: String,
+        ino: Ino,
+        parent: Option<String>,
+        emsg: String,
+    ) {
+        let attempts = self.tape_attempts.entry(path.clone()).or_insert(0);
+        *attempts += 1;
+        if *attempts > 3 {
+            // A permanently failed chunk also releases its logical file's
+            // pending slot so the run can still finish (partially, with
+            // the error on record).
+            if let Some(logical) = &parent {
+                if let Some(slot) = self.pending_chunks.get_mut(logical) {
+                    slot.0 = slot.0.saturating_sub(1);
+                    if slot.0 == 0 {
+                        self.pending_chunks.remove(logical);
+                    }
+                }
+            }
+            self.record_error(path, format!("restore keeps failing; giving up: {emsg}"));
+            return;
+        }
+        match self.tape_address_of(ino) {
+            Ok((tape, seq)) => self.q.tapecq.push(
+                tape,
+                TapeEntry {
+                    seq,
+                    path,
+                    ino,
+                    parent,
+                },
+            ),
+            Err(e) => self.record_error(path, e),
         }
     }
 
@@ -989,7 +1191,7 @@ impl ManagerState<'_, '_> {
                 self.record_error(meta.path, "restore keeps failing; giving up".to_string());
                 return;
             }
-            match self.tape_address_of(&meta) {
+            match self.tape_address_of(meta.ino) {
                 Ok((tape, seq)) => {
                     self.q.tapecq.push(
                         tape,
@@ -1032,16 +1234,7 @@ impl ManagerState<'_, '_> {
                     let mut queued = 0usize;
                     for c in chunks {
                         if c.hsm == HsmState::Migrated {
-                            let m = FileMeta {
-                                path: c.path.clone(),
-                                ino: c.ino,
-                                size: c.len,
-                                uid: meta.uid,
-                                mtime: meta.mtime,
-                                hsm: HsmState::Migrated,
-                                chunked: false,
-                            };
-                            match self.tape_address_of(&m) {
+                            match self.tape_address_of(c.ino) {
                                 Ok((tape, seq)) => {
                                     self.q.tapecq.push(
                                         tape,
@@ -1318,12 +1511,12 @@ impl ManagerState<'_, '_> {
 
     /// Resolve a migrated file to its (tape, seq) via the indexed catalog
     /// (§4.2.5), falling back to the live server DB.
-    fn tape_address_of(&self, meta: &FileMeta) -> Result<(u32, u32), String> {
+    fn tape_address_of(&self, ino: Ino) -> Result<(u32, u32), String> {
         let eng = self.engine;
         let objid = eng
             .src
             .pfs
-            .hsm_objid(meta.ino)
+            .hsm_objid(ino)
             .map_err(|e| e.to_string())?
             .ok_or_else(|| "stub without hsm.objid".to_string())?;
         if let Some(catalog) = &eng.src.catalog {
@@ -1344,4 +1537,15 @@ enum RankKind {
     ReadDir,
     Worker,
     TapeProc,
+}
+
+/// Outcome of a scheduled mover-crash consult.
+enum Crash {
+    /// No crash scheduled for this rank right now.
+    No,
+    /// The mover died with its assignment and the Manager restarted it;
+    /// the lost work was re-queued on the Manager side.
+    Respawned,
+    /// The world shut down while the dead mover waited for its restart.
+    Shutdown,
 }

@@ -31,6 +31,7 @@ pub mod msg;
 pub mod queues;
 pub mod report;
 pub mod view;
+pub mod watchdog;
 
 pub use api::{pfcm, pfcp, pfls};
 pub use config::PftoolConfig;

@@ -121,6 +121,10 @@ pub enum PfMsg {
         /// (path, restore-completion instant, parent logical file) per
         /// file actually restored.
         restored: Vec<(String, SimInstant, Option<String>)>,
+        /// (path, ino, parent logical file, error) per file whose restore
+        /// failed; the Manager re-queues these until the attempt budget
+        /// runs out, then records a per-file error.
+        failed: Vec<(String, Ino, Option<String>, String)>,
         err: Option<String>,
     },
     // --- output / watchdog -----------------------------------------------------
@@ -131,6 +135,15 @@ pub enum PfMsg {
     },
     /// WatchDog → Manager: no progress for longer than the stall limit.
     Stalled,
+    /// Mover → WatchDog → Manager: the rank's mover process died with its
+    /// current assignment. The WatchDog relays it; the Manager re-queues
+    /// the lost work and answers with [`PfMsg::Respawn`].
+    WorkerDied {
+        rank: usize,
+    },
+    /// Manager → dead mover: the resource manager restarted the daemon;
+    /// the rank may pull work again.
+    Respawn,
     // --- control -----------------------------------------------------------------
     Shutdown,
 }

@@ -1,0 +1,97 @@
+//! WatchDog stall detection.
+//!
+//! The WatchDog (§4.1.1 item c) watches the Manager's progress stream and
+//! reports when data movement has been quiet for longer than the stall
+//! budget. The tracker reports **once per stall episode**: after a report
+//! it stays silent until progress actually resumes, at which point it
+//! re-arms and a later, second stall is reported again. Without the
+//! re-arm a run that recovers from its first stall would hang silently in
+//! the next one.
+
+use std::time::{Duration, Instant};
+
+/// Per-episode stall latch used by the WatchDog rank.
+#[derive(Debug)]
+pub struct StallTracker {
+    stall_after: Duration,
+    last_progress: Instant,
+    reported: bool,
+}
+
+impl StallTracker {
+    pub fn new(stall_after: Duration, now: Instant) -> Self {
+        StallTracker {
+            stall_after,
+            last_progress: now,
+            reported: false,
+        }
+    }
+
+    /// The Manager made progress: restart the quiet-time window and
+    /// re-arm the latch so a future stall is reported again.
+    pub fn progress(&mut self, now: Instant) {
+        self.last_progress = now;
+        self.reported = false;
+    }
+
+    /// Should a stall be reported right now? Returns true at most once
+    /// per episode: the first check past the budget fires, later checks
+    /// stay quiet until [`StallTracker::progress`] re-arms.
+    pub fn check(&mut self, now: Instant) -> bool {
+        if self.reported {
+            return false;
+        }
+        if now.saturating_duration_since(self.last_progress) >= self.stall_after {
+            self.reported = true;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn quiet_before_the_budget_elapses() {
+        let t0 = Instant::now();
+        let mut st = StallTracker::new(BUDGET, t0);
+        assert!(!st.check(t0));
+        assert!(!st.check(t0 + Duration::from_millis(99)));
+    }
+
+    #[test]
+    fn reports_exactly_once_per_episode() {
+        let t0 = Instant::now();
+        let mut st = StallTracker::new(BUDGET, t0);
+        assert!(st.check(t0 + BUDGET));
+        // Latched: still stalled, but already reported.
+        assert!(!st.check(t0 + BUDGET * 2));
+        assert!(!st.check(t0 + BUDGET * 10));
+    }
+
+    #[test]
+    fn progress_rearms_and_a_second_stall_fires_again() {
+        let t0 = Instant::now();
+        let mut st = StallTracker::new(BUDGET, t0);
+        assert!(st.check(t0 + BUDGET));
+        // The run recovers...
+        st.progress(t0 + BUDGET + Duration::from_millis(10));
+        assert!(!st.check(t0 + BUDGET + Duration::from_millis(50)));
+        // ...then stalls a second time: a fresh report fires.
+        assert!(st.check(t0 + BUDGET * 2 + Duration::from_millis(10)));
+        assert!(!st.check(t0 + BUDGET * 3));
+    }
+
+    #[test]
+    fn progress_before_the_deadline_postpones_the_report() {
+        let t0 = Instant::now();
+        let mut st = StallTracker::new(BUDGET, t0);
+        st.progress(t0 + Duration::from_millis(80));
+        assert!(!st.check(t0 + Duration::from_millis(120)));
+        assert!(st.check(t0 + Duration::from_millis(180)));
+    }
+}

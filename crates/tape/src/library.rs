@@ -7,10 +7,11 @@
 
 use crate::cartridge::{Cartridge, TapeAddress, TapeId};
 use crate::timing::TapeTiming;
+use copra_faults::FaultPlane;
 use copra_obs::{Counter, EventKind, Registry};
 use copra_simtime::{DataSize, SimDuration, SimInstant, Timeline, TimelineStats};
 use copra_vfs::Content;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -48,6 +49,13 @@ pub enum TapeError {
     MediaError(TapeAddress),
     /// Volume still holds live objects; reclamation must move them first.
     VolumeNotEmpty(TapeId),
+    /// The drive hard-failed and is fenced; pick another drive.
+    DriveFailed(DriveId),
+    /// A transient I/O error (recoverable with a retry) after a latency
+    /// spike on the drive.
+    TransientIo(DriveId),
+    /// Every drive in the library is fenced.
+    NoHealthyDrive,
 }
 
 impl fmt::Display for TapeError {
@@ -75,6 +83,9 @@ impl fmt::Display for TapeError {
             TapeError::VolumeNotEmpty(t) => {
                 write!(f, "volume {t} still holds live objects")
             }
+            TapeError::DriveFailed(d) => write!(f, "{d} hard-failed and is fenced"),
+            TapeError::TransientIo(d) => write!(f, "transient I/O error on {d}"),
+            TapeError::NoHealthyDrive => write!(f, "no healthy drive in the library"),
         }
     }
 }
@@ -113,6 +124,10 @@ struct DriveState {
     /// Storage agent (node) that last touched this drive's tape. A change
     /// of agent forces rewind + label verification (§6.2).
     last_agent: Option<u32>,
+    /// Hard-failed: the drive rejects all work and is skipped by
+    /// [`TapeLibrary::ensure_mounted`]. Its volume was freed at fence time
+    /// so recovery can remount it on a healthy drive.
+    fenced: bool,
     timeline: Timeline,
     stats: DriveStats,
 }
@@ -168,6 +183,9 @@ struct LibShared {
     cartridges: Vec<Mutex<Cartridge>>,
     /// tape -> drive currently holding it
     mounted_in: Mutex<FxHashMap<u32, DriveId>>,
+    /// Armed fault plane; `None` keeps every operation on the zero-cost
+    /// fault-free path.
+    faults: RwLock<Option<Arc<FaultPlane>>>,
     obs: Arc<Registry>,
     metrics: TapeMetrics,
 }
@@ -194,6 +212,7 @@ impl TapeLibrary {
                     mounted: None,
                     head_bytes: 0,
                     last_agent: None,
+                    fenced: false,
                     timeline: Timeline::new(
                         format!("tape-drive-{i}"),
                         timing.stream,
@@ -214,6 +233,7 @@ impl TapeLibrary {
                 drives: drive_states,
                 cartridges,
                 mounted_in: Mutex::new(FxHashMap::default()),
+                faults: RwLock::new(None),
                 obs,
                 metrics,
             }),
@@ -223,6 +243,70 @@ impl TapeLibrary {
     /// The registry this library reports into.
     pub fn obs(&self) -> &Arc<Registry> {
         &self.shared.obs
+    }
+
+    /// Arm a fault plane: from now on every operation boundary consults
+    /// it for scheduled drive failures, media errors, robot jams and
+    /// transient I/O.
+    pub fn arm_faults(&self, plane: Arc<FaultPlane>) {
+        *self.shared.faults.write() = Some(plane);
+    }
+
+    /// The armed fault plane, if any — HSM agents read it to pick their
+    /// retry policy.
+    pub fn armed_faults(&self) -> Option<Arc<FaultPlane>> {
+        self.shared.faults.read().clone()
+    }
+
+    /// Whether a drive is fenced (hard-failed and withdrawn from service).
+    pub fn is_fenced(&self, drive: DriveId) -> Result<bool, TapeError> {
+        Ok(self.drive(drive)?.lock().fenced)
+    }
+
+    /// Gate an operation on drive health: an already-fenced drive rejects
+    /// it, and a drive whose scheduled hard-failure instant has passed is
+    /// fenced here — volume freed so recovery can remount it elsewhere.
+    fn check_drive_health(
+        &self,
+        st: &mut DriveState,
+        drive: DriveId,
+        now: SimInstant,
+    ) -> Result<(), TapeError> {
+        if st.fenced {
+            return Err(TapeError::DriveFailed(drive));
+        }
+        let plane = self.armed_faults();
+        if let Some(p) = plane {
+            if p.drive_fails_by(drive.0, now) {
+                st.fenced = true;
+                st.head_bytes = 0;
+                st.last_agent = None;
+                if let Some(tape) = st.mounted.take() {
+                    self.shared.mounted_in.lock().remove(&tape.0);
+                }
+                p.note_fence(drive.0, now);
+                return Err(TapeError::DriveFailed(drive));
+            }
+        }
+        Ok(())
+    }
+
+    /// Consult the plane for a transient I/O fault on `drive`; on a hit
+    /// the latency spike is charged to the drive before the error returns.
+    fn check_transient_io(
+        &self,
+        st: &mut DriveState,
+        drive: DriveId,
+        now: SimInstant,
+    ) -> Result<(), TapeError> {
+        let plane = self.armed_faults();
+        if let Some(p) = plane {
+            if let Some(spike) = p.take_transient_io(drive.0, now) {
+                st.timeline.reserve(now, spike);
+                return Err(TapeError::TransientIo(drive));
+            }
+        }
+        Ok(())
     }
 
     pub fn timing(&self) -> &TapeTiming {
@@ -307,6 +391,7 @@ impl TapeLibrary {
     ) -> Result<SimInstant, TapeError> {
         let _ = self.cartridge(tape)?; // validate id
         let mut st = self.drive(drive)?.lock();
+        self.check_drive_health(&mut st, drive, ready)?;
         if st.mounted == Some(tape) {
             return Ok(ready);
         }
@@ -342,8 +427,12 @@ impl TapeLibrary {
                 },
             );
         }
-        // Robot fetches the new volume.
-        let r = self.shared.robot.reserve(cursor, t.robot_move);
+        // Robot fetches the new volume (a scripted jam stalls the fetch).
+        let jam = self
+            .armed_faults()
+            .and_then(|p| p.take_robot_jam(cursor))
+            .unwrap_or(SimDuration::ZERO);
+        let r = self.shared.robot.reserve(cursor, t.robot_move + jam);
         cursor = r.end;
         // Drive loads, threads and verifies the label.
         let r = st.timeline.reserve(cursor, t.mount + t.label_verify);
@@ -369,6 +458,7 @@ impl TapeLibrary {
     /// Dismount whatever the drive holds (rewind + unload + robot).
     pub fn dismount(&self, drive: DriveId, ready: SimInstant) -> Result<SimInstant, TapeError> {
         let mut st = self.drive(drive)?.lock();
+        self.check_drive_health(&mut st, drive, ready)?;
         let Some(old) = st.mounted else {
             return Ok(ready);
         };
@@ -404,21 +494,30 @@ impl TapeLibrary {
         ready: SimInstant,
     ) -> Result<(DriveId, SimInstant), TapeError> {
         if let Some(d) = self.drive_holding(tape) {
-            return Ok((d, ready));
+            // The holder may carry a hard-failure scheduled before `ready`;
+            // fence it here instead of bouncing every caller off a dead
+            // mount, and fall through to pick a healthy drive.
+            let mut st = self.drive(d)?.lock();
+            if self.check_drive_health(&mut st, d, ready).is_ok() {
+                return Ok((d, ready));
+            }
         }
         // Prefer an empty drive; otherwise evict from the one free soonest.
-        let mut candidates: Vec<(bool, SimInstant, u32)> = self
-            .shared
-            .drives
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                let st = d.lock();
-                (st.mounted.is_some(), st.timeline.next_free(), i as u32)
-            })
-            .collect();
+        // Fenced drives (and drives due to fail by `ready`) are skipped.
+        let mut candidates: Vec<(bool, SimInstant, u32)> = Vec::new();
+        for (i, d) in self.shared.drives.iter().enumerate() {
+            let id = DriveId(i as u32);
+            let mut st = d.lock();
+            if self.check_drive_health(&mut st, id, ready).is_err() {
+                continue;
+            }
+            candidates.push((st.mounted.is_some(), st.timeline.next_free(), i as u32));
+        }
         candidates.sort_unstable(); // occupied=false first, then earliest free, then id
-        let drive = DriveId(candidates[0].2);
+        let Some(&(_, _, first)) = candidates.first() else {
+            return Err(TapeError::NoHealthyDrive);
+        };
+        let drive = DriveId(first);
         let end = self.mount(drive, tape, ready)?;
         Ok((drive, end))
     }
@@ -480,7 +579,9 @@ impl TapeLibrary {
     ) -> Result<(TapeAddress, SimInstant), TapeError> {
         let len = content.len();
         let mut st = self.drive(drive)?.lock();
+        self.check_drive_health(&mut st, drive, ready)?;
         let tape = st.mounted.ok_or(TapeError::NotMounted(drive))?;
+        self.check_transient_io(&mut st, drive, ready)?;
         let t = &self.shared.timing;
         let cursor = self.agent_handoff(&mut st, drive, agent, ready);
 
@@ -522,6 +623,7 @@ impl TapeLibrary {
         ready: SimInstant,
     ) -> Result<(Content, SimInstant), TapeError> {
         let mut st = self.drive(drive)?.lock();
+        self.check_drive_health(&mut st, drive, ready)?;
         let mounted = st.mounted;
         if mounted != Some(addr.tape) {
             return Err(TapeError::WrongTape {
@@ -530,12 +632,16 @@ impl TapeLibrary {
                 wanted: addr.tape,
             });
         }
+        self.check_transient_io(&mut st, drive, ready)?;
         let t = &self.shared.timing;
         let cursor = self.agent_handoff(&mut st, drive, agent, ready);
 
         let cart = self.cartridge(addr.tape)?.lock();
         let rec = cart.record(addr.seq).ok_or(TapeError::NoSuchRecord(addr))?;
-        if rec.damaged {
+        let injected = self
+            .armed_faults()
+            .is_some_and(|p| p.take_media_error(addr.tape.0, addr.seq, cursor));
+        if rec.damaged || injected {
             return Err(TapeError::MediaError(addr));
         }
         let content = rec.content.clone().ok_or(TapeError::ObjectDeleted(addr))?;
@@ -567,6 +673,7 @@ impl TapeLibrary {
         ready: SimInstant,
     ) -> Result<(Content, SimInstant), TapeError> {
         let mut st = self.drive(drive)?.lock();
+        self.check_drive_health(&mut st, drive, ready)?;
         let mounted = st.mounted;
         if mounted != Some(addr.tape) {
             return Err(TapeError::WrongTape {
@@ -575,12 +682,16 @@ impl TapeLibrary {
                 wanted: addr.tape,
             });
         }
+        self.check_transient_io(&mut st, drive, ready)?;
         let t = &self.shared.timing;
         let cursor = self.agent_handoff(&mut st, drive, agent, ready);
 
         let cart = self.cartridge(addr.tape)?.lock();
         let rec = cart.record(addr.seq).ok_or(TapeError::NoSuchRecord(addr))?;
-        if rec.damaged {
+        let injected = self
+            .armed_faults()
+            .is_some_and(|p| p.take_media_error(addr.tape.0, addr.seq, cursor));
+        if rec.damaged || injected {
             return Err(TapeError::MediaError(addr));
         }
         let content = rec.content.as_ref().ok_or(TapeError::ObjectDeleted(addr))?;
@@ -893,6 +1004,215 @@ mod tests {
         assert_eq!(t, SimInstant::from_secs(100)); // already mounted: free
         let (d1, _) = l.ensure_mounted(TapeId(1), SimInstant::EPOCH).unwrap();
         assert_ne!(d0, d1, "second tape should go to the empty drive");
+    }
+
+    #[test]
+    fn tape_error_display_messages() {
+        let addr = TapeAddress {
+            tape: TapeId(3),
+            seq: 7,
+        };
+        let cases: Vec<(TapeError, &str)> = vec![
+            (TapeError::NoSuchDrive(DriveId(1)), "no such drive: drive1"),
+            (TapeError::NoSuchTape(TapeId(2)), "no such tape: VOL00002"),
+            (
+                TapeError::NotMounted(DriveId(0)),
+                "no tape mounted in drive0",
+            ),
+            (
+                TapeError::WrongTape {
+                    drive: DriveId(1),
+                    mounted: Some(TapeId(2)),
+                    wanted: TapeId(3),
+                },
+                "drive1 has Some(TapeId(2)) mounted, wanted VOL00003",
+            ),
+            (
+                TapeError::TapeInUse {
+                    tape: TapeId(1),
+                    drive: DriveId(0),
+                },
+                "VOL00001 is mounted in drive0",
+            ),
+            (TapeError::TapeFull(TapeId(4)), "tape full: VOL00004"),
+            (TapeError::NoSuchRecord(addr), "no record 7 on VOL00003"),
+            (
+                TapeError::ObjectDeleted(addr),
+                "record 7 on VOL00003 was deleted",
+            ),
+            (
+                TapeError::MediaError(addr),
+                "media error reading record 7 on VOL00003",
+            ),
+            (
+                TapeError::VolumeNotEmpty(TapeId(9)),
+                "volume VOL00009 still holds live objects",
+            ),
+            (
+                TapeError::DriveFailed(DriveId(5)),
+                "drive5 hard-failed and is fenced",
+            ),
+            (
+                TapeError::TransientIo(DriveId(6)),
+                "transient I/O error on drive6",
+            ),
+            (TapeError::NoHealthyDrive, "no healthy drive in the library"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn damaged_and_deleted_records_fail_reads_precisely() {
+        let l = lib();
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let (a0, t1) = l
+            .write_object(DriveId(0), 1, 10, Content::synthetic(1, 4096), t0)
+            .unwrap();
+        let (a1, t2) = l
+            .write_object(DriveId(0), 1, 11, Content::synthetic(2, 4096), t1)
+            .unwrap();
+        l.damage_record(a0).unwrap();
+        assert_eq!(
+            l.read_object(DriveId(0), 1, a0, t2).unwrap_err(),
+            TapeError::MediaError(a0)
+        );
+        assert_eq!(
+            l.read_object_range(DriveId(0), 1, a0, 0, 100, t2)
+                .unwrap_err(),
+            TapeError::MediaError(a0)
+        );
+        // The neighbor record is untouched.
+        let (_, t3) = l.read_object(DriveId(0), 1, a1, t2).unwrap();
+        l.delete_object(a1).unwrap();
+        assert_eq!(
+            l.read_object(DriveId(0), 1, a1, t3).unwrap_err(),
+            TapeError::ObjectDeleted(a1)
+        );
+        assert_eq!(
+            l.read_object_range(DriveId(0), 1, a1, 0, 100, t3)
+                .unwrap_err(),
+            TapeError::ObjectDeleted(a1)
+        );
+    }
+
+    #[test]
+    fn scheduled_drive_failure_fences_and_frees_the_volume() {
+        use copra_faults::FaultPlan;
+        let l = lib();
+        l.arm_faults(
+            FaultPlan::new(11)
+                .fail_drive(0, SimInstant::from_secs(100))
+                .arm(l.obs().clone()),
+        );
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let (addr, _) = l
+            .write_object(DriveId(0), 1, 1, Content::synthetic(1, 1 << 20), t0)
+            .unwrap();
+        let late = SimInstant::from_secs(200);
+        assert_eq!(
+            l.read_object(DriveId(0), 1, addr, late).unwrap_err(),
+            TapeError::DriveFailed(DriveId(0))
+        );
+        assert!(l.is_fenced(DriveId(0)).unwrap());
+        assert_eq!(l.drive_holding(TapeId(0)), None, "volume freed at fence");
+        // Recovery path: the tape remounts on the healthy drive and the
+        // object is readable again.
+        let (d, t) = l.ensure_mounted(TapeId(0), late).unwrap();
+        assert_eq!(d, DriveId(1));
+        let (back, _) = l.read_object(d, 1, addr, t).unwrap();
+        assert!(back.eq_content(&Content::synthetic(1, 1 << 20)));
+        let snap = l.obs().snapshot();
+        assert_eq!(snap.counter("faults.fences"), 1);
+        assert_eq!(snap.counter("faults.drive_failures"), 1);
+    }
+
+    #[test]
+    fn all_drives_fenced_is_no_healthy_drive() {
+        use copra_faults::FaultPlan;
+        let l = lib();
+        l.arm_faults(
+            FaultPlan::new(11)
+                .fail_drive(0, SimInstant::EPOCH)
+                .fail_drive(1, SimInstant::EPOCH)
+                .arm(l.obs().clone()),
+        );
+        assert_eq!(
+            l.ensure_mounted(TapeId(0), SimInstant::from_secs(1)),
+            Err(TapeError::NoHealthyDrive)
+        );
+    }
+
+    #[test]
+    fn robot_jam_delays_exactly_one_mount() {
+        use copra_faults::FaultPlan;
+        let l = lib();
+        l.arm_faults(
+            FaultPlan::new(11)
+                .jam_robot(SimInstant::EPOCH, SimDuration::from_secs(40))
+                .arm(l.obs().clone()),
+        );
+        let end = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        // robot (8 + 40 jam) + mount 15 + verify 3
+        assert_eq!(end, SimInstant::from_secs(66));
+        // The jam was consumed: the next mount runs at mechanical speed.
+        let end2 = l.mount(DriveId(1), TapeId(1), end).unwrap();
+        assert_eq!(end2, end + SimDuration::from_secs(26));
+    }
+
+    #[test]
+    fn transient_io_errors_spike_latency_and_are_retryable() {
+        use copra_faults::FaultPlan;
+        let l = TapeLibrary::new(1, 1, TapeTiming::lto4());
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        l.arm_faults(
+            FaultPlan::new(5)
+                .transient_io(1.0, SimDuration::from_secs(5))
+                .arm(l.obs().clone()),
+        );
+        let content = Content::synthetic(9, 1 << 20);
+        assert_eq!(
+            l.write_object(DriveId(0), 1, 1, content.clone(), t0)
+                .unwrap_err(),
+            TapeError::TransientIo(DriveId(0))
+        );
+        // Re-arm with a clean plan (the retry path normally just tries
+        // again later); the spike stays charged to the drive timeline.
+        l.arm_faults(FaultPlan::new(5).arm(l.obs().clone()));
+        let (_, end) = l.write_object(DriveId(0), 1, 1, content, t0).unwrap();
+        assert!(
+            end >= t0 + SimDuration::from_secs(5),
+            "spike occupies drive"
+        );
+    }
+
+    #[test]
+    fn injected_media_errors_clear_after_their_hits() {
+        use copra_faults::FaultPlan;
+        let l = TapeLibrary::new(1, 1, TapeTiming::lto4());
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let content = Content::synthetic(3, 1 << 20);
+        let (addr, t1) = l
+            .write_object(DriveId(0), 1, 1, content.clone(), t0)
+            .unwrap();
+        l.arm_faults(
+            FaultPlan::new(4)
+                .media_error(addr.tape.0, addr.seq, 2)
+                .arm(l.obs().clone()),
+        );
+        assert_eq!(
+            l.read_object(DriveId(0), 1, addr, t1).unwrap_err(),
+            TapeError::MediaError(addr)
+        );
+        assert_eq!(
+            l.read_object(DriveId(0), 1, addr, t1).unwrap_err(),
+            TapeError::MediaError(addr)
+        );
+        // Hits exhausted: the soft error clears and the data is intact.
+        let (back, _) = l.read_object(DriveId(0), 1, addr, t1).unwrap();
+        assert!(back.eq_content(&content));
+        assert_eq!(l.obs().snapshot().counter("faults.media_errors"), 2);
     }
 
     #[test]

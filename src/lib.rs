@@ -22,6 +22,8 @@
 //!   recall / reconcile / aggregation.
 //! * [`fuse`] — ArchiveFUSE chunking overlay (N-to-1 → N-to-N).
 //! * [`cluster`] — FTA cluster nodes, LoadManager, batch launcher.
+//! * [`faults`] — seeded deterministic fault injection (drive/media/robot/
+//!   mover faults) and the retry/backoff machinery recovery paths use.
 //! * [`mpirt`] — mini message-passing runtime for PFTool's process model.
 //! * [`obs`] — metrics registry, event tracing, and the device-utilization
 //!   snapshot every subsystem reports into.
@@ -33,6 +35,7 @@
 
 pub use copra_cluster as cluster;
 pub use copra_core as core;
+pub use copra_faults as faults;
 pub use copra_fuse as fuse;
 pub use copra_hsm as hsm;
 pub use copra_metadb as metadb;
