@@ -5,9 +5,9 @@ use crate::hsmstate::HsmState;
 use crate::policy::{FileRecord, PolicyEngine, Rule};
 use crate::pool::{PoolConfig, PoolId, StoragePool};
 use copra_simtime::{Clock, DataSize, Reservation, SimDuration, SimInstant, Timeline};
-use copra_vfs::{Content, FsError, FsResult, Ino, InodeAttr, Vfs, WalkEntry};
-use parking_lot::RwLock;
+use copra_vfs::{Content, FsError, FsResult, Ino, InodeAttr, StripedU64Map, Vfs, WalkEntry};
 use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Result of reading a managed file.
@@ -25,7 +25,10 @@ struct PfsShared {
     pools: Vec<StoragePool>,
     pool_by_name: FxHashMap<String, PoolId>,
     placement: PolicyEngine,
-    file_pools: RwLock<FxHashMap<u64, PoolId>>,
+    /// Per-file pool residency, lock-striped like the inode table it
+    /// shadows: policy scans read it from every scan thread while creates
+    /// and tiering moves write disjoint inos.
+    file_pools: StripedU64Map<PoolId>,
     default_pool: PoolId,
     /// The metadata service path: file create/stat/unlink transactions
     /// serialize here in simulated time. GPFS's own benchmark claim — one
@@ -106,7 +109,7 @@ impl PfsBuilder {
                 pools,
                 pool_by_name,
                 placement: PolicyEngine::new(self.placement),
-                file_pools: RwLock::new(FxHashMap::default()),
+                file_pools: StripedU64Map::new(64),
                 default_pool,
                 meta,
             }),
@@ -158,9 +161,7 @@ impl Pfs {
     pub fn pool_of(&self, ino: Ino) -> PoolId {
         self.shared
             .file_pools
-            .read()
-            .get(&ino.0)
-            .copied()
+            .get(ino.0)
             .unwrap_or(self.shared.default_pool)
     }
 
@@ -196,7 +197,7 @@ impl Pfs {
         let r_write = self.pool(to_id).charge_io(r_read.end, size);
         self.pool(from_id).account_remove(size);
         self.pool(to_id).account_add(size);
-        self.shared.file_pools.write().insert(ino.0, to_id);
+        self.shared.file_pools.insert(ino.0, to_id);
         Ok(r_write)
     }
 
@@ -295,7 +296,7 @@ impl Pfs {
             .and_then(|name| self.shared.pool_by_name.get(name).copied())
             .unwrap_or(self.shared.default_pool);
         self.pool(pool_id).account_add(DataSize::from_bytes(actual));
-        self.shared.file_pools.write().insert(ino.0, pool_id);
+        self.shared.file_pools.insert(ino.0, pool_id);
         Ok(ino)
     }
 
@@ -439,7 +440,7 @@ impl Pfs {
         };
         self.pool(pool)
             .account_remove(DataSize::from_bytes(on_disk));
-        self.shared.file_pools.write().remove(&ino.0);
+        self.shared.file_pools.remove(ino.0);
         Ok(attr)
     }
 
@@ -514,37 +515,86 @@ impl Pfs {
 
     // ----- policy scan -----------------------------------------------------
 
-    /// Snapshot of every regular file as policy-visible records.
+    /// Default scan parallelism: one thread per available core.
+    fn scan_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Policy-visible record for one regular file, built straight from a
+    /// scan-time attr snapshot (stub-size overlay and HSM state come from
+    /// the xattrs already in hand — no second stat, no extra locks).
+    fn record_from(&self, path: &str, attr: &InodeAttr) -> FileRecord {
+        let hsm = attr
+            .xattr(HsmState::XATTR)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(HsmState::Resident);
+        FileRecord {
+            path: path.to_string(),
+            ino: attr.ino,
+            size: Self::overlay_size(attr),
+            uid: attr.uid,
+            mtime: attr.mtime,
+            atime: attr.atime,
+            pool: self.pool(self.pool_of(attr.ino)).name().to_string(),
+            hsm,
+        }
+    }
+
+    /// Snapshot of every regular file as policy-visible records, sorted by
+    /// path. Runs the sharded parallel scan at the default thread count.
     pub fn scan_records(&self) -> Vec<FileRecord> {
-        self.walk("/")
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|e| e.attr.is_file())
-            .map(|e| {
-                let hsm = e
-                    .attr
-                    .xattr(HsmState::XATTR)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(HsmState::Resident);
-                let pool = self.pool(self.pool_of(e.attr.ino)).name().to_string();
-                FileRecord {
-                    path: e.path,
-                    ino: e.attr.ino,
-                    size: e.attr.size,
-                    uid: e.attr.uid,
-                    mtime: e.attr.mtime,
-                    atime: e.attr.atime,
-                    pool,
-                    hsm,
-                }
-            })
-            .collect()
+        self.scan_records_with(Self::scan_threads())
+    }
+
+    /// [`Pfs::scan_records`] at an explicit thread count. The result is
+    /// identical at any `threads` value: shards are scanned independently
+    /// and the merged records are sorted by path.
+    pub fn scan_records_with(&self, threads: usize) -> Vec<FileRecord> {
+        let mut recs = self.shared.vfs.par_scan(threads, |path, attr| {
+            if attr.is_file() {
+                Some(self.record_from(path, attr))
+            } else {
+                None
+            }
+        });
+        recs.sort_by(|a, b| a.path.cmp(&b.path));
+        recs
     }
 
     /// Run a policy over the current namespace.
     pub fn run_policy(&self, engine: &PolicyEngine) -> crate::policy::ScanReport {
-        let records = self.scan_records();
-        engine.scan(&records, self.clock().now())
+        self.run_policy_with(engine, Self::scan_threads())
+    }
+
+    /// [`Pfs::run_policy`] at an explicit thread count. Rule evaluation is
+    /// fused into the sharded namespace scan: each scan thread classifies
+    /// files as it walks its shards and keeps only the matches, so no
+    /// global lock is held and no intermediate vector of all records is
+    /// ever built. [`PolicyEngine::assemble`] sorts the survivors, making
+    /// the report deterministic at every thread count.
+    pub fn run_policy_with(
+        &self,
+        engine: &PolicyEngine,
+        threads: usize,
+    ) -> crate::policy::ScanReport {
+        let now = self.clock().now();
+        let t0 = std::time::Instant::now();
+        let scanned = AtomicUsize::new(0);
+        let tagged = self.shared.vfs.par_scan(threads, |path, attr| {
+            if !attr.is_file() {
+                return None;
+            }
+            scanned.fetch_add(1, Ordering::Relaxed);
+            let rec = self.record_from(path, attr);
+            engine.classify(&rec, now).map(|idx| (idx, rec))
+        });
+        engine.assemble(
+            tagged,
+            scanned.load(Ordering::Relaxed),
+            t0.elapsed().as_secs_f64(),
+        )
     }
 }
 
@@ -762,6 +812,58 @@ mod tests {
         let report = pfs.run_policy(&engine);
         assert_eq!(report.scanned, 10);
         assert_eq!(report.lists["candidates"].len(), 10);
+    }
+
+    #[test]
+    fn streaming_scan_is_thread_count_invariant() {
+        let clock = Clock::new();
+        let pfs = PfsBuilder::new("a", clock.clone())
+            .pool(PoolConfig::fast_disk("fast", 1, DataSize::tb(1)))
+            .pool(PoolConfig::slow_disk("slow", 1, DataSize::tb(1)))
+            .build();
+        for d in 0..8 {
+            pfs.mkdir_p(&format!("/d{d}")).unwrap();
+            for i in 0..25 {
+                let ino = pfs
+                    .create_file(
+                        &format!("/d{d}/f{i:02}"),
+                        i,
+                        Content::synthetic(u64::from(d * 100 + i), 64 + u64::from(i)),
+                    )
+                    .unwrap();
+                if i % 5 == 0 {
+                    pfs.move_to_pool(ino, "slow", SimInstant::EPOCH).unwrap();
+                }
+                if i % 7 == 0 {
+                    pfs.mark_premigrated(ino, u64::from(d * 100 + i)).unwrap();
+                    pfs.punch_hole(ino).unwrap();
+                }
+            }
+        }
+        clock.advance_to(SimInstant::from_secs(3600));
+        let engine = PolicyEngine::new(vec![
+            Rule::exclude("skip-slow", Predicate::InPool("slow".to_string())),
+            Rule::list(
+                "stubs",
+                "stubs",
+                Predicate::Hsm(crate::hsmstate::HsmState::Migrated),
+            ),
+            Rule::migrate("rest", "tape", Predicate::True),
+        ]);
+        let baseline = pfs.run_policy_with(&engine, 1);
+        assert_eq!(baseline.scanned, 200);
+        let base_recs = pfs.scan_records_with(1);
+        assert_eq!(base_recs.len(), 200);
+        for threads in [2, 4, 8] {
+            let report = pfs.run_policy_with(&engine, threads);
+            assert_eq!(report.scanned, baseline.scanned);
+            assert_eq!(report.lists, baseline.lists);
+            assert_eq!(report.migrations, baseline.migrations);
+            assert_eq!(pfs.scan_records_with(threads), base_recs);
+        }
+        // Sorted output, and the stub-size overlay survived the fused scan.
+        assert!(base_recs.windows(2).all(|w| w[0].path < w[1].path));
+        assert!(baseline.lists["stubs"].iter().all(|r| r.size >= 64));
     }
 
     #[test]

@@ -201,30 +201,32 @@ impl PolicyEngine {
         &self.rules
     }
 
-    /// Evaluate the rule set over a snapshot of file records. Parallel over
-    /// records (rayon); per-record evaluation applies rules in order and
-    /// stops at the first match.
-    pub fn scan(&self, records: &[FileRecord], now: SimInstant) -> ScanReport {
-        let t0 = Instant::now();
-        // Classify in parallel, tagging each record with the index of the
-        // matched rule, then group sequentially (deterministic ordering).
-        let tagged: Vec<(usize, &FileRecord)> = records
-            .par_iter()
-            .filter_map(|rec| {
-                self.rules
-                    .iter()
-                    .position(|rule| rule.predicate.eval(rec, now))
-                    .map(|idx| (idx, rec))
-            })
-            .collect();
+    /// Index of the first rule whose predicate holds for `rec`, if any
+    /// (GPFS first-match-wins semantics). This is the per-file kernel that
+    /// streaming scans fuse into their namespace traversal: callers tag
+    /// matches as they go instead of materializing every record first.
+    pub fn classify(&self, rec: &FileRecord, now: SimInstant) -> Option<usize> {
+        self.rules
+            .iter()
+            .position(|rule| rule.predicate.eval(rec, now))
+    }
 
+    /// Build a [`ScanReport`] from `(matched rule index, record)` pairs.
+    /// Each group is sorted by path, so the report is identical no matter
+    /// how many threads produced the tags or in what order they arrived.
+    pub fn assemble(
+        &self,
+        tagged: Vec<(usize, FileRecord)>,
+        scanned: usize,
+        wall_seconds: f64,
+    ) -> ScanReport {
         let mut report = ScanReport {
-            scanned: records.len(),
+            scanned,
             ..ScanReport::default()
         };
         let mut groups: BTreeMap<usize, Vec<FileRecord>> = BTreeMap::new();
         for (idx, rec) in tagged {
-            groups.entry(idx).or_default().push(rec.clone());
+            groups.entry(idx).or_default().push(rec);
         }
         for (idx, mut files) in groups {
             files.sort_by(|a, b| a.path.cmp(&b.path));
@@ -240,13 +242,30 @@ impl PolicyEngine {
                 Action::Exclude | Action::Place { .. } => {}
             }
         }
-        report.wall_seconds = t0.elapsed().as_secs_f64();
-        report.inodes_per_sec = if report.wall_seconds > 0.0 {
-            records.len() as f64 / report.wall_seconds
+        report.wall_seconds = wall_seconds;
+        report.inodes_per_sec = if wall_seconds > 0.0 {
+            scanned as f64 / wall_seconds
         } else {
             f64::INFINITY
         };
         report
+    }
+
+    /// Evaluate the rule set over a pre-built snapshot of file records.
+    /// Parallel over records (rayon); per-record evaluation applies rules
+    /// in order and stops at the first match.
+    ///
+    /// [`crate::Pfs::run_policy`] no longer goes through this entry point —
+    /// it fuses [`PolicyEngine::classify`] into the sharded namespace scan
+    /// so unmatched files are dropped on the spot. This slice form remains
+    /// for callers that already hold records (dumps, replays, unit tests).
+    pub fn scan(&self, records: &[FileRecord], now: SimInstant) -> ScanReport {
+        let t0 = Instant::now();
+        let tagged: Vec<(usize, FileRecord)> = records
+            .par_iter()
+            .filter_map(|rec| self.classify(rec, now).map(|idx| (idx, rec.clone())))
+            .collect();
+        self.assemble(tagged, records.len(), t0.elapsed().as_secs_f64())
     }
 
     /// Placement decision for a new file: the pool named by the first

@@ -21,6 +21,11 @@ pub struct PftoolConfig {
     pub parallel_copy_threshold: DataSize,
     /// Sub-chunk size for single-large-file parallel copy.
     pub copy_chunk: DataSize,
+    /// Upper bound on how many NameQ/CopyQ entries ride in one vectored
+    /// Manager→Worker assignment. Batching amortizes per-message overhead
+    /// on million-file walks; idle workers steal from the tail of a busy
+    /// worker's batch, so a large bound does not serialize the run.
+    pub batch_size: usize,
     /// Sort each tape's restore queue by tape sequence number (§4.1.2-2).
     /// Disabled = the unordered baseline PFTool exists to beat.
     pub tape_ordering: bool,
@@ -49,6 +54,7 @@ impl Default for PftoolConfig {
             tape_procs: 2,
             parallel_copy_threshold: DataSize::gb(10),
             copy_chunk: DataSize::gb(1),
+            batch_size: 64,
             tape_ordering: true,
             restart: false,
             data_path: DataPath::LanFree,
@@ -75,6 +81,9 @@ impl PftoolConfig {
             tape_procs: 1,
             parallel_copy_threshold: DataSize::mb(64),
             copy_chunk: DataSize::mb(16),
+            // Small batches so multi-batch dispatch and tail stealing are
+            // exercised by ordinary-sized test trees.
+            batch_size: 4,
             ..PftoolConfig::default()
         }
     }
@@ -86,6 +95,7 @@ impl PftoolConfig {
             !self.copy_chunk.is_zero(),
             "copy chunk size must be positive"
         );
+        assert!(self.batch_size >= 1, "batch size must be positive");
     }
 }
 

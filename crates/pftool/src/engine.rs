@@ -7,7 +7,9 @@
 //! detects termination when every queue is empty and nothing is in flight.
 
 use crate::config::PftoolConfig;
-use crate::msg::{CompareJob, CopyJob, DstMode, FileMeta, PfMsg, TapeJob};
+use crate::msg::{
+    CompareJob, CopyJob, DstMode, FileMeta, MoveResult, PfMsg, StatRequest, StatResult, TapeJob,
+};
 use crate::queues::{ManagerQueues, TapeEntry, WorkerJob};
 use crate::report::RunStats;
 use crate::view::FsView;
@@ -166,6 +168,7 @@ impl Engine<'_> {
             pending_chunks: rustc_hash::FxHashMap::default(),
             tape_attempts: rustc_hash::FxHashMap::default(),
             pending: rustc_hash::FxHashMap::default(),
+            steal_outstanding: rustc_hash::FxHashSet::default(),
             mobs: self.obs().map(|o| ManagerObs::new(o.clone())),
         };
         st.seed(run_start);
@@ -309,14 +312,29 @@ impl Engine<'_> {
         // next job cannot start (in simulated time) before the previous
         // one finished. Stats are charged on the metadata service instead.
         let mut pipeline_free = SimInstant::EPOCH;
-        loop {
+        'world: loop {
             comm.send(MANAGER, PfMsg::RequestWork);
-            let Some((_, msg)) = comm.recv() else { break };
-            if matches!(
-                msg,
-                PfMsg::StatJob { .. } | PfMsg::Copy(_) | PfMsg::Compare(_)
-            ) {
-                match self.mover_crash(&faults, &comm) {
+            // A StealRequest can cross this rank's batch completion on the
+            // wire: answer it empty (nothing left to steal) WITHOUT
+            // re-requesting work — the RequestWork above is already in
+            // flight and a second one would double-count this rank idle.
+            let mut next = comm.recv();
+            while let Some((_, PfMsg::StealRequest)) = next {
+                comm.send(MANAGER, PfMsg::Stolen { jobs: vec![] });
+                next = comm.recv();
+            }
+            let Some((_, msg)) = next else { break };
+            let batch_len = match &msg {
+                PfMsg::StatBatch { jobs } => jobs.len(),
+                PfMsg::MoveBatch { jobs } => jobs.len(),
+                _ => 0,
+            };
+            if batch_len > 0 {
+                // The crash fuse counts *jobs*, not messages, so a batch
+                // burns one tick per entry — but always at receipt, before
+                // anything executes: a death loses the whole assignment
+                // and the Manager re-queues all of it.
+                match self.mover_crash(&faults, &comm, batch_len) {
                     Crash::No => {}
                     Crash::Respawned => {
                         // Fresh mover process: its pipeline starts empty.
@@ -327,67 +345,51 @@ impl Engine<'_> {
                 }
             }
             match msg {
-                PfMsg::StatJob {
-                    path,
-                    chunked,
-                    ready,
-                } => {
-                    let ready = self.src.pfs.charge_meta(ready).end;
-                    let msg = match self.stat_file(&path, chunked) {
-                        Ok(meta) => PfMsg::StatDone {
-                            meta: Some(meta),
-                            ready,
-                            err: None,
-                        },
-                        Err(e) => PfMsg::StatDone {
-                            meta: None,
-                            ready,
-                            err: Some(format!("{path}: {e}")),
-                        },
-                    };
-                    comm.send(MANAGER, msg);
-                }
-                PfMsg::Copy(mut job) => {
-                    job.ready = job.ready.max(pipeline_free);
-                    let msg = match self.exec_copy(&job, node) {
-                        Ok(end) => {
-                            pipeline_free = end;
-                            PfMsg::CopyDone {
-                                bytes: job.len,
-                                end,
+                PfMsg::StatBatch { jobs } => {
+                    let mut results = Vec::with_capacity(jobs.len());
+                    for j in jobs {
+                        let ready = self.src.pfs.charge_meta(j.ready).end;
+                        results.push(match self.stat_file(&j.path, j.chunked) {
+                            Ok(meta) => StatResult {
+                                meta: Some(meta),
+                                ready,
                                 err: None,
+                            },
+                            Err(e) => StatResult {
+                                meta: None,
+                                ready,
+                                err: Some(format!("{}: {e}", j.path)),
+                            },
+                        });
+                    }
+                    comm.send(MANAGER, PfMsg::StatBatchDone { results });
+                }
+                PfMsg::MoveBatch { mut jobs } => {
+                    let mut results = Vec::with_capacity(jobs.len());
+                    let mut i = 0usize;
+                    while i < jobs.len() {
+                        // Between entries, poll for a steal: surrender
+                        // half of the un-started tail to a starving
+                        // colleague. The batch is only ever shortened from
+                        // the back, so `results` stays aligned with the
+                        // front of the Manager's pending copy.
+                        while let Some((_, m)) = comm.try_recv() {
+                            match m {
+                                PfMsg::StealRequest => {
+                                    let remaining = jobs.len() - i;
+                                    let give = if remaining > 1 { remaining / 2 } else { 0 };
+                                    let stolen = jobs.split_off(jobs.len() - give);
+                                    comm.send(MANAGER, PfMsg::Stolen { jobs: stolen });
+                                }
+                                PfMsg::Shutdown => break 'world,
+                                _ => {}
                             }
                         }
-                        Err(e) => PfMsg::CopyDone {
-                            bytes: 0,
-                            end: job.ready,
-                            err: Some(format!("{}: {e}", job.src_path)),
-                        },
-                    };
-                    comm.send(MANAGER, msg);
-                }
-                PfMsg::Compare(mut job) => {
-                    job.ready = job.ready.max(pipeline_free);
-                    let msg = match self.exec_compare(&job, node) {
-                        Ok((equal, end)) => {
-                            pipeline_free = end;
-                            PfMsg::CompareDone {
-                                path: job.src_path.clone(),
-                                equal,
-                                bytes: job.len,
-                                end,
-                                err: None,
-                            }
-                        }
-                        Err(e) => PfMsg::CompareDone {
-                            path: job.src_path.clone(),
-                            equal: false,
-                            bytes: 0,
-                            end: job.ready,
-                            err: Some(format!("{}: {e}", job.src_path)),
-                        },
-                    };
-                    comm.send(MANAGER, msg);
+                        let job = jobs[i].clone();
+                        results.push(self.exec_worker_job(job, node, &mut pipeline_free));
+                        i += 1;
+                    }
+                    comm.send(MANAGER, PfMsg::MoveBatchDone { results });
                 }
                 PfMsg::Shutdown => break,
                 other => unreachable!("worker got {other:?}"),
@@ -396,18 +398,77 @@ impl Engine<'_> {
         RankOutcome::Unit
     }
 
-    /// Consult the fault plane for a scheduled mover crash on this rank.
-    /// A crashing mover dies with the assignment it just received: it
+    /// Execute one entry of a move batch on this mover's serial pipeline.
+    fn exec_worker_job(
+        &self,
+        job: WorkerJob,
+        node: NodeId,
+        pipeline_free: &mut SimInstant,
+    ) -> MoveResult {
+        match job {
+            WorkerJob::Copy(mut job) => {
+                job.ready = job.ready.max(*pipeline_free);
+                match self.exec_copy(&job, node) {
+                    Ok(end) => {
+                        *pipeline_free = end;
+                        MoveResult::Copy {
+                            bytes: job.len,
+                            end,
+                            err: None,
+                        }
+                    }
+                    Err(e) => MoveResult::Copy {
+                        bytes: 0,
+                        end: job.ready,
+                        err: Some(format!("{}: {e}", job.src_path)),
+                    },
+                }
+            }
+            WorkerJob::Compare(mut job) => {
+                job.ready = job.ready.max(*pipeline_free);
+                match self.exec_compare(&job, node) {
+                    Ok((equal, end)) => {
+                        *pipeline_free = end;
+                        MoveResult::Compare {
+                            path: job.src_path.clone(),
+                            equal,
+                            bytes: job.len,
+                            end,
+                            err: None,
+                        }
+                    }
+                    Err(e) => MoveResult::Compare {
+                        path: job.src_path.clone(),
+                        equal: false,
+                        bytes: 0,
+                        end: job.ready,
+                        err: Some(format!("{}: {e}", job.src_path)),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Consult the fault plane for a scheduled mover crash on this rank,
+    /// burning `jobs` ticks of the crash fuse (plans schedule crashes
+    /// "after N jobs"; a vectored batch carries N of them at once). A
+    /// crashing mover dies with the assignment it just received: it
     /// reports the death to the WatchDog and stays dead until the Manager
     /// answers with [`PfMsg::Respawn`]. Blocking here (instead of racing
     /// back with `RequestWork`) guarantees the Manager sees the death
     /// before this rank can hold a second assignment.
-    fn mover_crash(&self, faults: &Option<Arc<FaultPlane>>, comm: &Comm<PfMsg>) -> Crash {
+    fn mover_crash(
+        &self,
+        faults: &Option<Arc<FaultPlane>>,
+        comm: &Comm<PfMsg>,
+        jobs: usize,
+    ) -> Crash {
         let Some(plane) = faults else {
             return Crash::No;
         };
         let now = self.src.pfs.clock().now();
-        if !plane.take_mover_crash(comm.rank() as u32, now) {
+        let rank = comm.rank() as u32;
+        if !(0..jobs).any(|_| plane.take_mover_crash(rank, now)) {
             return Crash::No;
         }
         comm.send(WATCHDOG, PfMsg::WorkerDied { rank: comm.rank() });
@@ -555,7 +616,9 @@ impl Engine<'_> {
             comm.send(MANAGER, PfMsg::RequestWork);
             match comm.recv() {
                 Some((_, PfMsg::Tape(job))) => {
-                    match self.mover_crash(&faults, &comm) {
+                    // One tape assignment = one fuse tick, as before
+                    // batching: TapeJobs were always vectored.
+                    match self.mover_crash(&faults, &comm, 1) {
                         Crash::No => {}
                         Crash::Respawned => continue,
                         Crash::Shutdown => break,
@@ -656,8 +719,13 @@ struct ManagerState<'e, 'a> {
     /// The single assignment each Worker/TapeProc rank currently holds,
     /// kept so a mover death re-queues exactly the lost work. One slot per
     /// rank suffices: a dead rank blocks until its Respawn, so it can
-    /// never hold two assignments.
+    /// never hold two assignments. A Move slot is truncated from the back
+    /// as its rank surrenders stolen tail entries.
     pending: rustc_hash::FxHashMap<usize, PendingJob>,
+    /// Worker ranks with an un-answered StealRequest: never ask the same
+    /// victim twice before its Stolen reply, or the tail-length accounting
+    /// would double-subtract.
+    steal_outstanding: rustc_hash::FxHashSet<usize>,
     /// Telemetry handles; absent when the run has no registry in reach.
     mobs: Option<ManagerObs>,
 }
@@ -665,16 +733,9 @@ struct ManagerState<'e, 'a> {
 /// What a Worker or TapeProc rank is currently executing, from the
 /// Manager's point of view.
 enum PendingJob {
-    Stat {
-        path: String,
-        chunked: bool,
-        ready: SimInstant,
-    },
-    Move(WorkerJob),
-    Tape {
-        tape: u32,
-        entries: Vec<TapeEntry>,
-    },
+    Stat(Vec<StatRequest>),
+    Move(Vec<WorkerJob>),
+    Tape { tape: u32, entries: Vec<TapeEntry> },
 }
 
 impl ManagerState<'_, '_> {
@@ -685,7 +746,11 @@ impl ManagerState<'_, '_> {
             Ok(attr) if attr.is_dir() => {
                 if eng.src.is_chunked(&root) {
                     self.prepare_dst_parent(&root);
-                    self.q.nameq.push_back((root, true, run_start));
+                    self.q.nameq.push_back(StatRequest {
+                        path: root,
+                        chunked: true,
+                        ready: run_start,
+                    });
                 } else {
                     if let (Op::Copy, Some(dst), Some(dst_root)) =
                         (eng.op, eng.dst, eng.dst_root.as_deref())
@@ -699,7 +764,11 @@ impl ManagerState<'_, '_> {
             }
             Ok(_) => {
                 self.prepare_dst_parent(&root);
-                self.q.nameq.push_back((root, false, run_start));
+                self.q.nameq.push_back(StatRequest {
+                    path: root,
+                    chunked: false,
+                    ready: run_start,
+                });
             }
             Err(e) => self.record_error(root, e.to_string()),
         }
@@ -814,45 +883,33 @@ impl ManagerState<'_, '_> {
             self.comm.send(rank, PfMsg::ReadDirJob { path, ready });
             self.inflight_readdir += 1;
         }
-        // Workers <- NameQ (stats) then CopyQ (movement)
+        // Workers <- NameQ (stats) then CopyQ (movement), in vectored
+        // batches: one channel send covers up to `batch_size` queue
+        // entries instead of one send per file. The quota splits what is
+        // queued across the currently idle workers so a burst does not all
+        // land on the first rank.
         while !self.idle_workers.is_empty() {
-            if let Some((path, chunked, ready)) = self.q.nameq.pop_front() {
+            if !self.q.nameq.is_empty() {
+                let n = self.batch_quota(self.q.nameq.len());
+                let jobs: Vec<StatRequest> = self.q.nameq.drain(..n).collect();
                 let rank = self.idle_workers.pop().unwrap();
-                self.pending.insert(
-                    rank,
-                    PendingJob::Stat {
-                        path: path.clone(),
-                        chunked,
-                        ready,
-                    },
-                );
-                self.comm.send(
-                    rank,
-                    PfMsg::StatJob {
-                        path,
-                        chunked,
-                        ready,
-                    },
-                );
+                self.pending.insert(rank, PendingJob::Stat(jobs.clone()));
+                self.inflight_stat += jobs.len();
+                self.comm.send(rank, PfMsg::StatBatch { jobs });
                 self.note_worker_busy(rank);
-                self.inflight_stat += 1;
-            } else if let Some(job) = self.q.copyq.pop_front() {
+            } else if !self.q.copyq.is_empty() {
+                let n = self.batch_quota(self.q.copyq.len());
+                let jobs: Vec<WorkerJob> = self.q.copyq.drain(..n).collect();
                 let rank = self.idle_workers.pop().unwrap();
-                self.pending.insert(rank, PendingJob::Move(job.clone()));
-                match job {
-                    WorkerJob::Copy(j) => {
-                        self.comm.send(rank, PfMsg::Copy(j));
-                    }
-                    WorkerJob::Compare(j) => {
-                        self.comm.send(rank, PfMsg::Compare(j));
-                    }
-                }
+                self.pending.insert(rank, PendingJob::Move(jobs.clone()));
+                self.inflight_move += jobs.len();
+                self.comm.send(rank, PfMsg::MoveBatch { jobs });
                 self.note_worker_busy(rank);
-                self.inflight_move += 1;
             } else {
                 break;
             }
         }
+        self.maybe_steal();
         // TapeProcs <- TapeCQ, only once discovery has finished so each
         // tape's queue is fully "lined up" (§4.1.1 item g).
         if self.discovery_done() {
@@ -880,6 +937,42 @@ impl ManagerState<'_, '_> {
                 );
                 self.inflight_tape += 1;
             }
+        }
+    }
+
+    /// How many queue entries to pack into the next vectored assignment.
+    fn batch_quota(&self, queued: usize) -> usize {
+        let idle = self.idle_workers.len().max(1);
+        queued
+            .div_ceil(idle)
+            .min(self.engine.config.batch_size)
+            .max(1)
+    }
+
+    /// Workers are starving while a colleague sits on a multi-entry move
+    /// batch: ask the most loaded victim to surrender the un-started tail
+    /// of its batch. At most one outstanding request per victim; the tie
+    /// on batch length breaks by rank so the choice is deterministic.
+    fn maybe_steal(&mut self) {
+        if self.aborted
+            || self.idle_workers.is_empty()
+            || !self.q.nameq.is_empty()
+            || !self.q.copyq.is_empty()
+        {
+            return;
+        }
+        let victim = self
+            .pending
+            .iter()
+            .filter_map(|(rank, job)| match job {
+                PendingJob::Move(batch) if batch.len() > 1 => Some((batch.len(), *rank)),
+                _ => None,
+            })
+            .filter(|(_, rank)| !self.steal_outstanding.contains(rank))
+            .max();
+        if let Some((_, rank)) = victim {
+            self.steal_outstanding.insert(rank);
+            self.comm.send(rank, PfMsg::StealRequest);
         }
     }
 
@@ -937,57 +1030,89 @@ impl ManagerState<'_, '_> {
                         self.q.dirq.push_back((d, ready));
                     }
                     for f in files {
-                        self.q.nameq.push_back((f, false, ready));
+                        self.q.nameq.push_back(StatRequest {
+                            path: f,
+                            chunked: false,
+                            ready,
+                        });
                     }
                     for c in chunked {
-                        self.q.nameq.push_back((c, true, ready));
+                        self.q.nameq.push_back(StatRequest {
+                            path: c,
+                            chunked: true,
+                            ready,
+                        });
                     }
                 }
                 self.progress();
             }
-            PfMsg::StatDone { meta, ready, err } => {
-                self.inflight_stat -= 1;
+            PfMsg::StatBatchDone { results } => {
+                self.inflight_stat -= results.len();
                 self.pending.remove(&from);
-                if let Some(e) = err {
-                    self.record_error(String::new(), e);
-                } else if let Some(meta) = meta {
-                    if !self.aborted {
-                        self.route(meta, ready);
-                    }
-                }
-                self.progress();
-            }
-            PfMsg::CopyDone { bytes, end, err } => {
-                self.inflight_move -= 1;
-                self.pending.remove(&from);
-                if let Some(e) = err {
-                    self.record_error(String::new(), e);
-                } else {
-                    self.stats.bytes += bytes;
-                    self.stats.sim_end = self.stats.sim_end.max(end);
-                }
-                self.progress();
-            }
-            PfMsg::CompareDone {
-                path,
-                equal,
-                bytes,
-                end,
-                err,
-            } => {
-                self.inflight_move -= 1;
-                self.pending.remove(&from);
-                match err {
-                    Some(e) => self.record_error(path, e),
-                    None => {
-                        self.stats.bytes += bytes;
-                        self.stats.sim_end = self.stats.sim_end.max(end);
-                        if !equal {
-                            self.mismatch_lines.push(path);
+                for r in results {
+                    if let Some(e) = r.err {
+                        self.record_error(String::new(), e);
+                    } else if let Some(meta) = r.meta {
+                        if !self.aborted {
+                            self.route(meta, r.ready);
                         }
                     }
                 }
                 self.progress();
+            }
+            PfMsg::MoveBatchDone { results } => {
+                // Stolen tail entries were already subtracted when the
+                // Stolen reply arrived (channel FIFO guarantees it sorts
+                // before this message), so `results` covers exactly what
+                // is still charged against this rank.
+                self.inflight_move -= results.len();
+                self.pending.remove(&from);
+                for r in results {
+                    match r {
+                        MoveResult::Copy { bytes, end, err } => {
+                            if let Some(e) = err {
+                                self.record_error(String::new(), e);
+                            } else {
+                                self.stats.bytes += bytes;
+                                self.stats.sim_end = self.stats.sim_end.max(end);
+                            }
+                        }
+                        MoveResult::Compare {
+                            path,
+                            equal,
+                            bytes,
+                            end,
+                            err,
+                        } => match err {
+                            Some(e) => self.record_error(path, e),
+                            None => {
+                                self.stats.bytes += bytes;
+                                self.stats.sim_end = self.stats.sim_end.max(end);
+                                if !equal {
+                                    self.mismatch_lines.push(path);
+                                }
+                            }
+                        },
+                    }
+                }
+                self.progress();
+            }
+            PfMsg::Stolen { jobs } => {
+                self.steal_outstanding.remove(&from);
+                if !jobs.is_empty() {
+                    self.inflight_move -= jobs.len();
+                    self.stats.stolen_jobs += jobs.len() as u64;
+                    // The victim surrendered its batch tail: shorten the
+                    // pending copy the same way so a later death of that
+                    // rank re-queues only what it still holds.
+                    if let Some(PendingJob::Move(batch)) = self.pending.get_mut(&from) {
+                        let keep = batch.len() - jobs.len();
+                        batch.truncate(keep);
+                    }
+                    if !self.aborted {
+                        self.q.copyq.extend(jobs);
+                    }
+                }
             }
             PfMsg::TapeDone {
                 restored,
@@ -1010,7 +1135,11 @@ impl ManagerState<'_, '_> {
                             // The restored file is readable now; re-stat it
                             // so it flows into the copy queue ("additional
                             // restored tape file copy request", §4.1.1 j).
-                            None => self.q.nameq.push_back((path, false, end)),
+                            None => self.q.nameq.push_back(StatRequest {
+                                path,
+                                chunked: false,
+                                ready: end,
+                            }),
                             // A fuse chunk: re-queue the logical file only
                             // when its last chunk is back.
                             Some(logical) => {
@@ -1023,7 +1152,11 @@ impl ManagerState<'_, '_> {
                                 if entry.0 == 0 {
                                     let ready = entry.1;
                                     self.pending_chunks.remove(&logical);
-                                    self.q.nameq.push_back((logical, true, ready));
+                                    self.q.nameq.push_back(StatRequest {
+                                        path: logical,
+                                        chunked: true,
+                                        ready,
+                                    });
                                 }
                             }
                         }
@@ -1053,22 +1186,18 @@ impl ManagerState<'_, '_> {
         let now = self.engine.src.pfs.clock().now();
         let mut requeued = 0u64;
         match self.pending.remove(&rank) {
-            Some(PendingJob::Stat {
-                path,
-                chunked,
-                ready,
-            }) => {
-                self.inflight_stat -= 1;
+            Some(PendingJob::Stat(jobs)) => {
+                self.inflight_stat -= jobs.len();
                 if !self.aborted {
-                    self.q.nameq.push_back((path, chunked, ready));
-                    requeued = 1;
+                    requeued = jobs.len() as u64;
+                    self.q.nameq.extend(jobs);
                 }
             }
-            Some(PendingJob::Move(job)) => {
-                self.inflight_move -= 1;
+            Some(PendingJob::Move(batch)) => {
+                self.inflight_move -= batch.len();
                 if !self.aborted {
-                    self.q.copyq.push_back(job);
-                    requeued = 1;
+                    requeued = batch.len() as u64;
+                    self.q.copyq.extend(batch);
                 }
             }
             Some(PendingJob::Tape { tape, entries }) => {
@@ -1082,6 +1211,9 @@ impl ManagerState<'_, '_> {
             }
             None => {}
         }
+        // A dead rank never answers a StealRequest (its crash wait-loop
+        // swallows it); clear the flag or stealing stays wedged.
+        self.steal_outstanding.remove(&rank);
         if let Some(plane) = self.engine.faults() {
             plane.note_redispatch("worker-death", requeued, now);
         }

@@ -57,6 +57,47 @@ pub struct CompareJob {
     pub ready: SimInstant,
 }
 
+/// A worker-executable unit of data movement (the CopyQ element type).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerJob {
+    Copy(CopyJob),
+    Compare(CompareJob),
+}
+
+/// One entry of a vectored stat assignment (the NameQ element type).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatRequest {
+    pub path: String,
+    /// True for a fuse-chunked logical file.
+    pub chunked: bool,
+    pub ready: SimInstant,
+}
+
+/// Outcome of one entry of a stat batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatResult {
+    pub meta: Option<FileMeta>,
+    pub ready: SimInstant,
+    pub err: Option<String>,
+}
+
+/// Outcome of one entry of a move batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MoveResult {
+    Copy {
+        bytes: u64,
+        end: SimInstant,
+        err: Option<String>,
+    },
+    Compare {
+        path: String,
+        equal: bool,
+        bytes: u64,
+        end: SimInstant,
+        err: Option<String>,
+    },
+}
+
 /// A batch of restores for ONE tape, handed to one TapeProc (the TapeCQ
 /// binding that prevents §6.2 thrashing).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,30 +131,36 @@ pub enum PfMsg {
         err: Option<String>,
     },
     // --- stat --------------------------------------------------------------
-    StatJob {
-        path: String,
-        chunked: bool,
-        ready: SimInstant,
+    /// Manager → Worker: a vectored stat assignment. One channel send
+    /// covers the whole batch instead of one send per file.
+    StatBatch {
+        jobs: Vec<StatRequest>,
     },
-    StatDone {
-        meta: Option<FileMeta>,
-        ready: SimInstant,
-        err: Option<String>,
+    /// Worker → Manager: every outcome of a stat batch, in batch order,
+    /// again in one send.
+    StatBatchDone {
+        results: Vec<StatResult>,
     },
     // --- data movement -------------------------------------------------------
-    Copy(CopyJob),
-    CopyDone {
-        bytes: u64,
-        end: SimInstant,
-        err: Option<String>,
+    /// Manager → Worker: a vectored movement assignment (copies and/or
+    /// compares, executed front to back).
+    MoveBatch {
+        jobs: Vec<WorkerJob>,
     },
-    Compare(CompareJob),
-    CompareDone {
-        path: String,
-        equal: bool,
-        bytes: u64,
-        end: SimInstant,
-        err: Option<String>,
+    /// Worker → Manager: outcomes for the batch entries the worker
+    /// actually executed (stolen entries are reported via [`PfMsg::Stolen`]
+    /// instead).
+    MoveBatchDone {
+        results: Vec<MoveResult>,
+    },
+    /// Manager → busy Worker: an idle worker is starving — surrender the
+    /// un-started tail of the move batch in progress.
+    StealRequest,
+    /// Worker → Manager: the surrendered tail (possibly empty when the
+    /// batch was already nearly done). The Manager re-queues these on the
+    /// CopyQ and re-dispatches.
+    Stolen {
+        jobs: Vec<WorkerJob>,
     },
     // --- tape restore ---------------------------------------------------------
     Tape(TapeJob),

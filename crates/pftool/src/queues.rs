@@ -1,17 +1,11 @@
 //! The Manager's work queues (Figure 3): DirQ, NameQ, CopyQ and the
 //! per-tape TapeCQ set.
 
-use crate::msg::{CompareJob, CopyJob};
+use crate::msg::StatRequest;
+pub use crate::msg::WorkerJob;
 use copra_simtime::SimInstant;
 use copra_vfs::Ino;
 use std::collections::{BTreeMap, VecDeque};
-
-/// A worker-executable unit sitting in the CopyQ.
-#[derive(Debug, Clone)]
-pub enum WorkerJob {
-    Copy(CopyJob),
-    Compare(CompareJob),
-}
 
 /// One entry waiting in a tape queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,8 +77,8 @@ impl TapeQueues {
 pub struct ManagerQueues {
     /// Directories awaiting expansion.
     pub dirq: VecDeque<(String, SimInstant)>,
-    /// Files awaiting stat: (path, is_chunked, ready).
-    pub nameq: VecDeque<(String, bool, SimInstant)>,
+    /// Files awaiting stat.
+    pub nameq: VecDeque<StatRequest>,
     /// Data-movement jobs awaiting a worker.
     pub copyq: VecDeque<WorkerJob>,
     /// Per-tape restore queues.
@@ -180,7 +174,11 @@ mod tests {
     fn manager_queues_emptiness() {
         let mut q = ManagerQueues::new(true);
         assert!(q.all_empty());
-        q.nameq.push_back(("/f".into(), false, SimInstant::EPOCH));
+        q.nameq.push_back(StatRequest {
+            path: "/f".into(),
+            chunked: false,
+            ready: SimInstant::EPOCH,
+        });
         assert!(!q.all_empty());
     }
 }

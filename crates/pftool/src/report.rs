@@ -32,6 +32,9 @@ pub struct RunStats {
     pub skipped_bytes: u64,
     /// Files restored from tape before copying.
     pub tape_restores: u64,
+    /// Move jobs surrendered by busy workers to idle ones (CopyQ tail
+    /// stealing between vectored batches).
+    pub stolen_jobs: u64,
     /// Simulated start of the run.
     pub sim_start: SimInstant,
     /// Simulated completion (max over all device reservations).
@@ -172,6 +175,7 @@ mod tests {
             skipped_files: 1,
             skipped_bytes: 99,
             tape_restores: 2,
+            stolen_jobs: 4,
             sim_start: SimInstant::from_secs(1),
             sim_end: SimInstant::from_secs(4),
             wall_seconds: 0.25,

@@ -548,3 +548,68 @@ fn chunked_file_with_migrated_chunks_restores() {
     let got = r.scratch.pfs.read_resident("/back/big.bin").unwrap();
     assert!(got.eq_content(&content));
 }
+
+/// The batch size is a pure transport knob: packing one entry per message
+/// or sixty-four must produce the same files, bytes and destination
+/// content.
+#[test]
+fn batch_size_does_not_change_results() {
+    let mut reports = Vec::new();
+    for batch_size in [1usize, 64] {
+        let r = rig();
+        let (files, bytes) = populate_tree(&r.scratch.pfs);
+        let cfg = PftoolConfig {
+            batch_size,
+            ..PftoolConfig::test_small()
+        };
+        let report = pfcp(&r.scratch, "/proj", &r.archive, "/arch/proj", &cfg, &[]);
+        assert!(report.stats.ok(), "{:?}", report.stats.errors);
+        assert_eq!(report.stats.files as usize, files);
+        assert_eq!(report.stats.bytes, bytes);
+        let cmp = pfcm(&r.scratch, "/proj", &r.archive, "/arch/proj", &cfg, &[]);
+        assert!(cmp.identical(), "{:?}", cmp.mismatches);
+        reports.push(report);
+    }
+    assert_eq!(reports[0].stats.files, reports[1].stats.files);
+    assert_eq!(reports[0].stats.bytes, reports[1].stats.bytes);
+    assert_eq!(reports[0].stats.dirs, reports[1].stats.dirs);
+}
+
+/// With one worker sitting on a whole chunked-copy batch and the other
+/// idle, the Manager must redistribute the un-started tail: the run ends
+/// with stolen jobs on record and an intact destination file.
+#[test]
+fn idle_worker_steals_copy_batch_tail() {
+    let clock = Clock::new();
+    let cluster = FtaCluster::new(ClusterConfig::tiny(4));
+    let src = FsView::plain(Pfs::scratch("src", clock.clone(), 8), cluster.clone());
+    let dst = FsView::plain(Pfs::scratch("dst", clock.clone(), 8), cluster);
+    src.pfs.mkdir_p("/in").unwrap();
+    let content = Content::synthetic(77, 100_000_000); // 7 x 16 MB chunk jobs
+    src.pfs
+        .create_file("/in/huge.bin", 500, content.clone())
+        .unwrap();
+    let cfg = PftoolConfig {
+        readdir_procs: 1,
+        workers: 2,
+        tape_procs: 0,
+        parallel_copy_threshold: DataSize::mb(64),
+        copy_chunk: DataSize::mb(16),
+        // Large enough that the whole chunk fan-out lands on whichever
+        // worker asks first; the injected delay keeps it busy long enough
+        // for the other worker's starvation to trigger a steal.
+        batch_size: 64,
+        inject_copy_delay: Some(std::time::Duration::from_millis(5)),
+        ..PftoolConfig::default()
+    };
+    let report = pfcp(&src, "/in", &dst, "/out", &cfg, &[]);
+    assert!(report.stats.ok(), "{:?}", report.stats.errors);
+    assert_eq!(report.stats.files, 1);
+    assert_eq!(report.stats.bytes, 100_000_000);
+    assert!(
+        report.stats.stolen_jobs > 0,
+        "expected the idle worker to steal part of the 7-job batch"
+    );
+    let got = dst.pfs.read_resident("/out/huge.bin").unwrap();
+    assert!(got.eq_content(&content));
+}

@@ -6,14 +6,40 @@
 //! timeline serializes them in arrival order, which models FIFO queueing at
 //! a finite-rate resource.
 //!
+//! ## Low-contention design
+//!
+//! Thousands of worker threads reserve on the same device timelines, so the
+//! grant path must not convoy on one `Mutex`. State is split three ways
+//! (see DESIGN.md §10):
+//!
+//! * `next_free: AtomicU64` — the **frontier**: the first instant with no
+//!   reservation at or after it. The common FIFO case (`ready >=
+//!   next_free`, i.e. the device is free when the op arrives) is a single
+//!   CAS — no lock at all.
+//! * Relaxed atomic counters for busy/ops/bytes accounting.
+//! * A small `Mutex`-guarded list of **free gaps** strictly below the
+//!   frontier. When a fast-path claim starts *after* the old frontier, the
+//!   skipped idle interval is published as a gap; ops whose ready time is
+//!   below the frontier backfill those gaps (the behaviour the
+//!   `backfill_uses_idle_gaps` property test pins down).
+//!
+//! Safety argument for no-overlap: the frontier only ever moves forward
+//! (CAS), every frontier claim occupies `[start, start+dur)` with `start >=`
+//! the frontier value it advanced from, and every published gap lies
+//! entirely *below* the frontier value at publication time. Hence gap
+//! claims (granted under the gap lock, carved exactly) can never collide
+//! with frontier claims, and a belatedly published gap is only a missed
+//! backfill opportunity, never a double booking.
+//!
 //! Reservations never overlap and never move backwards; both invariants are
-//! covered by property tests.
+//! covered by property tests and a multi-threaded stress test.
 
 use crate::rate::{Bandwidth, DataSize};
 use crate::time::{SimDuration, SimInstant};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The interval granted to one operation on a timeline.
@@ -61,17 +87,10 @@ impl TimelineStats {
     }
 }
 
-#[derive(Debug)]
-struct Inner {
-    stats: TimelineStats,
-    /// Busy intervals `(start, end)` in nanoseconds, sorted, disjoint,
-    /// adjacent intervals merged. Reservation is **gap-filling**: an
-    /// operation takes the earliest gap at or after its ready time. This
-    /// matters because experiment drivers issue sim-concurrent streams in
-    /// arbitrary *code* order — a scalar next-free pointer would serialize
-    /// stream B behind stream A's entire future.
-    busy: Vec<(u64, u64)>,
-}
+/// Bound on the backfill gap list. Gaps are an optimization: when the list
+/// is full the earliest gap is discarded, which can only delay a future
+/// backfill, never corrupt the schedule.
+const MAX_GAPS: usize = 1024;
 
 /// A named FIFO resource with an intrinsic bandwidth and per-operation
 /// latency.
@@ -87,7 +106,16 @@ struct Shared {
     name: String,
     bandwidth: Bandwidth,
     latency: SimDuration,
-    inner: Mutex<Inner>,
+    /// The frontier (nanoseconds): first instant with no reservation at or
+    /// after it. Monotonically non-decreasing.
+    next_free: AtomicU64,
+    busy_ns: AtomicU64,
+    ops: AtomicU64,
+    bytes: AtomicU64,
+    /// Free intervals strictly below the frontier, sorted by start,
+    /// disjoint. Guarded by a mutex that is only touched on the
+    /// idle-skip / backfill paths, never on the contiguous FIFO fast path.
+    gaps: Mutex<Vec<(u64, u64)>>,
 }
 
 impl fmt::Debug for Timeline {
@@ -111,10 +139,11 @@ impl Timeline {
                 name: name.into(),
                 bandwidth,
                 latency,
-                inner: Mutex::new(Inner {
-                    stats: TimelineStats::default(),
-                    busy: Vec::new(),
-                }),
+                next_free: AtomicU64::new(0),
+                busy_ns: AtomicU64::new(0),
+                ops: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                gaps: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -137,7 +166,8 @@ impl Timeline {
     }
 
     /// Reserve an explicit duration starting no earlier than `ready`.
-    /// FIFO: the granted start is `max(ready, next_free)`.
+    /// FIFO: the granted start is `max(ready, next_free)`, except that ops
+    /// ready below the frontier may backfill a published idle gap.
     pub fn reserve(&self, ready: SimInstant, duration: SimDuration) -> Reservation {
         self.reserve_accounted(ready, duration, DataSize::ZERO)
     }
@@ -167,84 +197,153 @@ impl Timeline {
         duration: SimDuration,
         bytes: DataSize,
     ) -> Reservation {
-        let mut inner = self.shared.inner.lock();
-        let start_ns = Self::find_gap(&inner.busy, ready.as_nanos(), duration.as_nanos());
-        let end_ns = start_ns + duration.as_nanos();
-        if duration.as_nanos() > 0 {
-            Self::insert_interval(&mut inner.busy, start_ns, end_ns);
+        let dur = duration.as_nanos();
+        let start_ns = self.claim(ready.as_nanos(), dur);
+        self.shared.busy_ns.fetch_add(dur, Ordering::Relaxed);
+        self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .bytes
+            .fetch_add(bytes.as_bytes(), Ordering::Relaxed);
+        Reservation {
+            start: SimInstant::from_nanos(start_ns),
+            end: SimInstant::from_nanos(start_ns + dur),
         }
-        let start = SimInstant::from_nanos(start_ns);
-        let end = SimInstant::from_nanos(end_ns);
-        inner.stats.next_free = inner.stats.next_free.max(end);
-        inner.stats.busy += duration;
-        inner.stats.ops += 1;
-        inner.stats.bytes += bytes;
-        Reservation { start, end }
     }
 
-    /// Earliest start ≥ `ready` where `dur` fits between busy intervals.
-    fn find_gap(busy: &[(u64, u64)], ready: u64, dur: u64) -> u64 {
-        let mut candidate = ready;
-        for &(a, b) in busy {
-            if b <= candidate {
-                continue;
+    /// Grant `[start, start+dur)` with `start >= ready`. Fast path: one CAS
+    /// on the frontier. Slow path (`ready` below the frontier): backfill a
+    /// published gap, else queue at the frontier.
+    fn claim(&self, ready: u64, dur: u64) -> u64 {
+        // Fast path: the device is free at (or before) our ready time.
+        let mut nf = self.shared.next_free.load(Ordering::Acquire);
+        while ready >= nf {
+            match self.shared.next_free.compare_exchange_weak(
+                nf,
+                ready + dur,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if ready > nf {
+                        // We skipped over idle time: publish it for backfill.
+                        let mut gaps = self.shared.gaps.lock();
+                        Self::insert_gap(&mut gaps, nf, ready);
+                    }
+                    return ready;
+                }
+                Err(cur) => nf = cur,
             }
-            if candidate + dur <= a {
-                break;
-            }
-            candidate = candidate.max(b);
         }
-        candidate
+        // Slow path: ready < frontier. Try to backfill an idle gap below it.
+        let mut gaps = self.shared.gaps.lock();
+        if let Some(start) = Self::carve(&mut gaps, ready, dur) {
+            return start;
+        }
+        // No gap fits: FIFO-queue at the frontier. The frontier can only
+        // have grown since the fast-path check, so `ready < nf` still holds
+        // and no new gap is created here.
+        let mut nf = self.shared.next_free.load(Ordering::Acquire);
+        loop {
+            let start = nf.max(ready);
+            match self.shared.next_free.compare_exchange_weak(
+                nf,
+                start + dur,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if start > nf {
+                        Self::insert_gap(&mut gaps, nf, start);
+                    }
+                    return start;
+                }
+                Err(cur) => nf = cur,
+            }
+        }
     }
 
-    /// Insert `[start, end)` keeping the list sorted and coalesced.
-    fn insert_interval(busy: &mut Vec<(u64, u64)>, start: u64, end: u64) {
-        let pos = busy.partition_point(|&(a, _)| a < start);
-        debug_assert!(
-            pos == 0 || busy[pos - 1].1 <= start,
-            "overlap with previous interval"
-        );
-        debug_assert!(pos == busy.len() || end <= busy[pos].0, "overlap with next");
-        // Coalesce with neighbours that touch exactly.
-        let merge_prev = pos > 0 && busy[pos - 1].1 == start;
-        let merge_next = pos < busy.len() && busy[pos].0 == end;
-        match (merge_prev, merge_next) {
-            (true, true) => {
-                busy[pos - 1].1 = busy[pos].1;
-                busy.remove(pos);
+    /// Earliest `[s, s+dur)` fitting inside a free gap with `s >= ready`;
+    /// carves it out of the list. Zero-duration ops fit without carving.
+    fn carve(gaps: &mut Vec<(u64, u64)>, ready: u64, dur: u64) -> Option<u64> {
+        for i in 0..gaps.len() {
+            let (a, b) = gaps[i];
+            let s = a.max(ready);
+            if s <= b && s + dur <= b {
+                if dur == 0 {
+                    return Some(s);
+                }
+                let e = s + dur;
+                match (s > a, e < b) {
+                    (true, true) => {
+                        gaps[i] = (a, s);
+                        gaps.insert(i + 1, (e, b));
+                    }
+                    (true, false) => gaps[i] = (a, s),
+                    (false, true) => gaps[i] = (e, b),
+                    (false, false) => {
+                        gaps.remove(i);
+                    }
+                }
+                return Some(s);
             }
-            (true, false) => busy[pos - 1].1 = end,
-            (false, true) => busy[pos].0 = start,
-            (false, false) => busy.insert(pos, (start, end)),
         }
+        None
+    }
+
+    /// Insert `[start, end)` keeping the list sorted; drops the earliest
+    /// gap when full (bounded memory; losing a gap is only a missed
+    /// backfill opportunity).
+    fn insert_gap(gaps: &mut Vec<(u64, u64)>, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        if gaps.len() >= MAX_GAPS {
+            gaps.remove(0);
+        }
+        let pos = gaps.partition_point(|&(a, _)| a < start);
+        gaps.insert(pos, (start, end));
     }
 
     /// Probe: when could an operation of `duration` start if ready at
     /// `ready`? (Used by pools to pick the best member.)
     pub fn earliest_start(&self, ready: SimInstant, duration: SimDuration) -> SimInstant {
-        let inner = self.shared.inner.lock();
-        SimInstant::from_nanos(Self::find_gap(
-            &inner.busy,
-            ready.as_nanos(),
-            duration.as_nanos(),
-        ))
+        let ready_ns = ready.as_nanos();
+        let dur = duration.as_nanos();
+        {
+            let gaps = self.shared.gaps.lock();
+            for &(a, b) in gaps.iter() {
+                let s = a.max(ready_ns);
+                if s <= b && s + dur <= b {
+                    return SimInstant::from_nanos(s);
+                }
+            }
+        }
+        SimInstant::from_nanos(self.shared.next_free.load(Ordering::Acquire).max(ready_ns))
     }
 
     /// Snapshot of the accounting counters.
     pub fn stats(&self) -> TimelineStats {
-        self.shared.inner.lock().stats
+        TimelineStats {
+            busy: SimDuration::from_nanos(self.shared.busy_ns.load(Ordering::Relaxed)),
+            ops: self.shared.ops.load(Ordering::Relaxed),
+            bytes: DataSize::from_bytes(self.shared.bytes.load(Ordering::Relaxed)),
+            next_free: SimInstant::from_nanos(self.shared.next_free.load(Ordering::Acquire)),
+        }
     }
 
     /// The instant at which the resource next becomes free.
     pub fn next_free(&self) -> SimInstant {
-        self.shared.inner.lock().stats.next_free
+        SimInstant::from_nanos(self.shared.next_free.load(Ordering::Acquire))
     }
 
-    /// Reset accounting and availability (used between benchmark runs).
+    /// Reset accounting and availability (used between benchmark runs; not
+    /// safe against concurrent reserves, same as the previous design).
     pub fn reset(&self) {
-        let mut inner = self.shared.inner.lock();
-        inner.stats = TimelineStats::default();
-        inner.busy.clear();
+        self.shared.gaps.lock().clear();
+        self.shared.next_free.store(0, Ordering::Release);
+        self.shared.busy_ns.store(0, Ordering::Relaxed);
+        self.shared.ops.store(0, Ordering::Relaxed);
+        self.shared.bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -362,6 +461,33 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.ops, 0);
         assert_eq!(s.next_free, SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn backfill_lands_in_skipped_gap() {
+        let t = Timeline::new("nic", Bandwidth::mb_per_sec(100), SimDuration::ZERO);
+        // Claim far in the future, skipping [0, 100s).
+        let far = t.reserve(SimInstant::from_secs(100), SimDuration::from_secs(1));
+        assert_eq!(far.start, SimInstant::from_secs(100));
+        // An earlier-ready op backfills the gap instead of queueing at 101s.
+        let r = t.reserve(SimInstant::from_secs(2), SimDuration::from_secs(5));
+        assert_eq!(r.start, SimInstant::from_secs(2));
+        // The carved gap is no longer available to an identical request...
+        let r2 = t.reserve(SimInstant::from_secs(2), SimDuration::from_secs(5));
+        assert_eq!(r2.start, SimInstant::from_secs(7));
+        // ...and an op too big for any remaining gap queues at the frontier.
+        let big = t.reserve(SimInstant::EPOCH, SimDuration::from_secs(500));
+        assert_eq!(big.start, SimInstant::from_secs(101));
+    }
+
+    #[test]
+    fn frontier_never_moves_backwards() {
+        let t = Timeline::new("nic", Bandwidth::mb_per_sec(100), SimDuration::ZERO);
+        t.reserve(SimInstant::from_secs(50), SimDuration::from_secs(1));
+        let nf = t.next_free();
+        // Backfilling below the frontier must not regress it.
+        t.reserve(SimInstant::EPOCH, SimDuration::from_secs(1));
+        assert_eq!(t.next_free(), nf);
     }
 
     impl SimInstant {

@@ -1,20 +1,49 @@
 //! The virtual file system: inode table + directory tree.
 //!
 //! One `Vfs` instance models one mounted file system (the scratch PFS, the
-//! archive PFS, or a tape object store image). All mutation goes through a
-//! single `RwLock`; operations are short descriptor manipulations, and the
-//! scan paths used by the ILM policy engine take the read lock only, so
-//! parallel scans (rayon) proceed concurrently.
+//! archive PFS, or a tape object store image).
+//!
+//! ## Concurrency model
+//!
+//! The inode table is **lock-striped**: inodes live in `NSHARDS` independent
+//! shards selected by `ino & (NSHARDS-1)`, each behind its own `RwLock`, and
+//! inode numbers come from an `AtomicU64`. Operations on disjoint subtrees
+//! therefore proceed fully concurrently — there is no global lock anywhere
+//! in the VFS.
+//!
+//! Lock discipline (see DESIGN.md §10):
+//!
+//! * **Readers** (resolve, stat, readdir, walk, scans) hold at most ONE
+//!   shard lock at a time — each path component or tree edge is chased with
+//!   its own short-lived read lock.
+//! * **Writers** that touch multiple inodes (create/unlink/rename/rmdir)
+//!   take all needed shard write locks up front via [`Shards::write_many`],
+//!   in ascending shard-index order. A single global acquisition order plus
+//!   single-lock readers rules out deadlock.
+//! * Because resolution happens before the write locks are taken, mutation
+//!   ops re-verify the `parent[name] == child` binding under the locks and
+//!   retry if a concurrent rename moved it (the archive tools themselves
+//!   never race a rename against an unlink of the same entry; the retry is
+//!   correctness belt-and-braces).
+//!
+//! Path resolution keeps a dentry-style **resolve cache**: a striped map of
+//! `normalized path → (epoch, ino)`. Namespace-shape mutations (unlink,
+//! rmdir, rename) bump a global epoch, which invalidates every cached entry
+//! at once; entries are re-validated against the current epoch on every hit,
+//! so a stale binding can never be served.
 
 use crate::content::Content;
 use crate::error::{FsError, FsResult};
 use crate::inode::{FileType, Ino, InodeAttr};
-use crate::path::{is_under, join, normalize, parent_and_name, split};
+use crate::path::{is_normalized, is_under, join, normalize, parent_and_name, split};
 use copra_simtime::{Clock, SimInstant};
-use parking_lot::RwLock;
-use rustc_hash::FxHashMap;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use rustc_hash::{FxHashMap, FxHasher};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// One entry returned by [`Vfs::readdir`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,8 +74,16 @@ struct Node {
     mtime: SimInstant,
     atime: SimInstant,
     ctime: SimInstant,
-    xattrs: BTreeMap<String, String>,
+    /// Copy-on-write: `attr()` hands out a cheap `Arc` clone instead of
+    /// deep-copying the map; xattr mutation uses `Arc::make_mut`.
+    xattrs: Arc<BTreeMap<String, String>>,
     kind: NodeKind,
+}
+
+/// All fresh nodes share one static empty map until their first xattr write.
+fn empty_xattrs() -> Arc<BTreeMap<String, String>> {
+    static EMPTY: OnceLock<Arc<BTreeMap<String, String>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(BTreeMap::new())).clone()
 }
 
 impl Node {
@@ -73,15 +110,153 @@ impl Node {
             mtime: self.mtime,
             atime: self.atime,
             ctime: self.ctime,
-            xattrs: self.xattrs.clone(),
+            xattrs: Arc::clone(&self.xattrs),
         }
     }
 }
 
-struct State {
-    next_ino: u64,
-    nodes: FxHashMap<u64, Node>,
+// ----- shard plumbing -----------------------------------------------------
+
+/// Number of inode shards. Power of two; 64 keeps per-shard populations
+/// around 16k even at the million-inode bench scale while staying cheap for
+/// tiny test trees.
+const NSHARDS: usize = 64;
+
+type NodeMap = FxHashMap<u64, Node>;
+
+struct Shards {
+    arr: Vec<RwLock<NodeMap>>,
+    mask: u64,
 }
+
+impl Shards {
+    fn new() -> Self {
+        Shards {
+            arr: (0..NSHARDS)
+                .map(|_| RwLock::new(NodeMap::default()))
+                .collect(),
+            mask: (NSHARDS - 1) as u64,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.arr.len()
+    }
+
+    fn index(&self, ino: u64) -> usize {
+        (ino & self.mask) as usize
+    }
+
+    fn read(&self, ino: u64) -> RwLockReadGuard<'_, NodeMap> {
+        self.arr[self.index(ino)].read()
+    }
+
+    fn write(&self, ino: u64) -> RwLockWriteGuard<'_, NodeMap> {
+        self.arr[self.index(ino)].write()
+    }
+
+    /// Write-lock every shard hosting one of `inos`, in ascending shard
+    /// index (the global acquisition order that makes multi-shard writers
+    /// deadlock-free).
+    fn write_many(&self, inos: &[u64]) -> MultiGuard<'_> {
+        let mut idx: Vec<usize> = inos.iter().map(|&i| self.index(i)).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        MultiGuard {
+            mask: self.mask,
+            guards: idx.into_iter().map(|i| (i, self.arr[i].write())).collect(),
+        }
+    }
+}
+
+/// Write guards over several shards, with lookups routed by ino.
+struct MultiGuard<'a> {
+    mask: u64,
+    guards: Vec<(usize, RwLockWriteGuard<'a, NodeMap>)>,
+}
+
+impl MultiGuard<'_> {
+    fn map(&self, ino: Ino) -> &NodeMap {
+        let want = (ino.0 & self.mask) as usize;
+        &self
+            .guards
+            .iter()
+            .find(|(i, _)| *i == want)
+            .expect("ino outside locked shards")
+            .1
+    }
+
+    fn map_mut(&mut self, ino: Ino) -> &mut NodeMap {
+        let want = (ino.0 & self.mask) as usize;
+        &mut self
+            .guards
+            .iter_mut()
+            .find(|(i, _)| *i == want)
+            .expect("ino outside locked shards")
+            .1
+    }
+
+    fn get(&self, ino: Ino) -> Option<&Node> {
+        self.map(ino).get(&ino.0)
+    }
+
+    fn get_mut(&mut self, ino: Ino) -> Option<&mut Node> {
+        self.map_mut(ino).get_mut(&ino.0)
+    }
+
+    fn insert(&mut self, ino: Ino, node: Node) {
+        self.map_mut(ino).insert(ino.0, node);
+    }
+
+    fn remove(&mut self, ino: Ino) -> Option<Node> {
+        self.map_mut(ino).remove(&ino.0)
+    }
+}
+
+// ----- resolve cache ------------------------------------------------------
+
+const CACHE_STRIPES: usize = 16;
+/// Per-stripe capacity; on overflow the stripe is simply cleared (the cache
+/// is an accelerator, not a source of truth).
+const CACHE_CAP: usize = 4096;
+
+struct ResolveCache {
+    stripes: Vec<RwLock<FxHashMap<String, (u64, Ino)>>>,
+}
+
+impl ResolveCache {
+    fn new() -> Self {
+        ResolveCache {
+            stripes: (0..CACHE_STRIPES)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, path: &str) -> &RwLock<FxHashMap<String, (u64, Ino)>> {
+        let mut h = FxHasher::default();
+        h.write(path.as_bytes());
+        &self.stripes[(h.finish() as usize) % CACHE_STRIPES]
+    }
+
+    fn get(&self, path: &str, epoch: u64) -> Option<Ino> {
+        let g = self.stripe(path).read();
+        match g.get(path) {
+            Some(&(e, ino)) if e == epoch => Some(ino),
+            _ => None,
+        }
+    }
+
+    fn put(&self, path: Cow<'_, str>, epoch: u64, ino: Ino) {
+        let mut g = self.stripe(&path).write();
+        if g.len() >= CACHE_CAP {
+            g.clear();
+        }
+        g.insert(path.into_owned(), (epoch, ino));
+    }
+}
+
+// ----- the file system ----------------------------------------------------
 
 /// A mounted virtual file system. Cheap to clone (shared handle).
 #[derive(Clone)]
@@ -92,7 +267,12 @@ pub struct Vfs {
 struct Shared {
     name: String,
     clock: Clock,
-    state: RwLock<State>,
+    next_ino: AtomicU64,
+    /// Namespace epoch: bumped by unlink/rmdir/rename, validating every
+    /// resolve-cache entry in O(1).
+    epoch: AtomicU64,
+    shards: Shards,
+    rcache: ResolveCache,
 }
 
 const ROOT: Ino = Ino(1);
@@ -101,8 +281,8 @@ impl Vfs {
     /// Create an empty file system whose timestamps come from `clock`.
     pub fn new(name: impl Into<String>, clock: Clock) -> Self {
         let now = clock.now();
-        let mut nodes = FxHashMap::default();
-        nodes.insert(
+        let shards = Shards::new();
+        shards.write(ROOT.0).insert(
             ROOT.0,
             Node {
                 parent: None,
@@ -111,7 +291,7 @@ impl Vfs {
                 mtime: now,
                 atime: now,
                 ctime: now,
-                xattrs: BTreeMap::new(),
+                xattrs: empty_xattrs(),
                 kind: NodeKind::Dir {
                     entries: BTreeMap::new(),
                 },
@@ -121,7 +301,10 @@ impl Vfs {
             shared: Arc::new(Shared {
                 name: name.into(),
                 clock,
-                state: RwLock::new(State { next_ino: 2, nodes }),
+                next_ino: AtomicU64::new(2),
+                epoch: AtomicU64::new(0),
+                shards,
+                rcache: ResolveCache::new(),
             }),
         }
     }
@@ -142,41 +325,82 @@ impl Vfs {
         self.shared.clock.now()
     }
 
+    fn bump_epoch(&self) {
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+    }
+
     // ----- resolution ---------------------------------------------------
 
-    fn resolve_locked(state: &State, path: &str) -> FsResult<Ino> {
-        let norm = normalize(path)?;
+    /// Walk `norm` component by component, one shard read lock at a time.
+    fn resolve_walk(&self, norm: &str) -> FsResult<Ino> {
         let mut cur = ROOT;
-        for comp in split(&norm) {
-            let node = state.nodes.get(&cur.0).ok_or(FsError::StaleInode(cur))?;
+        for comp in split(norm) {
+            let g = self.shared.shards.read(cur.0);
+            let node = g.get(&cur.0).ok_or(FsError::StaleInode(cur))?;
             match &node.kind {
                 NodeKind::Dir { entries } => {
                     cur = *entries
                         .get(comp)
-                        .ok_or_else(|| FsError::NotFound(norm.clone()))?;
+                        .ok_or_else(|| FsError::NotFound(norm.to_string()))?;
                 }
-                NodeKind::File { .. } => return Err(FsError::NotADirectory(norm.clone())),
+                NodeKind::File { .. } => return Err(FsError::NotADirectory(norm.to_string())),
             }
         }
         Ok(cur)
     }
 
-    /// Resolve a path to an inode.
+    /// Resolve a path to an inode, consulting the epoch-validated resolve
+    /// cache first. Already-normalized inputs (the common case) take an
+    /// allocation-free fast path.
     pub fn resolve(&self, path: &str) -> FsResult<Ino> {
-        Self::resolve_locked(&self.shared.state.read(), path)
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        let norm: Cow<'_, str> = if is_normalized(path) {
+            Cow::Borrowed(path)
+        } else {
+            Cow::Owned(normalize(path)?)
+        };
+        if norm.as_ref() == "/" {
+            return Ok(ROOT);
+        }
+        if let Some(ino) = self.shared.rcache.get(&norm, epoch) {
+            return Ok(ino);
+        }
+        let ino = self.resolve_walk(&norm)?;
+        // The epoch was sampled BEFORE the walk: if a rename/unlink raced us
+        // the entry lands already-stale and is never served.
+        self.shared.rcache.put(norm, epoch, ino);
+        Ok(ino)
     }
 
     pub fn exists(&self, path: &str) -> bool {
         self.resolve(path).is_ok()
     }
 
-    /// Reconstruct the absolute path of a live inode.
+    /// Look up one name in a directory (single read lock).
+    fn lookup_child(&self, parent: Ino, name: &str, full_path: &str) -> FsResult<Ino> {
+        let g = self.shared.shards.read(parent.0);
+        let node = g.get(&parent.0).ok_or(FsError::StaleInode(parent))?;
+        match &node.kind {
+            NodeKind::Dir { entries } => entries.get(name).copied().ok_or_else(|| {
+                FsError::NotFound(normalize(full_path).unwrap_or_else(|_| full_path.to_string()))
+            }),
+            NodeKind::File { .. } => Err(FsError::NotADirectory(full_path.to_string())),
+        }
+    }
+
+    fn ftype_of(&self, ino: Ino) -> FsResult<FileType> {
+        let g = self.shared.shards.read(ino.0);
+        Ok(g.get(&ino.0).ok_or(FsError::StaleInode(ino))?.ftype())
+    }
+
+    /// Reconstruct the absolute path of a live inode, chasing parent edges
+    /// one shard lock at a time.
     pub fn path_of(&self, ino: Ino) -> FsResult<String> {
-        let state = self.shared.state.read();
         let mut comps = Vec::new();
         let mut cur = ino;
         loop {
-            let node = state.nodes.get(&cur.0).ok_or(FsError::StaleInode(ino))?;
+            let g = self.shared.shards.read(cur.0);
+            let node = g.get(&cur.0).ok_or(FsError::StaleInode(ino))?;
             match node.parent {
                 Some(p) => {
                     comps.push(node.name.clone());
@@ -198,10 +422,8 @@ impl Vfs {
     pub fn mkdir(&self, path: &str) -> FsResult<Ino> {
         let (parent, name) = parent_and_name(path)?;
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let parent_ino = Self::resolve_locked(&state, &parent)?;
-        Self::insert_node(
-            &mut state,
+        let parent_ino = self.resolve(&parent)?;
+        self.insert_child(
             parent_ino,
             &name,
             path,
@@ -212,7 +434,7 @@ impl Vfs {
                 mtime: now,
                 atime: now,
                 ctime: now,
-                xattrs: BTreeMap::new(),
+                xattrs: empty_xattrs(),
                 kind: NodeKind::Dir {
                     entries: BTreeMap::new(),
                 },
@@ -220,40 +442,47 @@ impl Vfs {
         )
     }
 
-    /// Create a directory and any missing ancestors.
+    /// Create a directory and any missing ancestors. Tolerates concurrent
+    /// creators racing on shared ancestors.
     pub fn mkdir_p(&self, path: &str) -> FsResult<Ino> {
         let norm = normalize(path)?;
         let mut cur = "/".to_string();
         let mut ino = ROOT;
-        for comp in split(&norm).map(str::to_string).collect::<Vec<_>>() {
-            cur = join(&cur, &comp);
+        for comp in split(&norm) {
+            cur = join(&cur, comp);
             ino = match self.resolve(&cur) {
                 Ok(i) => {
-                    let state = self.shared.state.read();
-                    let node = state.nodes.get(&i.0).ok_or(FsError::StaleInode(i))?;
-                    if node.ftype() != FileType::Directory {
+                    if self.ftype_of(i)? != FileType::Directory {
                         return Err(FsError::NotADirectory(cur.clone()));
                     }
                     i
                 }
-                Err(FsError::NotFound(_)) => self.mkdir(&cur)?,
+                Err(FsError::NotFound(_)) => match self.mkdir(&cur) {
+                    Ok(i) => i,
+                    // another thread created it between our resolve and mkdir
+                    Err(FsError::AlreadyExists(_)) => self.resolve(&cur)?,
+                    Err(e) => return Err(e),
+                },
                 Err(e) => return Err(e),
             };
         }
         Ok(ino)
     }
 
-    fn insert_node(
-        state: &mut State,
+    /// Link `node` into `parent_ino` under `name`. Allocates the ino from
+    /// the atomic counter, then locks (only) the two affected shards.
+    fn insert_child(
+        &self,
         parent_ino: Ino,
         name: &str,
         full_path: &str,
         node: Node,
     ) -> FsResult<Ino> {
-        let ino = Ino(state.next_ino);
-        let parent = state
-            .nodes
-            .get_mut(&parent_ino.0)
+        let ino = Ino(self.shared.next_ino.fetch_add(1, Ordering::Relaxed));
+        let ctime = node.ctime;
+        let mut g = self.shared.shards.write_many(&[parent_ino.0, ino.0]);
+        let parent = g
+            .get_mut(parent_ino)
             .ok_or(FsError::StaleInode(parent_ino))?;
         match &mut parent.kind {
             NodeKind::Dir { entries } => {
@@ -264,60 +493,93 @@ impl Vfs {
             }
             NodeKind::File { .. } => return Err(FsError::NotADirectory(full_path.to_string())),
         }
-        parent.mtime = node.ctime;
-        state.next_ino += 1;
-        state.nodes.insert(ino.0, node);
+        parent.mtime = ctime;
+        g.insert(ino, node);
         Ok(ino)
     }
 
     /// List a directory in name order.
     pub fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
-        let state = self.shared.state.read();
-        let ino = Self::resolve_locked(&state, path)?;
-        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
-        match &node.kind {
-            NodeKind::Dir { entries } => Ok(entries
-                .iter()
-                .map(|(name, &child)| {
-                    let cnode = &state.nodes[&child.0];
-                    DirEntry {
-                        name: name.clone(),
-                        ino: child,
-                        ftype: cnode.ftype(),
-                    }
-                })
-                .collect()),
-            NodeKind::File { .. } => Err(FsError::NotADirectory(path.to_string())),
+        let ino = self.resolve(path)?;
+        let children: Vec<(String, Ino)> = {
+            let g = self.shared.shards.read(ino.0);
+            let node = g.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+            match &node.kind {
+                NodeKind::Dir { entries } => entries.iter().map(|(n, &c)| (n.clone(), c)).collect(),
+                NodeKind::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+            }
+        };
+        let mut out = Vec::with_capacity(children.len());
+        for (name, child) in children {
+            let g = self.shared.shards.read(child.0);
+            if let Some(cnode) = g.get(&child.0) {
+                out.push(DirEntry {
+                    name,
+                    ino: child,
+                    ftype: cnode.ftype(),
+                });
+            }
+            // a child unlinked between the two locks is simply omitted
         }
+        Ok(out)
     }
 
     /// Remove an empty directory.
     pub fn rmdir(&self, path: &str) -> FsResult<()> {
         let (parent, name) = parent_and_name(path)?;
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let parent_ino = Self::resolve_locked(&state, &parent)?;
-        let target = Self::resolve_locked(&state, path)?;
-        {
-            let node = state
-                .nodes
-                .get(&target.0)
-                .ok_or(FsError::StaleInode(target))?;
-            match &node.kind {
-                NodeKind::Dir { entries } => {
-                    if !entries.is_empty() {
-                        return Err(FsError::DirectoryNotEmpty(path.to_string()));
-                    }
-                }
-                NodeKind::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+        let parent_ino = self.resolve(&parent)?;
+        loop {
+            let target = self.lookup_child(parent_ino, &name, path)?;
+            let mut g = self.shared.shards.write_many(&[parent_ino.0, target.0]);
+            match Self::verify_binding(&g, parent_ino, &name, target, path)? {
+                Binding::Ok => {}
+                Binding::Retry => continue,
             }
+            {
+                let node = g.get(target).ok_or(FsError::StaleInode(target))?;
+                match &node.kind {
+                    NodeKind::Dir { entries } => {
+                        if !entries.is_empty() {
+                            return Err(FsError::DirectoryNotEmpty(path.to_string()));
+                        }
+                    }
+                    NodeKind::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+                }
+            }
+            let parent = g.get_mut(parent_ino).expect("verified above");
+            if let NodeKind::Dir { entries } = &mut parent.kind {
+                entries.remove(&name);
+            }
+            parent.mtime = now;
+            g.remove(target);
+            drop(g);
+            self.bump_epoch();
+            return Ok(());
         }
-        if let NodeKind::Dir { entries } = &mut state.nodes.get_mut(&parent_ino.0).unwrap().kind {
-            entries.remove(&name);
+    }
+
+    /// Under the write locks, confirm `parent[name]` still points at
+    /// `expected` (a concurrent rename may have moved it between lookup and
+    /// lock acquisition).
+    fn verify_binding(
+        g: &MultiGuard<'_>,
+        parent: Ino,
+        name: &str,
+        expected: Ino,
+        full_path: &str,
+    ) -> FsResult<Binding> {
+        let pnode = g.get(parent).ok_or(FsError::StaleInode(parent))?;
+        match &pnode.kind {
+            NodeKind::Dir { entries } => match entries.get(name) {
+                Some(&i) if i == expected => Ok(Binding::Ok),
+                Some(_) => Ok(Binding::Retry),
+                None => Err(FsError::NotFound(
+                    normalize(full_path).unwrap_or_else(|_| full_path.to_string()),
+                )),
+            },
+            NodeKind::File { .. } => Err(FsError::NotADirectory(full_path.to_string())),
         }
-        state.nodes.get_mut(&parent_ino.0).unwrap().mtime = now;
-        state.nodes.remove(&target.0);
-        Ok(())
     }
 
     // ----- file ops -----------------------------------------------------
@@ -326,10 +588,8 @@ impl Vfs {
     pub fn create(&self, path: &str, uid: u32, content: Content) -> FsResult<Ino> {
         let (parent, name) = parent_and_name(path)?;
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let parent_ino = Self::resolve_locked(&state, &parent)?;
-        Self::insert_node(
-            &mut state,
+        let parent_ino = self.resolve(&parent)?;
+        self.insert_child(
             parent_ino,
             &name,
             path,
@@ -340,7 +600,7 @@ impl Vfs {
                 mtime: now,
                 atime: now,
                 ctime: now,
-                xattrs: BTreeMap::new(),
+                xattrs: empty_xattrs(),
                 kind: NodeKind::File { content },
             },
         )
@@ -358,15 +618,24 @@ impl Vfs {
         }
     }
 
+    /// Run `f` on the (mutable) node for `ino` under its shard write lock.
+    fn with_node_mut<R>(&self, ino: Ino, f: impl FnOnce(&mut Node) -> FsResult<R>) -> FsResult<R> {
+        let mut g = self.shared.shards.write(ino.0);
+        let node = g.get_mut(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        f(node)
+    }
+
+    /// Run `f` on the node for `ino` under its shard read lock.
+    fn with_node<R>(&self, ino: Ino, f: impl FnOnce(&Node) -> FsResult<R>) -> FsResult<R> {
+        let g = self.shared.shards.read(ino.0);
+        let node = g.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+        f(node)
+    }
+
     /// Read `[offset, offset+len)` of a file. Updates atime.
     pub fn read(&self, ino: Ino, offset: u64, len: u64) -> FsResult<Content> {
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        match &node.kind {
+        self.with_node_mut(ino, |node| match &node.kind {
             NodeKind::File { content } => {
                 if offset + len > content.len() {
                     return Err(FsError::InvalidRange {
@@ -380,7 +649,7 @@ impl Vfs {
                 Ok(out)
             }
             NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
-        }
+        })
     }
 
     /// Read a whole file.
@@ -394,66 +663,49 @@ impl Vfs {
     /// needed. Updates mtime.
     pub fn write_at(&self, ino: Ino, offset: u64, patch: Content) -> FsResult<()> {
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        match &mut node.kind {
+        self.with_node_mut(ino, |node| match &mut node.kind {
             NodeKind::File { content } => {
                 content.write_at(offset, patch);
                 node.mtime = now;
                 Ok(())
             }
             NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
-        }
+        })
     }
 
     /// Replace the entire content (used by HSM stub/recall and fuse).
     pub fn set_content(&self, ino: Ino, content: Content) -> FsResult<()> {
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        match &mut node.kind {
+        self.with_node_mut(ino, |node| match &mut node.kind {
             NodeKind::File { content: c } => {
                 *c = content;
                 node.mtime = now;
                 Ok(())
             }
             NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
-        }
+        })
     }
 
     /// Peek at content without touching atime (used by integrity compare and
     /// the HSM data movers, which must not perturb policy-relevant times).
     pub fn peek_content(&self, ino: Ino) -> FsResult<Content> {
-        let state = self.shared.state.read();
-        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
-        match &node.kind {
+        self.with_node(ino, |node| match &node.kind {
             NodeKind::File { content } => Ok(content.clone()),
             NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
-        }
+        })
     }
 
     /// Truncate a file to `new_len`. Updates mtime.
     pub fn truncate(&self, ino: Ino, new_len: u64) -> FsResult<()> {
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        match &mut node.kind {
+        self.with_node_mut(ino, |node| match &mut node.kind {
             NodeKind::File { content } => {
                 content.truncate(new_len);
                 node.mtime = now;
                 Ok(())
             }
             NodeKind::Dir { .. } => Err(FsError::IsADirectory(format!("{ino}"))),
-        }
+        })
     }
 
     /// Unlink a file, returning its final attributes (the synchronous
@@ -461,18 +713,27 @@ impl Vfs {
     pub fn unlink(&self, path: &str) -> FsResult<InodeAttr> {
         let (parent, name) = parent_and_name(path)?;
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let parent_ino = Self::resolve_locked(&state, &parent)?;
-        let target = Self::resolve_locked(&state, path)?;
-        if state.nodes[&target.0].ftype() == FileType::Directory {
-            return Err(FsError::IsADirectory(path.to_string()));
+        let parent_ino = self.resolve(&parent)?;
+        loop {
+            let target = self.lookup_child(parent_ino, &name, path)?;
+            let mut g = self.shared.shards.write_many(&[parent_ino.0, target.0]);
+            match Self::verify_binding(&g, parent_ino, &name, target, path)? {
+                Binding::Ok => {}
+                Binding::Retry => continue,
+            }
+            if g.get(target).ok_or(FsError::StaleInode(target))?.ftype() == FileType::Directory {
+                return Err(FsError::IsADirectory(path.to_string()));
+            }
+            let parent = g.get_mut(parent_ino).expect("verified above");
+            if let NodeKind::Dir { entries } = &mut parent.kind {
+                entries.remove(&name);
+            }
+            parent.mtime = now;
+            let node = g.remove(target).expect("checked above");
+            drop(g);
+            self.bump_epoch();
+            return Ok(node.attr(target));
         }
-        if let NodeKind::Dir { entries } = &mut state.nodes.get_mut(&parent_ino.0).unwrap().kind {
-            entries.remove(&name);
-        }
-        state.nodes.get_mut(&parent_ino.0).unwrap().mtime = now;
-        let node = state.nodes.remove(&target.0).unwrap();
-        Ok(node.attr(target))
     }
 
     /// Rename a file or directory. The destination must not exist (the
@@ -489,116 +750,120 @@ impl Vfs {
             )));
         }
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let from_parent_ino = Self::resolve_locked(&state, &from_parent)?;
-        let to_parent_ino = Self::resolve_locked(&state, &to_parent)?;
-        let target = Self::resolve_locked(&state, from)?;
-        // destination must not exist
-        if Self::resolve_locked(&state, to).is_ok() {
-            return Err(FsError::AlreadyExists(to.to_string()));
+        let from_parent_ino = self.resolve(&from_parent)?;
+        let to_parent_ino = self.resolve(&to_parent)?;
+        loop {
+            let target = self.lookup_child(from_parent_ino, &from_name, from)?;
+            let mut g =
+                self.shared
+                    .shards
+                    .write_many(&[from_parent_ino.0, to_parent_ino.0, target.0]);
+            match Self::verify_binding(&g, from_parent_ino, &from_name, target, from)? {
+                Binding::Ok => {}
+                Binding::Retry => continue,
+            }
+            {
+                let tp = g
+                    .get(to_parent_ino)
+                    .ok_or(FsError::StaleInode(to_parent_ino))?;
+                match &tp.kind {
+                    NodeKind::Dir { entries } => {
+                        if entries.contains_key(&to_name) {
+                            return Err(FsError::AlreadyExists(to.to_string()));
+                        }
+                    }
+                    NodeKind::File { .. } => return Err(FsError::NotADirectory(to_parent)),
+                }
+            }
+            if let NodeKind::Dir { entries } =
+                &mut g.get_mut(from_parent_ino).expect("verified above").kind
+            {
+                entries.remove(&from_name);
+            }
+            g.get_mut(from_parent_ino).expect("verified above").mtime = now;
+            if let NodeKind::Dir { entries } =
+                &mut g.get_mut(to_parent_ino).expect("checked above").kind
+            {
+                entries.insert(to_name.clone(), target);
+            }
+            g.get_mut(to_parent_ino).expect("checked above").mtime = now;
+            let node = g.get_mut(target).expect("bound above");
+            node.parent = Some(to_parent_ino);
+            node.name = to_name;
+            node.ctime = now;
+            drop(g);
+            self.bump_epoch();
+            return Ok(());
         }
-        if state.nodes[&to_parent_ino.0].ftype() != FileType::Directory {
-            return Err(FsError::NotADirectory(to_parent));
-        }
-        if let NodeKind::Dir { entries } =
-            &mut state.nodes.get_mut(&from_parent_ino.0).unwrap().kind
-        {
-            entries.remove(&from_name);
-        }
-        if let NodeKind::Dir { entries } = &mut state.nodes.get_mut(&to_parent_ino.0).unwrap().kind
-        {
-            entries.insert(to_name.clone(), target);
-        }
-        state.nodes.get_mut(&from_parent_ino.0).unwrap().mtime = now;
-        state.nodes.get_mut(&to_parent_ino.0).unwrap().mtime = now;
-        let node = state.nodes.get_mut(&target.0).unwrap();
-        node.parent = Some(to_parent_ino);
-        node.name = to_name;
-        node.ctime = now;
-        Ok(())
     }
 
     // ----- attributes ---------------------------------------------------
 
     pub fn stat(&self, path: &str) -> FsResult<InodeAttr> {
-        let state = self.shared.state.read();
-        let ino = Self::resolve_locked(&state, path)?;
-        Ok(state.nodes[&ino.0].attr(ino))
+        let ino = self.resolve(path)?;
+        self.stat_ino(ino)
     }
 
     pub fn stat_ino(&self, ino: Ino) -> FsResult<InodeAttr> {
-        let state = self.shared.state.read();
-        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
-        Ok(node.attr(ino))
+        self.with_node(ino, |node| Ok(node.attr(ino)))
     }
 
     pub fn set_xattr(&self, ino: Ino, key: &str, value: &str) -> FsResult<()> {
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        node.xattrs.insert(key.to_string(), value.to_string());
-        node.ctime = now;
-        Ok(())
+        self.with_node_mut(ino, |node| {
+            Arc::make_mut(&mut node.xattrs).insert(key.to_string(), value.to_string());
+            node.ctime = now;
+            Ok(())
+        })
     }
 
     pub fn remove_xattr(&self, ino: Ino, key: &str) -> FsResult<()> {
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        node.xattrs.remove(key);
-        node.ctime = now;
-        Ok(())
+        self.with_node_mut(ino, |node| {
+            if node.xattrs.contains_key(key) {
+                Arc::make_mut(&mut node.xattrs).remove(key);
+            }
+            node.ctime = now;
+            Ok(())
+        })
     }
 
     pub fn get_xattr(&self, ino: Ino, key: &str) -> FsResult<Option<String>> {
-        let state = self.shared.state.read();
-        let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
-        Ok(node.xattrs.get(key).cloned())
+        self.with_node(ino, |node| Ok(node.xattrs.get(key).cloned()))
     }
 
     /// Set the owner uid.
     pub fn chown(&self, ino: Ino, uid: u32) -> FsResult<()> {
         let now = self.now();
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        node.uid = uid;
-        node.ctime = now;
-        Ok(())
+        self.with_node_mut(ino, |node| {
+            node.uid = uid;
+            node.ctime = now;
+            Ok(())
+        })
     }
 
     /// Backdate mtime/atime (workload generators age files for ILM tests).
     pub fn utimes(&self, ino: Ino, mtime: SimInstant, atime: SimInstant) -> FsResult<()> {
-        let mut state = self.shared.state.write();
-        let node = state
-            .nodes
-            .get_mut(&ino.0)
-            .ok_or(FsError::StaleInode(ino))?;
-        node.mtime = mtime;
-        node.atime = atime;
-        Ok(())
+        self.with_node_mut(ino, |node| {
+            node.mtime = mtime;
+            node.atime = atime;
+            Ok(())
+        })
     }
 
     // ----- traversal & accounting ----------------------------------------
 
     /// Depth-first recursive walk from `path` (inclusive), entries in
-    /// deterministic name order.
+    /// deterministic name order. Holds one shard read lock at a time; nodes
+    /// unlinked mid-walk are skipped.
     pub fn walk(&self, path: &str) -> FsResult<Vec<WalkEntry>> {
-        let state = self.shared.state.read();
-        let root_ino = Self::resolve_locked(&state, path)?;
+        let root_ino = self.resolve(path)?;
         let norm = normalize(path)?;
         let mut out = Vec::new();
         let mut stack = vec![(norm, root_ino)];
         while let Some((p, ino)) = stack.pop() {
-            let node = state.nodes.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+            let g = self.shared.shards.read(ino.0);
+            let Some(node) = g.get(&ino.0) else { continue };
             out.push(WalkEntry {
                 path: p.clone(),
                 attr: node.attr(ino),
@@ -613,8 +878,104 @@ impl Vfs {
         Ok(out)
     }
 
+    /// Stream every live inode through `f` across `threads` worker threads,
+    /// shard by shard — the policy-scan hot path. Unlike [`Vfs::walk`] this
+    /// never materializes the whole tree: each worker snapshots ONE shard
+    /// (≈ total/64 inodes) under its read lock, releases it, then
+    /// reconstructs paths lock-at-a-time with a per-thread directory-path
+    /// memo.
+    ///
+    /// Results are collected per shard and concatenated in shard order, so
+    /// on a quiescent tree the multiset of results is independent of
+    /// `threads` (callers needing a total order sort afterwards — shard
+    /// placement, not namespace order, dictates within-run ordering).
+    pub fn par_scan<R, F>(&self, threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&str, &InodeAttr) -> Option<R> + Sync,
+    {
+        let nshards = self.shared.shards.len();
+        let threads = threads.max(1).min(nshards);
+        let slots: Vec<Mutex<Vec<R>>> = (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+        let scan_shard = |shard_idx: usize, memo: &mut FxHashMap<u64, String>| {
+            // Phase 1: copy this shard's nodes out under a single read lock.
+            // Attrs are cheap now (Arc'd xattrs), so this buffer is small
+            // and bounded by the shard population, not the tree size.
+            let snapshot: Vec<(Ino, Option<Ino>, String, InodeAttr)> = {
+                let g = self.shared.shards.arr[shard_idx].read();
+                g.iter()
+                    .map(|(&raw, node)| {
+                        let ino = Ino(raw);
+                        (ino, node.parent, node.name.clone(), node.attr(ino))
+                    })
+                    .collect()
+            };
+            // Phase 2: lock-free over this shard; parent chains are chased
+            // one shard read lock at a time (never while holding another).
+            let mut out = Vec::new();
+            for (ino, parent, name, attr) in snapshot {
+                let path = match parent {
+                    None => "/".to_string(),
+                    Some(p) => match self.dir_path(p, memo) {
+                        Ok(base) => join(&base, &name),
+                        Err(_) => continue, // parent vanished mid-scan
+                    },
+                };
+                if attr.is_dir() {
+                    memo.entry(ino.0).or_insert_with(|| path.clone());
+                }
+                if let Some(r) = f(&path, &attr) {
+                    out.push(r);
+                }
+            }
+            *slots[shard_idx].lock() = out;
+        };
+        if threads == 1 {
+            let mut memo = FxHashMap::default();
+            for i in 0..nshards {
+                scan_shard(i, &mut memo);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        let mut memo = FxHashMap::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= nshards {
+                                break;
+                            }
+                            scan_shard(i, &mut memo);
+                        }
+                    });
+                }
+            });
+        }
+        slots.into_iter().flat_map(|m| m.into_inner()).collect()
+    }
+
+    /// Absolute path of a directory inode, memoized per scan thread.
+    fn dir_path(&self, ino: Ino, memo: &mut FxHashMap<u64, String>) -> FsResult<String> {
+        if ino == ROOT {
+            return Ok("/".to_string());
+        }
+        if let Some(p) = memo.get(&ino.0) {
+            return Ok(p.clone());
+        }
+        let (parent, name) = {
+            let g = self.shared.shards.read(ino.0);
+            let node = g.get(&ino.0).ok_or(FsError::StaleInode(ino))?;
+            (node.parent.unwrap_or(ROOT), node.name.clone())
+        };
+        let base = self.dir_path(parent, memo)?;
+        let full = join(&base, &name);
+        memo.insert(ino.0, full.clone());
+        Ok(full)
+    }
+
     /// Snapshot of every live inode's attributes plus its path — the input
-    /// to the ILM policy engine's parallel scan. Takes the read lock once.
+    /// to the ILM policy engine's parallel scan.
     pub fn inode_snapshot(&self) -> Vec<(String, InodeAttr)> {
         self.walk("/")
             .map(|v| v.into_iter().map(|e| (e.path, e.attr)).collect())
@@ -623,21 +984,31 @@ impl Vfs {
 
     /// Number of live inodes (including directories).
     pub fn inode_count(&self) -> usize {
-        self.shared.state.read().nodes.len()
+        self.shared.shards.arr.iter().map(|s| s.read().len()).sum()
     }
 
     /// Total logical bytes across all regular files.
     pub fn total_bytes(&self) -> u64 {
-        let state = self.shared.state.read();
-        state
-            .nodes
-            .values()
-            .map(|n| match &n.kind {
-                NodeKind::File { content } => content.len(),
-                NodeKind::Dir { .. } => 0,
+        self.shared
+            .shards
+            .arr
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .map(|n| match &n.kind {
+                        NodeKind::File { content } => content.len(),
+                        NodeKind::Dir { .. } => 0,
+                    })
+                    .sum::<u64>()
             })
             .sum()
     }
+}
+
+enum Binding {
+    Ok,
+    Retry,
 }
 
 #[cfg(test)]
@@ -821,6 +1192,18 @@ mod tests {
     }
 
     #[test]
+    fn attr_xattrs_are_cow_snapshots() {
+        let v = fs();
+        let ino = v.create("/f", 0, Content::empty()).unwrap();
+        v.set_xattr(ino, "k", "v1").unwrap();
+        let snap = v.stat_ino(ino).unwrap();
+        v.set_xattr(ino, "k", "v2").unwrap();
+        // the earlier snapshot must not observe the later write
+        assert_eq!(snap.xattr("k"), Some("v1"));
+        assert_eq!(v.stat_ino(ino).unwrap().xattr("k"), Some("v2"));
+    }
+
+    #[test]
     fn times_update_as_expected() {
         let clock = Clock::new();
         let v = Vfs::new("t", clock.clone());
@@ -865,5 +1248,74 @@ mod tests {
             .unwrap();
         assert_eq!(&v.read_all("/f").unwrap().materialize()[..], b"two!");
         assert_eq!(v.stat("/f").unwrap().size, 4);
+    }
+
+    #[test]
+    fn resolve_cache_never_serves_stale_bindings() {
+        let v = fs();
+        v.mkdir("/d").unwrap();
+        let a = v.create("/d/f", 0, Content::empty()).unwrap();
+        // prime the cache
+        assert_eq!(v.resolve("/d/f").unwrap(), a);
+        v.rename("/d/f", "/d/g").unwrap();
+        assert!(matches!(v.resolve("/d/f"), Err(FsError::NotFound(_))));
+        assert_eq!(v.resolve("/d/g").unwrap(), a);
+        v.unlink("/d/g").unwrap();
+        assert!(matches!(v.resolve("/d/g"), Err(FsError::NotFound(_))));
+        // re-create under a previously cached path: must see the new ino
+        assert!(v.resolve("/d/f").is_err());
+        let b = v.create("/d/f", 0, Content::empty()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(v.resolve("/d/f").unwrap(), b);
+    }
+
+    #[test]
+    fn concurrent_disjoint_subtrees() {
+        let v = fs();
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let v = v.clone();
+                s.spawn(move || {
+                    v.mkdir_p(&format!("/shared/d{t}")).unwrap();
+                    for i in 0..200u64 {
+                        let p = format!("/shared/d{t}/f{i}");
+                        v.create(&p, t, Content::synthetic(i, 10)).unwrap();
+                        assert_eq!(v.stat(&p).unwrap().uid, t);
+                    }
+                    for i in 0..50u64 {
+                        v.unlink(&format!("/shared/d{t}/f{i}")).unwrap();
+                    }
+                });
+            }
+        });
+        // root + /shared + 8 dirs + 8×150 surviving files
+        assert_eq!(v.inode_count(), 2 + 8 + 8 * 150);
+        assert_eq!(v.total_bytes(), 8 * 150 * 10);
+    }
+
+    #[test]
+    fn par_scan_matches_walk_at_any_thread_count() {
+        let v = fs();
+        v.mkdir_p("/a/b").unwrap();
+        v.mkdir_p("/c").unwrap();
+        for i in 0..100u64 {
+            v.create(&format!("/a/b/f{i}"), 0, Content::synthetic(i, i))
+                .unwrap();
+            v.create(&format!("/c/g{i}"), 0, Content::empty()).unwrap();
+        }
+        let mut walked: Vec<String> = v
+            .walk("/")
+            .unwrap()
+            .into_iter()
+            .filter(|e| e.attr.is_file())
+            .map(|e| e.path)
+            .collect();
+        walked.sort();
+        for threads in [1, 2, 4, 8] {
+            let mut scanned: Vec<String> =
+                v.par_scan(threads, |p, a| a.is_file().then(|| p.to_string()));
+            scanned.sort();
+            assert_eq!(scanned, walked, "par_scan({threads}) diverged from walk");
+        }
     }
 }

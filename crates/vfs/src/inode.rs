@@ -4,6 +4,7 @@ use copra_simtime::SimInstant;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Inode number. Unique within one file system for its lifetime (inode
 /// numbers are not reused; `(ino, generation)` is therefore globally unique
@@ -42,7 +43,10 @@ pub struct InodeAttr {
     pub ctime: SimInstant,
     /// Extended attributes. Higher layers use these for HSM state
     /// (`hsm.state`, `hsm.objid`), pool placement and fuse chunk maps.
-    pub xattrs: BTreeMap<String, String>,
+    /// Shared with the live inode (copy-on-write): building an attr never
+    /// deep-copies the map, which keeps `stat`/`walk`/scan allocation-free
+    /// on the hot path.
+    pub xattrs: Arc<BTreeMap<String, String>>,
 }
 
 impl InodeAttr {
@@ -73,7 +77,10 @@ mod tests {
             mtime: SimInstant::EPOCH,
             atime: SimInstant::EPOCH,
             ctime: SimInstant::EPOCH,
-            xattrs: BTreeMap::from([("hsm.state".to_string(), "migrated".to_string())]),
+            xattrs: Arc::new(BTreeMap::from([(
+                "hsm.state".to_string(),
+                "migrated".to_string(),
+            )])),
         };
         assert!(attr.is_file());
         assert!(!attr.is_dir());

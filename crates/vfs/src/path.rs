@@ -27,6 +27,22 @@ pub fn normalize(path: &str) -> FsResult<String> {
     Ok(out)
 }
 
+/// True if `path` is already in the form [`normalize`] would return, i.e.
+/// normalizing it would be an allocation-free no-op. The resolve hot path
+/// uses this to skip [`normalize`]'s `String` build for the overwhelmingly
+/// common already-clean input.
+pub fn is_normalized(path: &str) -> bool {
+    if path == "/" {
+        return true;
+    }
+    if !path.starts_with('/') || path.ends_with('/') {
+        return false;
+    }
+    path[1..]
+        .split('/')
+        .all(|c| !c.is_empty() && c != "." && c != "..")
+}
+
 /// Split a normalized path into components.
 pub fn split(path: &str) -> impl Iterator<Item = &str> {
     path.split('/').filter(|c| !c.is_empty())
@@ -103,6 +119,17 @@ mod tests {
         assert!(normalize("/a/./b").is_err());
         assert!(normalize("/a/../b").is_err());
         assert!(normalize("").is_err());
+    }
+
+    #[test]
+    fn is_normalized_agrees_with_normalize() {
+        for p in [
+            "/", "/a", "/a/b/c", "/a//b", "/a/", "a/b", "/a/./b", "/a/../b", "",
+        ] {
+            let fast = is_normalized(p);
+            let slow = normalize(p).map(|n| n == p).unwrap_or(false);
+            assert_eq!(fast, slow, "is_normalized({p:?}) disagrees with normalize");
+        }
     }
 
     #[test]
