@@ -31,6 +31,7 @@
 pub mod jail;
 pub mod migrator;
 pub mod obs;
+pub mod recovery;
 pub mod search;
 pub mod shell;
 pub mod syncdel;
@@ -40,8 +41,9 @@ pub mod trashcan;
 pub use jail::{Jail, JailError};
 pub use migrator::{migrate_candidates, MigrationPolicy, MigrationReport};
 pub use obs::{DeviceUtilization, SystemSnapshot};
+pub use recovery::{recover, RecoveryReport};
 pub use search::{ArchiveSearch, Plan, Query, SearchEntry};
 pub use shell::{Shell, ShellError, ShellOutput};
-pub use syncdel::{SyncDeleteReport, SyncDeleter};
+pub use syncdel::{SyncDeleteError, SyncDeleteReport, SyncDeleter};
 pub use system::{ArchiveSystem, SystemConfig};
 pub use trashcan::Trashcan;

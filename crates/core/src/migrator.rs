@@ -47,6 +47,11 @@ pub struct MigrationReport {
     /// Tape transactions issued (containers count once).
     pub transactions: usize,
     pub errors: Vec<String>,
+    /// True when a simulated crash killed the run mid-migration: the
+    /// remaining candidates were never attempted and the last error names
+    /// the crash site.
+    #[serde(default)]
+    pub aborted: bool,
 }
 
 impl MigrationReport {
@@ -135,6 +140,7 @@ pub fn migrate_candidates(
         makespan: start,
         transactions: 0,
         errors: Vec::new(),
+        aborted: false,
     };
     // Each node's stream is sequential; streams are concurrent in
     // simulated time because each charges its own node/drive timelines
@@ -163,16 +169,27 @@ pub fn migrate_candidates(
                         report.transactions += out.containers;
                         cursor = cursor.max(out.end);
                     }
+                    Err(e @ HsmError::Crashed { .. }) => {
+                        report.errors.push(format!("{node}: {e}"));
+                        report.aborted = true;
+                    }
                     Err(e) => report.errors.push(format!("{node}: {e}")),
                 }
             }
             for rec in bucket.iter().filter(|r| r.size >= cutoff.as_bytes()) {
+                if report.aborted {
+                    break;
+                }
                 match hsm.migrate_file(rec.ino, *node, data_path, cursor, punch) {
                     Ok((_, end)) => {
                         files += 1;
                         bytes += rec.size;
                         report.transactions += 1;
                         cursor = end;
+                    }
+                    Err(e @ HsmError::Crashed { .. }) => {
+                        report.errors.push(format!("{}: {e}", rec.path));
+                        report.aborted = true;
                     }
                     Err(e) => report.errors.push(format!("{}: {e}", rec.path)),
                 }
@@ -186,6 +203,11 @@ pub fn migrate_candidates(
                         report.transactions += 1;
                         cursor = end;
                     }
+                    Err(e @ HsmError::Crashed { .. }) => {
+                        report.errors.push(format!("{}: {e}", rec.path));
+                        report.aborted = true;
+                        break;
+                    }
                     Err(e) => report.errors.push(format!("{}: {e}", rec.path)),
                 }
             }
@@ -195,6 +217,10 @@ pub fn migrate_candidates(
         report.bytes += bytes;
         report.makespan = report.makespan.max(cursor);
         report.per_node.push((node.0, files, bytes, cursor));
+        if report.aborted {
+            // The process died: remaining buckets were never attempted.
+            return report;
+        }
     }
     report
 }

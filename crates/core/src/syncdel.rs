@@ -9,11 +9,34 @@
 //! this, which is why user deletes go through the trashcan first.
 
 use copra_hsm::Hsm;
+use copra_journal::IntentKind;
 use copra_metadb::TsmCatalog;
 use copra_pfs::FileRecord;
 use copra_simtime::SimInstant;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a synchronous delete failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncDeleteError {
+    /// A scripted crash point fired mid-delete: the simulated process
+    /// died with the operation half-applied. Only recovery cleans up.
+    Crashed { site: String },
+    /// Ordinary failure (path missing, unlink rejected, ...).
+    Failed(String),
+}
+
+impl fmt::Display for SyncDeleteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncDeleteError::Crashed { site } => write!(f, "simulated crash at {site}"),
+            SyncDeleteError::Failed(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for SyncDeleteError {}
 
 /// Outcome of a synchronous-delete batch.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -27,7 +50,13 @@ pub struct SyncDeleteReport {
     pub bytes: u64,
     /// Completion instant (metadata transactions charged on the server).
     pub end: SimInstant,
+    /// Per-file errors, sorted by path (deterministic across batch
+    /// orderings).
     pub errors: Vec<String>,
+    /// Set when a crash point killed the batch: the crash site. The
+    /// remaining candidates were never attempted.
+    #[serde(default)]
+    pub aborted: Option<String>,
 }
 
 /// The administrative deleter.
@@ -42,10 +71,20 @@ impl SyncDeleter {
         SyncDeleter { hsm, catalog }
     }
 
-    /// Synchronously delete one file: unlink + TSM object delete(s).
-    pub fn delete_file(&self, path: &str, ready: SimInstant) -> Result<SyncDeleteReport, String> {
+    /// Synchronously delete one file: unlink + TSM object delete(s),
+    /// under a journaled intent. The object ids are recorded in the
+    /// intent *before* the unlink (the point of no return) so a crash
+    /// after it can be completed forward by recovery.
+    pub fn delete_file(
+        &self,
+        path: &str,
+        ready: SimInstant,
+    ) -> Result<SyncDeleteReport, SyncDeleteError> {
         let pfs = self.hsm.pfs();
-        let ino = pfs.resolve(path).map_err(|e| e.to_string())?;
+        let server = self.hsm.server();
+        let ino = pfs
+            .resolve(path)
+            .map_err(|e| SyncDeleteError::Failed(e.to_string()))?;
         let mut report = SyncDeleteReport {
             end: ready,
             ..SyncDeleteReport::default()
@@ -68,12 +107,40 @@ impl SyncDeleter {
                 objids.push(row.objid);
             }
         }
-        let attr = pfs.unlink(path).map_err(|e| e.to_string())?;
+        // Journal the intent with the resolved objids: everything recovery
+        // needs to finish (or undo) this delete.
+        let journal = self.hsm.journal();
+        let kind = if copra_vfs::is_under(path, crate::trashcan::TRASH_ROOT) {
+            IntentKind::TrashPurge {
+                ino: ino.0,
+                path: path.to_string(),
+                objids: objids.clone(),
+            }
+        } else {
+            IntentKind::SyncDelete {
+                ino: ino.0,
+                path: path.to_string(),
+                objids: objids.clone(),
+            }
+        };
+        let seq = journal.begin_intent(kind, ready);
+        let crashed = |site: String| SyncDeleteError::Crashed { site };
+        server
+            .crash_point("syncdel.begin", ready)
+            .map_err(|_| crashed("syncdel.begin".into()))?;
+        let attr = pfs
+            .unlink(path)
+            .map_err(|e| SyncDeleteError::Failed(e.to_string()))?;
         report.files_deleted = 1;
         report.bytes = attr.size;
         let mut cursor = ready;
+        // Past the point of no return: the file is gone. A crash below
+        // leaves an open intent that recovery completes *forward*.
+        server
+            .crash_point("syncdel.after_unlink", cursor)
+            .map_err(|_| crashed("syncdel.after_unlink".into()))?;
         for objid in objids {
-            match self.hsm.server().delete_object(objid, cursor) {
+            match server.delete_object(objid, cursor) {
                 Ok(end) => {
                     cursor = end;
                     report.objects_deleted += 1;
@@ -83,15 +150,25 @@ impl SyncDeleter {
                     // already gone (e.g. deleted via an earlier orphan ref)
                     self.catalog.forget(objid);
                 }
+                Err(copra_hsm::HsmError::Crashed { site }) => {
+                    return Err(SyncDeleteError::Crashed { site })
+                }
                 Err(e) => report.errors.push(format!("{path}: {e}")),
             }
+            server
+                .crash_point("syncdel.after_obj_delete", cursor)
+                .map_err(|_| crashed("syncdel.after_obj_delete".into()))?;
         }
+        journal.seal(seq, cursor);
+        report.errors.sort();
         report.end = cursor;
         Ok(report)
     }
 
     /// Purge a batch of LIST-policy candidates (typically the trashcan
-    /// purge list). Never aborts on per-file errors.
+    /// purge list). Never aborts on per-file errors — but a simulated
+    /// crash kills the whole batch (the process died), recorded in
+    /// [`SyncDeleteReport::aborted`].
     pub fn purge(&self, candidates: &[FileRecord], ready: SimInstant) -> SyncDeleteReport {
         let mut total = SyncDeleteReport {
             end: ready,
@@ -107,9 +184,14 @@ impl SyncDeleter {
                     cursor = r.end;
                     total.errors.extend(r.errors);
                 }
+                Err(SyncDeleteError::Crashed { site }) => {
+                    total.aborted = Some(site);
+                    break;
+                }
                 Err(e) => total.errors.push(format!("{}: {e}", rec.path)),
             }
         }
+        total.errors.sort();
         total.end = cursor;
         total
     }

@@ -232,6 +232,22 @@ impl ArchiveSystem {
         plane
     }
 
+    // ----- recovery ---------------------------------------------------------
+
+    /// The stack's write-ahead intent journal (owned by the HSM layer).
+    pub fn journal(&self) -> &Arc<copra_journal::Journal> {
+        self.hsm.journal()
+    }
+
+    /// Recover after a (simulated) crash: drain the intent journal and
+    /// scrub the stores back into agreement. See [`crate::recovery`].
+    pub fn recover(
+        &self,
+        ready: copra_simtime::SimInstant,
+    ) -> copra_hsm::HsmResult<crate::recovery::RecoveryReport> {
+        crate::recovery::recover(&self.hsm, &self.catalog, ready)
+    }
+
     // ----- observability ----------------------------------------------------
 
     /// Capture the whole stack's observability state at the clock's *now*:

@@ -149,6 +149,62 @@ mod tests {
     }
 
     #[test]
+    fn undelete_into_collision_keeps_trashed_copy() {
+        let (_, trash) = setup();
+        let pfs = trash.fuse.pfs().clone();
+        pfs.create_file("/data/f", 42, Content::synthetic(1, 1000))
+            .unwrap();
+        let parked = trash.delete("/data/f").unwrap();
+        // A new file takes the old name before the un-delete.
+        pfs.create_file("/data/f", 42, Content::synthetic(2, 500))
+            .unwrap();
+        let err = trash.undelete(&parked, "/data/f").unwrap_err();
+        assert!(matches!(err, FsError::AlreadyExists(_)), "{err}");
+        // Nothing clobbered: the new file and the trashed copy both live.
+        assert_eq!(pfs.read_resident("/data/f").unwrap().len(), 500);
+        assert_eq!(pfs.read_resident(&parked).unwrap().len(), 1000);
+        // Restoring under a fresh name still works.
+        trash.undelete(&parked, "/data/f.restored").unwrap();
+        assert_eq!(pfs.read_resident("/data/f.restored").unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn purge_of_chunked_trash_deletes_every_chunk() {
+        use crate::syncdel::SyncDeleter;
+        use copra_cluster::{ClusterConfig, FtaCluster};
+        use copra_hsm::{Hsm, TsmServer};
+        use copra_metadb::TsmCatalog;
+        use copra_tape::{TapeLibrary, TapeTiming};
+        use std::sync::Arc;
+
+        let (_, trash) = setup();
+        let pfs = trash.fuse.pfs().clone();
+        trash
+            .fuse
+            .write_file("/data/huge", 7, Content::synthetic(9, 150_000_000))
+            .unwrap();
+        // User delete parks the whole chunk directory as one unit.
+        let parked = trash.delete("/data/huge").unwrap();
+        assert_eq!(trash.fuse.chunks(&parked).unwrap().len(), 15);
+
+        // Purge-by-size lists every chunk file; the synchronous deleter
+        // removes them all (none ever migrated → no tape objects).
+        let cands = trash.purge_candidates(SimDuration::from_secs(86_400), 1_000_000);
+        assert_eq!(cands.len(), 15, "one purge candidate per chunk");
+        let cluster = FtaCluster::new(ClusterConfig::tiny(2));
+        let server = TsmServer::roadrunner(TapeLibrary::new(2, 8, TapeTiming::lto4()));
+        let hsm = Hsm::new(pfs.clone(), server, cluster);
+        let catalog = Arc::new(TsmCatalog::new());
+        let deleter = SyncDeleter::new(hsm, catalog);
+        let report = deleter.purge(&cands, SimInstant::EPOCH);
+        assert_eq!(report.files_deleted, 15);
+        assert_eq!(report.objects_deleted, 0);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert!(report.aborted.is_none());
+        assert!(trash.fuse.chunks(&parked).unwrap().is_empty());
+    }
+
+    #[test]
     fn chunked_files_trash_as_a_unit() {
         let (_, trash) = setup();
         let pfs = trash.fuse.pfs().clone();

@@ -127,6 +127,12 @@ pub enum ScheduledFault {
     /// `after_jobs`-th assignment (1-based) — the job is lost and must be
     /// detected and re-dispatched.
     MoverCrash { rank: u32, after_jobs: u32 },
+    /// Simulated process death at a **named journal position**: execution
+    /// aborts the `occurrence`-th time (1-based) the consult site `site`
+    /// is reached, leaving genuinely torn multi-store state behind for
+    /// recovery to repair. Sites are the `begin_intent → mutate → seal`
+    /// steps of migrate / sync-delete / reclaim.
+    CrashPoint { site: String, occurrence: u32 },
 }
 
 /// A seeded script of faults. Build with the fluent methods, then
@@ -178,6 +184,16 @@ impl FaultPlan {
         self
     }
 
+    /// Kill the process the `occurrence`-th time (1-based) execution
+    /// reaches the crash-consult site `site`.
+    pub fn crash_at(mut self, site: impl Into<String>, occurrence: u32) -> Self {
+        self.faults.push(ScheduledFault::CrashPoint {
+            site: site.into(),
+            occurrence: occurrence.max(1),
+        });
+        self
+    }
+
     /// Arm the plan: freeze the script into consumable state and bind the
     /// obs registry the injections and recoveries report through.
     pub fn arm(self, obs: Arc<Registry>) -> Arc<FaultPlane> {
@@ -185,18 +201,22 @@ impl FaultPlan {
         let mut media = FxHashMap::default();
         let mut jams = Vec::new();
         let mut movers = FxHashMap::default();
+        let mut crashes = Vec::new();
         for f in &self.faults {
-            match *f {
+            match f {
                 ScheduledFault::DriveFail { drive, at } => {
-                    let slot = drive_fail_at.entry(drive).or_insert(at);
-                    *slot = (*slot).min(at);
+                    let slot = drive_fail_at.entry(*drive).or_insert(*at);
+                    *slot = (*slot).min(*at);
                 }
                 ScheduledFault::MediaError { tape, seq, hits } => {
-                    *media.entry((tape, seq)).or_insert(0) += hits;
+                    *media.entry((*tape, *seq)).or_insert(0) += hits;
                 }
-                ScheduledFault::RobotJam { at, delay } => jams.push((at, delay)),
+                ScheduledFault::RobotJam { at, delay } => jams.push((*at, *delay)),
                 ScheduledFault::MoverCrash { rank, after_jobs } => {
-                    movers.insert(rank, after_jobs.max(1));
+                    movers.insert(*rank, (*after_jobs).max(1));
+                }
+                ScheduledFault::CrashPoint { site, occurrence } => {
+                    crashes.push((site.clone(), (*occurrence).max(1)));
                 }
             }
         }
@@ -208,6 +228,9 @@ impl FaultPlan {
             media: Mutex::new(media),
             jams: Mutex::new(jams),
             movers: Mutex::new(movers),
+            crashes: Mutex::new(crashes),
+            crash_counts: Mutex::new(FxHashMap::default()),
+            crash_log: Mutex::new(Vec::new()),
             transient_io_prob: self.transient_io_prob,
             transient_delay: self.transient_delay,
             io_seq: Mutex::new(FxHashMap::default()),
@@ -225,6 +248,7 @@ struct PlaneMetrics {
     media_errors: Arc<Counter>,
     robot_jams: Arc<Counter>,
     mover_crashes: Arc<Counter>,
+    crash_points: Arc<Counter>,
     transient_ios: Arc<Counter>,
     fences: Arc<Counter>,
     retries: Arc<Counter>,
@@ -241,6 +265,7 @@ impl PlaneMetrics {
             media_errors: obs.counter("faults.media_errors"),
             robot_jams: obs.counter("faults.robot_jams"),
             mover_crashes: obs.counter("faults.mover_crashes"),
+            crash_points: obs.counter("faults.crash_points"),
             transient_ios: obs.counter("faults.transient_ios"),
             fences: obs.counter("faults.fences"),
             retries: obs.counter("faults.retries"),
@@ -263,6 +288,15 @@ pub struct FaultPlane {
     jams: Mutex<Vec<(SimInstant, SimDuration)>>,
     /// rank → assignments left before the mover dies.
     movers: Mutex<FxHashMap<u32, u32>>,
+    /// Unconsumed (site, occurrence) crash points.
+    crashes: Mutex<Vec<(String, u32)>>,
+    /// Per-site consult ordinal (1-based), counted while the plane is
+    /// armed — the occurrence numbering crash points are scripted against.
+    crash_counts: Mutex<FxHashMap<String, u32>>,
+    /// Every (site, occurrence) consulted, in order. An enumeration run
+    /// arms an *empty* plan and reads this back to discover the full
+    /// crash-point space of a scenario.
+    crash_log: Mutex<Vec<(String, u32)>>,
     transient_io_prob: f64,
     transient_delay: SimDuration,
     /// Per-drive operation ordinal feeding the transient-I/O draw.
@@ -403,6 +437,54 @@ impl FaultPlane {
         true
     }
 
+    /// Consult the crash site `site`: counts this visit (1-based per-site
+    /// ordinal), logs it for enumeration, and returns true exactly when a
+    /// scripted [`ScheduledFault::CrashPoint`] matches — the caller must
+    /// then abort as if the process died, leaving its partial mutations
+    /// in place. Purely ordinal, so same seed + workload → same crash.
+    pub fn take_crash_point(&self, site: &str, now: SimInstant) -> bool {
+        let occurrence = {
+            let mut counts = self.crash_counts.lock();
+            let c = counts.entry(site.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        self.crash_log.lock().push((site.to_string(), occurrence));
+        let fired = {
+            let mut crashes = self.crashes.lock();
+            match crashes
+                .iter()
+                .position(|(s, o)| s == site && *o == occurrence)
+            {
+                Some(idx) => {
+                    crashes.remove(idx);
+                    true
+                }
+                None => false,
+            }
+        };
+        if !fired {
+            return false;
+        }
+        self.metrics.injected.inc();
+        self.metrics.crash_points.inc();
+        self.obs.event(
+            now,
+            EventKind::FaultInjected {
+                kind: "crash-point".into(),
+                detail: format!("{site}#{occurrence}"),
+            },
+        );
+        true
+    }
+
+    /// Every crash site consulted since arming, as (site, occurrence)
+    /// pairs in consult order. Driving a scenario under an empty armed
+    /// plan and reading this back enumerates its full crash-point space.
+    pub fn consulted_crash_points(&self) -> Vec<(String, u32)> {
+        self.crash_log.lock().clone()
+    }
+
     /// Record one backoff retry and its delay.
     pub fn note_retry(&self, delay: SimDuration) {
         self.metrics.retries.inc();
@@ -455,6 +537,38 @@ mod tests {
         assert!(!p.take_media_error(3, 7, now), "hits exhausted");
         assert!(!p.take_media_error(3, 8, now), "other records clean");
         assert_eq!(p.obs().snapshot().counter("faults.media_errors"), 2);
+    }
+
+    #[test]
+    fn crash_point_fires_at_scripted_occurrence_only() {
+        let p = plane(FaultPlan::new(1).crash_at("migrate.after_store", 2));
+        let now = SimInstant::EPOCH;
+        assert!(!p.take_crash_point("migrate.after_store", now), "occ 1");
+        assert!(!p.take_crash_point("syncdel.begin", now), "other site");
+        assert!(p.take_crash_point("migrate.after_store", now), "occ 2");
+        assert!(
+            !p.take_crash_point("migrate.after_store", now),
+            "consumed: recovery re-running the op must not re-crash"
+        );
+        assert_eq!(p.obs().snapshot().counter("faults.crash_points"), 1);
+    }
+
+    #[test]
+    fn empty_plan_logs_consults_without_crashing() {
+        let p = plane(FaultPlan::new(7));
+        let now = SimInstant::EPOCH;
+        assert!(!p.take_crash_point("a", now));
+        assert!(!p.take_crash_point("b", now));
+        assert!(!p.take_crash_point("a", now));
+        assert_eq!(
+            p.consulted_crash_points(),
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 1),
+                ("a".to_string(), 2)
+            ]
+        );
+        assert_eq!(p.obs().snapshot().counter("faults.crash_points"), 0);
     }
 
     #[test]

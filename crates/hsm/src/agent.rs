@@ -260,6 +260,9 @@ impl StorageAgent {
         // drives and transient I/O under the retry budget.
         let stored_at = t;
         let (addr, t) = self.write_with_recovery(objid, content, len, drive, t)?;
+        // Tape record written, DB row not yet registered: the torn state
+        // scrub's record sweep repairs.
+        server.crash_point("agent.store.after_write", t)?;
         // Close-transaction metadata hop and DB insert.
         let t = server.meta_op(t);
         server.register(TsmObject {

@@ -23,6 +23,10 @@ pub enum HsmError {
         state: String,
         needed: String,
     },
+    /// A scripted crash point fired: the process "died" at this site,
+    /// leaving whatever it had mutated so far torn. Propagates to the
+    /// top of the operation unhandled — only recovery cleans up.
+    Crashed { site: String },
 }
 
 impl fmt::Display for HsmError {
@@ -40,6 +44,7 @@ impl fmt::Display for HsmError {
             HsmError::WrongState { ino, state, needed } => {
                 write!(f, "ino {ino} is {state}, operation needs {needed}")
             }
+            HsmError::Crashed { site } => write!(f, "simulated crash at {site}"),
         }
     }
 }

@@ -5,9 +5,11 @@ use crate::agent::{DataPath, StorageAgent};
 use crate::error::{HsmError, HsmResult};
 use crate::server::TsmServer;
 use copra_cluster::{FtaCluster, NodeId};
+use copra_journal::{IntentKind, Journal};
 use copra_obs::{Counter, EventKind};
 use copra_pfs::{HsmState, Pfs};
 use copra_simtime::{DataSize, SimInstant};
+use copra_tape::TapeId;
 use copra_vfs::Ino;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -56,6 +58,9 @@ pub struct Hsm {
     cluster: FtaCluster,
     agents: Vec<StorageAgent>,
     metrics: HsmMetrics,
+    /// Write-ahead intent log for multi-store mutations (migrate,
+    /// sync-delete, purge, reclaim). Shared with the core layer.
+    journal: Arc<Journal>,
 }
 
 impl Hsm {
@@ -73,17 +78,24 @@ impl Hsm {
             affinity_hits: obs.counter("hsm.recall.affinity_hits"),
             affinity_misses: obs.counter("hsm.recall.affinity_misses"),
         };
+        let journal = Journal::new(obs);
         Hsm {
             pfs,
             server,
             cluster,
             agents,
             metrics,
+            journal,
         }
     }
 
     pub fn pfs(&self) -> &Pfs {
         &self.pfs
+    }
+
+    /// The write-ahead intent log shared across the archive stack.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
     }
 
     pub fn server(&self) -> &TsmServer {
@@ -133,11 +145,30 @@ impl Hsm {
         let path = self.pfs.path_of(ino)?;
         let content = self.pfs.vfs().peek_content(ino)?;
         let len = DataSize::from_bytes(content.len());
+        // Intent first: if we die anywhere below, recovery knows what was
+        // in flight. The intent is sealed *before* the punch so that an
+        // open MigrateCommit always still has its disk copy — rollback
+        // never needs to un-punch.
+        let seq = self.journal.begin_intent(
+            IntentKind::MigrateCommit {
+                ino: ino.0,
+                path: path.clone(),
+                objid: None,
+                punch,
+            },
+            ready,
+        );
+        self.server.crash_point("migrate.begin", ready)?;
         let r = self.pfs.charge_read(ino, ready, len);
         let (objid, t) = self
             .agent(node)
             .store(&path, ino.0, content, r.end, data_path)?;
+        self.journal.annotate_objid(seq, objid);
+        self.server.crash_point("migrate.after_store", t)?;
         self.pfs.mark_premigrated(ino, objid)?;
+        self.server.crash_point("migrate.after_mark", t)?;
+        self.journal.seal(seq, t);
+        self.server.crash_point("migrate.after_seal", t)?;
         if punch {
             self.pfs.punch_hole(ino)?;
         }
@@ -149,6 +180,23 @@ impl Hsm {
             },
         );
         Ok((objid, t))
+    }
+
+    /// Space-reclaim `tape` under a journaled intent: live objects are
+    /// copied to other volumes and the source is freed. A crash mid-move
+    /// leaves an open `Reclaim` intent; recovery's scrub drops whichever
+    /// half-copied records diverge from the server DB.
+    pub fn reclaim_volume(
+        &self,
+        tape: TapeId,
+        ready: SimInstant,
+    ) -> HsmResult<crate::reclaim::ReclaimReport> {
+        let seq = self
+            .journal
+            .begin_intent(IntentKind::Reclaim { tape: tape.0 }, ready);
+        let report = crate::reclaim::reclaim_volume(&self.server, tape, ready)?;
+        self.journal.seal(seq, report.end);
+        Ok(report)
     }
 
     /// Like [`Hsm::migrate_file`], but the object is steered to the

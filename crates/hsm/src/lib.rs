@@ -36,9 +36,9 @@ pub mod server;
 
 pub use agent::{DataPath, StorageAgent};
 pub use backup::{BackupOutcome, BackupVersion};
-pub use error::HsmError;
+pub use error::{HsmError, HsmResult};
 pub use hsm::{Hsm, RecallPolicy, RecallRequest};
 pub use object::{ObjectKind, TsmObject};
 pub use reclaim::{reclaim_eligible, reclaim_volume, ReclaimReport};
-pub use reconcile::{reconcile, ReconcileReport};
+pub use reconcile::{reconcile, scrub, ReconcileReport, ScrubReport};
 pub use server::TsmServer;

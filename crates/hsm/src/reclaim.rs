@@ -115,9 +115,15 @@ pub fn reclaim_volume(
             let (new_addr, t) =
                 lib.write_object(dst_drive, RECLAIM_AGENT, objid, content, cursor)?;
             cursor = t;
+            // New record written, DB still points at the old address: the
+            // new record is the divergent one and scrub drops it.
+            server.crash_point("reclaim.after_copy", cursor)?;
             // Rebase every object sharing the old record (containers carry
             // their members), then kill the old record.
             report.rebased_objects += server.rebase_addr(old_addr, new_addr);
+            // DB rebased, old record still live: now the *old* record is
+            // the divergent one and scrub drops it instead.
+            server.crash_point("reclaim.after_rebase", cursor)?;
             lib.delete_object(old_addr)?;
             report.moved_records += 1;
             report.moved_bytes += len;

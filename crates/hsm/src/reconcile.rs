@@ -9,7 +9,9 @@
 
 use crate::error::HsmResult;
 use crate::server::TsmServer;
-use copra_pfs::Pfs;
+use copra_metadb::TsmCatalog;
+use copra_obs::EventKind;
+use copra_pfs::{HsmState, Pfs};
 use copra_simtime::SimInstant;
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
@@ -81,6 +83,166 @@ pub fn reconcile(
         orphans,
         end: cursor,
     })
+}
+
+/// What a self-healing scrub pass repaired.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// DB file-objects nothing references, deleted (tape records too).
+    pub orphans_deleted: Vec<u64>,
+    /// Premigrated stubs whose tape object vanished, demoted to resident
+    /// (their disk copy is intact — nothing is lost).
+    pub stubs_demoted: Vec<u64>,
+    /// Migrated stubs whose tape object vanished: the data is gone. The
+    /// crash-sweep invariant is that this stays empty.
+    pub lost_stubs: Vec<u64>,
+    /// Live tape records dropped because the server DB doesn't know them
+    /// (or knows the object at a different address).
+    pub tape_records_dropped: usize,
+    /// Catalog-replica rows the re-export had to write or prune.
+    pub catalog_rows_fixed: u64,
+    /// Simulated completion time.
+    pub end: SimInstant,
+}
+
+impl ScrubReport {
+    /// True when the pass found nothing to repair.
+    pub fn is_clean(&self) -> bool {
+        self.orphans_deleted.is_empty()
+            && self.stubs_demoted.is_empty()
+            && self.lost_stubs.is_empty()
+            && self.tape_records_dropped == 0
+            && self.catalog_rows_fixed == 0
+    }
+}
+
+/// Self-healing scrub: reconcile-with-fix plus the crash-damage repairs
+/// reconcile can't see. Four phases:
+///
+/// 1. orphaned DB file-objects (fix-mode [`reconcile`]) — deleted;
+/// 2. dangling stubs (file references an objid the server forgot):
+///    premigrated stubs are demoted to resident, migrated stubs are
+///    reported as lost;
+/// 3. tape records diverging from the DB (record with no DB object, or a
+///    DB object now living at a different address) — dropped;
+/// 4. catalog replica re-exported and its indexes verified.
+///
+/// Emits `scrub.*` counters and `Recovery` events; panics never, errors
+/// only on infrastructure failure.
+pub fn scrub(
+    pfs: &Pfs,
+    server: &TsmServer,
+    catalog: &TsmCatalog,
+    ready: SimInstant,
+) -> HsmResult<ScrubReport> {
+    let obs = server.obs().clone();
+    let mut report = ScrubReport::default();
+
+    // Phase 1: orphaned DB objects.
+    let rec = reconcile(pfs, server, ready, true)?;
+    let mut cursor = rec.end;
+    report.orphans_deleted = rec.orphans;
+    for &objid in &report.orphans_deleted {
+        obs.event(
+            cursor,
+            EventKind::Recovery {
+                what: "scrub-orphan".into(),
+                detail: format!("deleted orphaned object {objid}"),
+            },
+        );
+    }
+
+    // Phase 2: dangling stubs.
+    for e in pfs.walk("/")? {
+        if !e.attr.is_file() {
+            continue;
+        }
+        let Some(objid) = e
+            .attr
+            .xattr(HsmState::XATTR_OBJID)
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if server.contains(objid) {
+            continue;
+        }
+        cursor = server.meta_op(cursor);
+        let state: HsmState = e
+            .attr
+            .xattr(HsmState::XATTR)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(HsmState::Resident);
+        match state {
+            HsmState::Premigrated => {
+                pfs.mark_resident(e.attr.ino)?;
+                report.stubs_demoted.push(objid);
+                obs.event(
+                    cursor,
+                    EventKind::Recovery {
+                        what: "scrub-stub".into(),
+                        detail: format!("{}: demoted to resident (object {objid} gone)", e.path),
+                    },
+                );
+            }
+            HsmState::Migrated => {
+                report.lost_stubs.push(objid);
+                obs.event(
+                    cursor,
+                    EventKind::Recovery {
+                        what: "scrub-lost".into(),
+                        detail: format!("{}: migrated stub lost object {objid}", e.path),
+                    },
+                );
+            }
+            HsmState::Resident => {}
+        }
+    }
+
+    // Phase 3: tape records the DB disowns.
+    let lib = server.library();
+    for (addr, objid, _len) in lib.live_objects() {
+        let keep = server
+            .get(objid)
+            .map(|obj| obj.addr == addr)
+            .unwrap_or(false);
+        if keep {
+            continue;
+        }
+        cursor = server.meta_op(cursor);
+        lib.delete_object(addr)?;
+        report.tape_records_dropped += 1;
+        obs.event(
+            cursor,
+            EventKind::Recovery {
+                what: "scrub-record".into(),
+                detail: format!("dropped tape record {addr:?} (object {objid} disowned)"),
+            },
+        );
+    }
+
+    // Phase 4: catalog replica convergence + index verification.
+    let gen_before = catalog.generation();
+    server.export(catalog);
+    report.catalog_rows_fixed = catalog.generation() - gen_before;
+    catalog
+        .verify_indexes()
+        .expect("catalog indexes consistent after scrub");
+
+    obs.counter("scrub.passes").inc();
+    obs.counter("scrub.orphans_deleted")
+        .add(report.orphans_deleted.len() as u64);
+    obs.counter("scrub.stubs_demoted")
+        .add(report.stubs_demoted.len() as u64);
+    obs.counter("scrub.lost_stubs")
+        .add(report.lost_stubs.len() as u64);
+    obs.counter("scrub.tape_records_dropped")
+        .add(report.tape_records_dropped as u64);
+    obs.counter("scrub.catalog_rows_fixed")
+        .add(report.catalog_rows_fixed);
+
+    report.end = cursor;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -174,6 +336,49 @@ mod tests {
             .unwrap();
         let report = reconcile(&pfs, hsm.server(), t, false).unwrap();
         assert_eq!(report.orphans, vec![objid]);
+    }
+
+    #[test]
+    fn scrub_heals_orphans_dangling_stubs_and_disowned_records() {
+        let hsm = setup();
+        let pfs = hsm.pfs().clone();
+        let catalog = TsmCatalog::new();
+        let mut cursor = SimInstant::EPOCH;
+        let mut pairs = Vec::new();
+        for i in 0..3u64 {
+            let ino = pfs
+                .create_file(&format!("/f{i}"), 0, Content::synthetic(i, 1 << 20))
+                .unwrap();
+            let (objid, t) = hsm
+                .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, false)
+                .unwrap();
+            cursor = t;
+            pairs.push((ino, objid));
+        }
+        hsm.server().export(&catalog);
+
+        // Torn state 1: orphan — file unlinked, DB object survives.
+        pfs.unlink("/f0").unwrap();
+        // Torn state 2: dangling premigrated stub + disowned tape record —
+        // the server forgot the object but the stub and record remain.
+        hsm.server().forget_object(pairs[1].1).unwrap();
+
+        let report = scrub(&pfs, hsm.server(), &catalog, cursor).unwrap();
+        assert_eq!(report.orphans_deleted, vec![pairs[0].1]);
+        assert_eq!(report.stubs_demoted, vec![pairs[1].1]);
+        assert!(report.lost_stubs.is_empty());
+        assert_eq!(report.tape_records_dropped, 1);
+        assert!(report.catalog_rows_fixed >= 2, "{report:?}");
+        assert_eq!(pfs.hsm_state(pairs[1].0).unwrap(), HsmState::Resident);
+        // The catalog now mirrors the server DB exactly.
+        assert_eq!(catalog.len(), hsm.server().db_len());
+        assert_eq!(catalog.verify_indexes(), Ok(()));
+        // A second pass finds nothing.
+        let again = scrub(&pfs, hsm.server(), &catalog, report.end).unwrap();
+        assert!(again.is_clean(), "{again:?}");
+        let snap = hsm.server().obs().snapshot();
+        assert_eq!(snap.counter("scrub.passes"), 2);
+        assert_eq!(snap.counter("scrub.orphans_deleted"), 1);
     }
 
     #[test]

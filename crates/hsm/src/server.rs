@@ -86,6 +86,20 @@ impl TsmServer {
         self.shared.next_objid.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Consult the armed fault plane's crash-point site `site`. When a
+    /// scripted [`copra_faults::ScheduledFault::CrashPoint`] matches,
+    /// returns `Err(HsmError::Crashed)`, which callers let propagate —
+    /// the simulated process died here with its mutations half-applied.
+    /// Without an armed plane this is free (and uncounted).
+    pub fn crash_point(&self, site: &str, now: SimInstant) -> HsmResult<()> {
+        if let Some(plane) = self.shared.library.armed_faults() {
+            if plane.take_crash_point(site, now) {
+                return Err(HsmError::Crashed { site: site.into() });
+            }
+        }
+        Ok(())
+    }
+
     /// Charge one metadata transaction (DB insert/lookup/delete).
     pub fn meta_op(&self, ready: SimInstant) -> SimInstant {
         self.shared.meta.transfer(ready, DataSize::ZERO).end
@@ -302,6 +316,9 @@ impl TsmServer {
         let t = self.meta_op(t);
         let mut db = self.shared.db.write();
         let obj = db.remove(&objid).ok_or(HsmError::NoSuchObject(objid))?;
+        // DB row gone, tape record still live: the torn state scrub's
+        // record sweep repairs.
+        self.crash_point("server.delete.after_db_remove", t)?;
         match obj.kind {
             ObjectKind::Simple => {
                 self.shared.library.delete_object(obj.addr)?;
@@ -334,7 +351,9 @@ impl TsmServer {
 
     /// Export the file-visible objects (simple + members) into the indexed
     /// replica — the paper's MySQL dump job (§4.2.5). Containers are
-    /// internal and not exported. Returns rows written.
+    /// internal and not exported. Rows already identical in the replica
+    /// are left untouched (so the catalog generation counts real drift).
+    /// Returns rows written.
     pub fn export(&self, catalog: &TsmCatalog) -> usize {
         let db = self.shared.db.read();
         let mut n = 0;
@@ -342,7 +361,7 @@ impl TsmServer {
             if matches!(obj.kind, ObjectKind::Container { .. }) {
                 continue;
             }
-            catalog.record(TsmObjectRow {
+            let row = TsmObjectRow {
                 objid: obj.objid,
                 path: obj.path.clone(),
                 fs_ino: obj.fs_ino,
@@ -350,8 +369,11 @@ impl TsmServer {
                 seq: obj.addr.seq,
                 len: obj.len,
                 stored_at: obj.stored_at,
-            });
-            n += 1;
+            };
+            if catalog.lookup(obj.objid).as_ref() != Some(&row) {
+                catalog.record(row);
+                n += 1;
+            }
         }
         // Remove replica rows whose objects no longer exist.
         for row in catalog.dump() {

@@ -218,6 +218,53 @@ impl<K: Ord + Clone, R: Clone> Table<K, R> {
             .flat_map(|(ik, set)| set.iter().map(move |k| (ik.clone(), k.clone())))
             .collect()
     }
+
+    /// Consistency check: every secondary-index entry resolves to a live
+    /// row whose extractor still produces that index key, and every live
+    /// row appears in every index exactly once. Returns the first
+    /// violation found (scrub calls this after repairing the catalog).
+    pub fn verify_indexes(&self) -> Result<(), String>
+    where
+        K: fmt::Debug,
+    {
+        for idx in &self.indexes {
+            let mut indexed = 0usize;
+            for (ik, set) in &idx.map {
+                if set.is_empty() {
+                    return Err(format!(
+                        "table {:?} index {:?}: empty key set for {ik:?}",
+                        self.name, idx.name
+                    ));
+                }
+                for key in set {
+                    indexed += 1;
+                    let Some(row) = self.rows.get(key) else {
+                        return Err(format!(
+                            "table {:?} index {:?}: entry {key:?} has no row",
+                            self.name, idx.name
+                        ));
+                    };
+                    let expect = (idx.extract)(key, row);
+                    if expect != *ik {
+                        return Err(format!(
+                            "table {:?} index {:?}: entry {key:?} filed under \
+                             {ik:?} but extractor says {expect:?}",
+                            self.name, idx.name
+                        ));
+                    }
+                }
+            }
+            if indexed != self.rows.len() {
+                return Err(format!(
+                    "table {:?} index {:?}: {indexed} entries for {} rows",
+                    self.name,
+                    idx.name,
+                    self.rows.len()
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +387,42 @@ mod tests {
     fn duplicate_index_rejected() {
         let mut t = table();
         t.add_index("by_path", |_, _r: &Row| vec![]);
+    }
+
+    #[test]
+    fn verify_indexes_accepts_consistent_table() {
+        let mut t = table();
+        for i in 0..10u64 {
+            t.upsert(i, row(&format!("/f{i}"), i / 3, i % 3));
+        }
+        t.remove(&4);
+        t.upsert(7, row("/moved", 9, 9));
+        assert_eq!(t.verify_indexes(), Ok(()));
+    }
+
+    #[test]
+    fn verify_indexes_catches_deliberate_corruption() {
+        // Dangling entry: index points at a row that was removed behind
+        // the index's back.
+        let mut t = table();
+        t.upsert(1, row("/a", 5, 2));
+        t.rows.remove(&1);
+        let err = t.verify_indexes().unwrap_err();
+        assert!(err.contains("has no row"), "got: {err}");
+
+        // Stale key: row mutated without re-filing the index entry.
+        let mut t = table();
+        t.upsert(1, row("/a", 5, 2));
+        t.rows.insert(1, row("/renamed", 5, 2));
+        let err = t.verify_indexes().unwrap_err();
+        assert!(err.contains("extractor says"), "got: {err}");
+
+        // Missing entry: row never indexed.
+        let mut t = table();
+        t.upsert(1, row("/a", 5, 2));
+        t.indexes[0].map.clear();
+        let err = t.verify_indexes().unwrap_err();
+        assert!(err.contains("entries for"), "got: {err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::table::{IndexKey, Table};
 use copra_simtime::SimInstant;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One exported TSM object row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,6 +44,9 @@ fn key_tape_seq(_: &u64, r: &TsmObjectRow) -> IndexKey {
 /// Thread-safe exported catalog.
 pub struct TsmCatalog {
     table: RwLock<Table<u64, TsmObjectRow>>,
+    /// Bumped on every mutation. Recovery compares generations across a
+    /// re-export to tell "already consistent" from "repaired".
+    generation: AtomicU64,
 }
 
 impl Default for TsmCatalog {
@@ -59,17 +63,36 @@ impl TsmCatalog {
         table.add_index("by_tape_seq", key_tape_seq);
         TsmCatalog {
             table: RwLock::new(table),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// Mutation counter: monotone, bumped by [`record`]/[`forget`].
+    ///
+    /// [`record`]: TsmCatalog::record
+    /// [`forget`]: TsmCatalog::forget
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Insert or refresh one exported row.
     pub fn record(&self, row: TsmObjectRow) {
         self.table.write().upsert(row.objid, row);
+        self.generation.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Drop a row (object deleted from TSM).
     pub fn forget(&self, objid: u64) -> Option<TsmObjectRow> {
-        self.table.write().remove(&objid)
+        let old = self.table.write().remove(&objid);
+        if old.is_some() {
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        old
+    }
+
+    /// Run [`Table::verify_indexes`] on the replica — scrub's last step.
+    pub fn verify_indexes(&self) -> Result<(), String> {
+        self.table.read().verify_indexes()
     }
 
     pub fn lookup(&self, objid: u64) -> Option<TsmObjectRow> {
@@ -159,6 +182,20 @@ mod tests {
         assert_eq!(c.forget(1).unwrap().fs_ino, 10);
         assert!(c.lookup(1).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn generation_counts_mutations_and_indexes_verify() {
+        let c = TsmCatalog::new();
+        assert_eq!(c.generation(), 0);
+        c.record(row(1, "/a", 10, 0, 0));
+        c.record(row(2, "/b", 11, 0, 1));
+        assert_eq!(c.generation(), 2);
+        c.forget(1);
+        assert_eq!(c.generation(), 3);
+        c.forget(999); // no-op forget doesn't bump
+        assert_eq!(c.generation(), 3);
+        assert_eq!(c.verify_indexes(), Ok(()));
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub enum EventKind {
     WorkerDied { rank: u32 },
     /// The manager re-dispatched in-flight work lost to a fault.
     Redispatch { what: String, count: u64 },
+    /// A recovery/scrub action repaired torn state after a crash (`what`
+    /// names the action: "replay", "rollback", "scrub-orphan", ...).
+    Recovery { what: String, detail: String },
     /// Free-form marker (campaign phase boundaries etc).
     Marker { label: String },
 }

@@ -513,6 +513,27 @@ impl Pfs {
         Ok(())
     }
 
+    /// Sever the tape association: drop objid/stub xattrs and return the
+    /// file to Resident. Scrub uses this to repair a premigrated stub
+    /// whose tape object vanished in a crash — the disk copy is intact,
+    /// so the file is simply no longer archived. Refuses migrated stubs
+    /// (their disk copy is gone; dropping the objid would lose data).
+    pub fn mark_resident(&self, ino: Ino) -> FsResult<()> {
+        let state = self.hsm_state(ino)?;
+        if state == HsmState::Migrated {
+            return Err(FsError::PermissionDenied(format!(
+                "mark_resident on {ino} in state {state}: stub has no disk copy"
+            )));
+        }
+        self.shared.vfs.remove_xattr(ino, HsmState::XATTR_OBJID)?;
+        self.shared
+            .vfs
+            .remove_xattr(ino, HsmState::XATTR_STUB_SIZE)?;
+        self.shared
+            .vfs
+            .set_xattr(ino, HsmState::XATTR, HsmState::Resident.as_str())
+    }
+
     // ----- policy scan -----------------------------------------------------
 
     /// Default scan parallelism: one thread per available core.

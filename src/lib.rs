@@ -20,6 +20,8 @@
 //! * [`metadb`] — MySQL stand-in: indexed embedded tables.
 //! * [`hsm`] — TSM stand-in: object DB, LAN/LAN-free movers, migrate /
 //!   recall / reconcile / aggregation.
+//! * [`journal`] — write-ahead intent log making multi-store mutations
+//!   (namespace + TSM DB + catalog) crash-recoverable.
 //! * [`fuse`] — ArchiveFUSE chunking overlay (N-to-1 → N-to-N).
 //! * [`cluster`] — FTA cluster nodes, LoadManager, batch launcher.
 //! * [`faults`] — seeded deterministic fault injection (drive/media/robot/
@@ -38,6 +40,7 @@ pub use copra_core as core;
 pub use copra_faults as faults;
 pub use copra_fuse as fuse;
 pub use copra_hsm as hsm;
+pub use copra_journal as journal;
 pub use copra_metadb as metadb;
 pub use copra_mpirt as mpirt;
 pub use copra_obs as obs;

@@ -1,0 +1,333 @@
+//! The exhaustive crash-point sweep (the PR-5 headline test).
+//!
+//! A mixed migrate / sync-delete / trash-purge / reclaim scenario is run
+//! once with an *empty* armed fault plan to enumerate every crash point
+//! the code path consults. Then, for every (site, occurrence) pair, a
+//! fresh system runs the same scenario, crashes there — genuinely torn
+//! state, simulated process death — recovers, and must satisfy all four
+//! invariants:
+//!
+//! 1. **zero lost bytes** — every surviving file's data is retrievable
+//!    (resident bytes on disk, or a live tape object of the right
+//!    length), and no never-deleted file disappeared;
+//! 2. **zero orphans** — reconcile finds no unreferenced DB objects;
+//! 3. **zero dangling stubs** — no Migrated stub points at a vanished
+//!    object (`scrub.lost_stubs` empty);
+//! 4. **catalog ≡ server DB** — a re-export writes zero rows and the
+//!    catalog indexes verify.
+//!
+//! The whole sweep runs twice with the same seed and must produce
+//! identical outcomes, point for point.
+
+use copra::cluster::NodeId;
+use copra::core::{ArchiveSystem, SyncDeleteError, SyncDeleter, SystemConfig, Trashcan};
+use copra::faults::{FaultPlan, FaultPlane};
+use copra::hsm::{reconcile, DataPath, HsmError};
+use copra::pfs::HsmState;
+use copra::simtime::{SimDuration, SimInstant};
+use copra::vfs::Content;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const SEED: u64 = 2010;
+
+/// (name, size): three files that survive the scenario, one sync-deleted,
+/// one trashed-and-purged.
+const FILES: [(&str, u64); 5] = [
+    ("keep0", 2_000_000),
+    ("keep1", 2_400_000),
+    ("keep2", 2_800_000),
+    ("del", 2_200_000),
+    ("trash", 1_600_000),
+];
+
+struct Scenario {
+    sys: ArchiveSystem,
+    plane: Arc<FaultPlane>,
+    /// Original logical sizes, keyed by /data path.
+    originals: BTreeMap<String, u64>,
+    /// Site where the simulated process died, if the armed crash fired.
+    crashed: Option<String>,
+    /// Last simulated instant the scenario reached before dying/finishing.
+    end: SimInstant,
+}
+
+/// Run the mixed scenario: migrate everything (punching holes), trash and
+/// purge one file, sync-delete another, then space-reclaim the volume the
+/// deletes hollowed out. Stops dead at the armed crash point, if any.
+fn run_scenario(crash: Option<(&str, u32)>) -> Scenario {
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    sys.archive().mkdir_p("/data").unwrap();
+    let mut originals = BTreeMap::new();
+    for (i, (name, size)) in FILES.iter().enumerate() {
+        let path = format!("/data/{name}");
+        sys.archive()
+            .create_file(&path, 0, Content::synthetic(10 + i as u64, *size))
+            .unwrap();
+        originals.insert(path, *size);
+    }
+    let plan = match crash {
+        Some((site, occ)) => FaultPlan::new(SEED).crash_at(site, occ),
+        None => FaultPlan::new(SEED),
+    };
+    let plane = sys.arm_faults(plan);
+    let mut scen = Scenario {
+        sys: sys.clone(),
+        plane,
+        originals,
+        crashed: None,
+        end: sys.clock().now(),
+    };
+
+    // Phase A: migrate all five files to tape, punching the disk copies.
+    for (name, _) in FILES {
+        let ino = sys.archive().resolve(&format!("/data/{name}")).unwrap();
+        match sys
+            .hsm()
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, scen.end, true)
+        {
+            Ok((_, t)) => scen.end = t,
+            Err(HsmError::Crashed { site }) => {
+                scen.crashed = Some(site);
+                return scen;
+            }
+            Err(e) => panic!("unexpected migrate failure: {e}"),
+        }
+    }
+    sys.export_catalog();
+    // Remember which volume holds /data/del so phase D can reclaim it.
+    let del_ino = sys.archive().resolve("/data/del").unwrap();
+    let del_objid = sys.archive().hsm_objid(del_ino).unwrap().unwrap();
+    let del_tape = sys.hsm().server().get(del_objid).unwrap().addr.tape;
+
+    let deleter = SyncDeleter::new(sys.hsm().clone(), Arc::clone(sys.catalog()));
+    let trash = Trashcan::new(sys.fuse().clone());
+
+    // Phase B: user-delete /data/trash, then purge the trashcan.
+    trash.delete("/data/trash").unwrap();
+    let cands = trash.purge_candidates(SimDuration::from_secs(0), 0);
+    assert_eq!(cands.len(), 1, "exactly the trashed file is purgeable");
+    let purge = deleter.purge(&cands, scen.end);
+    scen.end = purge.end.max(scen.end);
+    if let Some(site) = purge.aborted {
+        scen.crashed = Some(site);
+        return scen;
+    }
+    assert!(purge.errors.is_empty(), "{:?}", purge.errors);
+
+    // Phase C: administratively sync-delete /data/del.
+    match deleter.delete_file("/data/del", scen.end) {
+        Ok(r) => scen.end = r.end,
+        Err(SyncDeleteError::Crashed { site }) => {
+            scen.crashed = Some(site);
+            return scen;
+        }
+        Err(e) => panic!("unexpected delete failure: {e}"),
+    }
+
+    // Phase D: reclaim the volume the deletes hollowed out.
+    match sys.hsm().reclaim_volume(del_tape, scen.end) {
+        Ok(r) => scen.end = r.end.max(scen.end),
+        Err(HsmError::Crashed { site }) => {
+            scen.crashed = Some(site);
+            return scen;
+        }
+        Err(e) => panic!("unexpected reclaim failure: {e}"),
+    }
+    scen
+}
+
+/// Flattened, comparable record of what one crash-and-recover run did.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    site: String,
+    occurrence: u32,
+    replayed: usize,
+    rolled_back: usize,
+    forward_completed: usize,
+    orphans_deleted: usize,
+    stubs_demoted: usize,
+    tape_records_dropped: usize,
+    catalog_rows_fixed: u64,
+    end_ns: u64,
+    survivors: Vec<String>,
+}
+
+/// Recover and assert the four invariants; returns the comparable outcome.
+fn recover_and_check(scen: &Scenario, site: &str, occurrence: u32) -> Outcome {
+    let sys = &scen.sys;
+    let ctx = format!("crash at {site}#{occurrence}");
+    let recovery = sys
+        .recover(scen.end)
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+
+    // Invariant 3: zero dangling stubs — no Migrated stub lost its object.
+    assert!(
+        recovery.scrub.lost_stubs.is_empty(),
+        "{ctx}: lost data behind stubs {:?}",
+        recovery.scrub.lost_stubs
+    );
+
+    // Invariant 1: zero lost bytes. Every file left anywhere in the
+    // namespace (including trash) must have its full data retrievable.
+    let mut survivors = Vec::new();
+    for e in sys.archive().walk("/").unwrap() {
+        if !e.attr.is_file() {
+            continue;
+        }
+        match sys.archive().hsm_state(e.attr.ino).unwrap() {
+            HsmState::Resident | HsmState::Premigrated => {
+                let got = sys.archive().read_resident(&e.path).unwrap().len();
+                assert_eq!(got, e.attr.size, "{ctx}: {} truncated on disk", e.path);
+            }
+            HsmState::Migrated => {
+                let objid = sys
+                    .archive()
+                    .hsm_objid(e.attr.ino)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("{ctx}: {} stub has no objid", e.path));
+                let obj =
+                    sys.hsm().server().get(objid).unwrap_or_else(|_| {
+                        panic!("{ctx}: {} points at dead object {objid}", e.path)
+                    });
+                assert_eq!(
+                    obj.len, e.attr.size,
+                    "{ctx}: {} tape copy truncated",
+                    e.path
+                );
+            }
+        }
+        // A file that was never a delete target must still be intact.
+        if let Some(&size) = scen.originals.get(&e.path) {
+            assert_eq!(e.attr.size, size, "{ctx}: {} changed size", e.path);
+        }
+        survivors.push(e.path.clone());
+    }
+    for keep in ["/data/keep0", "/data/keep1", "/data/keep2"] {
+        assert!(
+            survivors.iter().any(|p| p == keep),
+            "{ctx}: never-deleted file {keep} vanished (survivors: {survivors:?})"
+        );
+    }
+
+    // Invariant 2: zero orphans.
+    let rec = reconcile(sys.archive(), sys.hsm().server(), recovery.end, false).unwrap();
+    assert!(rec.orphans.is_empty(), "{ctx}: orphans {:?}", rec.orphans);
+
+    // Invariant 4: catalog ≡ server DB.
+    assert_eq!(
+        sys.export_catalog(),
+        0,
+        "{ctx}: catalog drifted from server DB"
+    );
+    sys.catalog()
+        .verify_indexes()
+        .unwrap_or_else(|e| panic!("{ctx}: catalog indexes corrupt: {e}"));
+
+    // The journal is drained and a second recovery pass finds nothing.
+    assert!(sys.journal().is_empty(), "{ctx}: journal not drained");
+    let again = sys.recover(recovery.end).unwrap();
+    assert!(
+        again.is_clean(),
+        "{ctx}: second recovery not clean: {again:?}"
+    );
+
+    Outcome {
+        site: site.to_string(),
+        occurrence,
+        replayed: recovery.replayed,
+        rolled_back: recovery.rolled_back,
+        forward_completed: recovery.forward_completed,
+        orphans_deleted: recovery.scrub.orphans_deleted.len(),
+        stubs_demoted: recovery.scrub.stubs_demoted.len(),
+        tape_records_dropped: recovery.scrub.tape_records_dropped,
+        catalog_rows_fixed: recovery.scrub.catalog_rows_fixed,
+        end_ns: recovery.end.as_nanos(),
+        survivors,
+    }
+}
+
+/// One full sweep: enumerate, then crash-and-recover at every point.
+fn sweep() -> (Vec<(String, u32)>, Vec<Outcome>) {
+    // Enumeration run: empty plan, nothing fires, every consult is logged.
+    let scen = run_scenario(None);
+    assert!(scen.crashed.is_none());
+    let mut points: Vec<(String, u32)> = Vec::new();
+    for p in scen.plane.consulted_crash_points() {
+        if !points.contains(&p) {
+            points.push(p);
+        }
+    }
+    // The fault-free run itself must recover clean (replay-only).
+    let clean = recover_and_check(&scen, "none", 0);
+    assert_eq!(clean.rolled_back, 0);
+    assert_eq!(clean.forward_completed, 0);
+    assert_eq!(clean.orphans_deleted, 0);
+    assert_eq!(clean.stubs_demoted, 0);
+    assert_eq!(clean.tape_records_dropped, 0);
+
+    let mut outcomes = Vec::new();
+    for (site, occ) in &points {
+        let scen = run_scenario(Some((site, *occ)));
+        assert_eq!(
+            scen.crashed.as_deref(),
+            Some(site.as_str()),
+            "armed crash {site}#{occ} did not fire (or fired elsewhere)"
+        );
+        outcomes.push(recover_and_check(&scen, site, *occ));
+    }
+    (points, outcomes)
+}
+
+#[test]
+fn every_crash_point_recovers_with_all_invariants() {
+    let (points, outcomes) = sweep();
+    // Broad coverage: migrate, store, delete, purge and reclaim sites all
+    // consulted, many more than once.
+    let sites: std::collections::BTreeSet<&str> = points.iter().map(|(s, _)| s.as_str()).collect();
+    for expected in [
+        "migrate.begin",
+        "agent.store.after_write",
+        "migrate.after_store",
+        "migrate.after_mark",
+        "migrate.after_seal",
+        "syncdel.begin",
+        "syncdel.after_unlink",
+        "syncdel.after_obj_delete",
+        "server.delete.after_db_remove",
+        "reclaim.after_copy",
+        "reclaim.after_rebase",
+    ] {
+        assert!(
+            sites.contains(expected),
+            "site {expected} never consulted: {points:?}"
+        );
+    }
+    assert!(
+        points.len() >= 20,
+        "expected a dense sweep, got only {} points",
+        points.len()
+    );
+    assert_eq!(points.len(), outcomes.len());
+}
+
+#[test]
+fn sweep_is_deterministic_across_runs() {
+    let (points_a, a) = sweep();
+    let (points_b, b) = sweep();
+    assert_eq!(points_a, points_b, "enumeration must be stable");
+    assert_eq!(a, b, "same seed must reproduce identical recovery outcomes");
+}
+
+#[test]
+fn fault_free_baseline_snapshots_zero_recovery_counters() {
+    // No crash, no recover() call: the journal.recovered_* counters are
+    // never registered, so a snapshot reports zero for all of them.
+    let scen = run_scenario(None);
+    let m = scen.sys.snapshot().metrics;
+    assert_eq!(m.counter("journal.recovered_replayed"), 0);
+    assert_eq!(m.counter("journal.recovered_rolled_back"), 0);
+    assert_eq!(m.counter("journal.recovered_forward"), 0);
+    assert_eq!(m.counter("scrub.passes"), 0);
+    assert_eq!(m.counter("faults.crash_points"), 0);
+}
