@@ -13,8 +13,8 @@
 //! values, Figure 10 reports the *measured* rate of the driven job.
 
 use copra_bench::{
-    dump_metrics_if_requested, note_rig, print_table, roadrunner_rig, summarize, write_json,
-    EXPERIMENT_SEED,
+    dump_metrics_if_requested, dump_trace_if_requested, note_rig, print_table, roadrunner_rig,
+    summarize, write_json, EXPERIMENT_SEED,
 };
 use copra_pftool::PftoolConfig;
 use copra_simtime::DataSize;
@@ -227,4 +227,5 @@ fn main() {
     );
     write_json("fig08_11", &out);
     dump_metrics_if_requested();
+    dump_trace_if_requested();
 }

@@ -374,6 +374,7 @@ fn main() {
     );
     write_json("tbl_ablation_a5", &a5);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
     println!("\n  A1: bigger containers amortize backhitches until streaming dominates.");
     println!("  A2: smaller chunks spread one file over more drives; too small adds");
     println!("      per-transaction overhead back in.");

@@ -86,4 +86,5 @@ fn main() {
     println!("\n  Paper: N workers copy N chunks of one file in parallel; speedup\n  saturates at the 2x10GigE trunk (~1.9 GB/s achievable).");
     write_json("tbl_chunk", &rows);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

@@ -192,4 +192,5 @@ fn main() {
     );
     write_json("tbl_faults", &rows);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

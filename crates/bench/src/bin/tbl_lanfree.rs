@@ -107,4 +107,5 @@ fn main() {
     println!("\n  Paper: LAN saturates the single server NIC as nodes are added;\n  LAN-free scales per-node (FC4 HBA + its own drive) until drives run out.");
     write_json("tbl_lanfree", &rows);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

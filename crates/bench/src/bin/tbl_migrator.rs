@@ -100,4 +100,5 @@ fn main() {
     println!("\n  Paper: size-balanced distribution lets migrations 'complete at the\n  same time across machines'; count-balancing skews, single-node is worst.");
     write_json("tbl_migrator", &rows);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

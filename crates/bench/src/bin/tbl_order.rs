@@ -145,4 +145,5 @@ fn main() {
     println!("\n  Paper: sorting by (tape id, seq) enforces sequential reads and\n  'drastically reduce[s] tape drive thrashing overhead'.");
     write_json("tbl_order", &rows);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

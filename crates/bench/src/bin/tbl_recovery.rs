@@ -217,4 +217,5 @@ fn main() {
     .expect("write BENCH_recovery.json");
     println!("  [json] BENCH_recovery.json");
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

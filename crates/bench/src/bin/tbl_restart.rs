@@ -110,4 +110,5 @@ fn main() {
     println!("\n  Paper: chunk good/bad marking means only unsent (and the one\n  partially-written) chunk(s) are re-sent — 'a unique incremental parallel\n  archive feature'.");
     write_json("tbl_restart", &rows);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

@@ -129,4 +129,5 @@ fn main() {
     );
     write_json("tbl_small_file", &rows);
     copra_bench::dump_metrics_if_requested();
+    copra_bench::dump_trace_if_requested();
 }

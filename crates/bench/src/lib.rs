@@ -24,10 +24,11 @@
 
 use copra_core::{ArchiveSystem, DeviceUtilization, SystemConfig, SystemSnapshot};
 use copra_simtime::{achieved_rate, DataSize, SimInstant};
+use copra_trace::Tracer;
 use serde::Serialize;
 use std::fmt::Display;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Pretty-print an aligned table.
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
@@ -94,14 +95,29 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     println!("  [json] {}", path.display());
 }
 
-/// The standard experiment rig: the Roadrunner-shaped system.
+/// The standard experiment rig: the Roadrunner-shaped system. Armed for
+/// tracing automatically when the binary was invoked with `--trace-out`.
 pub fn roadrunner_rig() -> ArchiveSystem {
-    ArchiveSystem::new(SystemConfig::roadrunner())
+    let sys = ArchiveSystem::new(SystemConfig::roadrunner());
+    arm_rig_tracing(&sys);
+    sys
 }
 
-/// A smaller rig for sweeps that rebuild the system many times.
+/// A smaller rig for sweeps that rebuild the system many times. Also
+/// auto-armed under `--trace-out`; all rebuilt rigs share one span store,
+/// so the dumped trace covers the whole sweep.
 pub fn small_rig() -> ArchiveSystem {
-    ArchiveSystem::new(SystemConfig::test_small())
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    arm_rig_tracing(&sys);
+    sys
+}
+
+/// Arm `sys` with the process-wide bench tracer when one is active.
+pub fn arm_rig_tracing(sys: &ArchiveSystem) {
+    let tracer = bench_tracer();
+    if tracer.is_armed() {
+        sys.arm_tracing(tracer);
+    }
 }
 
 /// Fixed seed used across experiment binaries (reproducibility).
@@ -117,16 +133,64 @@ pub fn mb_per_sec(bytes: u64, start: SimInstant, end: SimInstant) -> f64 {
 /// `--metrics-out <path>` (or `--metrics-out=<path>`) from the command
 /// line; `None` when the flag is absent.
 pub fn metrics_out_arg() -> Option<PathBuf> {
+    path_flag("--metrics-out")
+}
+
+/// `--trace-out <path>` (or `--trace-out=<path>`): where to write the
+/// Chrome trace-event JSON. The flag also arms the bench tracer.
+pub fn trace_out_arg() -> Option<PathBuf> {
+    path_flag("--trace-out")
+}
+
+fn path_flag(flag: &str) -> Option<PathBuf> {
+    let eq = format!("{flag}=");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--metrics-out" {
+        if a == flag {
             return args.next().map(PathBuf::from);
         }
-        if let Some(p) = a.strip_prefix("--metrics-out=") {
+        if let Some(p) = a.strip_prefix(&eq) {
             return Some(PathBuf::from(p));
         }
     }
     None
+}
+
+/// The process-wide bench tracer: armed (seeded with
+/// [`EXPERIMENT_SEED`]) iff the binary was invoked with `--trace-out`,
+/// disabled — and therefore free — otherwise.
+pub fn bench_tracer() -> Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER
+        .get_or_init(|| {
+            if trace_out_arg().is_some() {
+                Tracer::armed(EXPERIMENT_SEED)
+            } else {
+                Tracer::disabled()
+            }
+        })
+        .clone()
+}
+
+/// Honor `--trace-out <path>`: write everything the bench tracer recorded
+/// as Chrome trace-event JSON (open in `chrome://tracing` / Perfetto).
+/// Call at the end of every experiment binary, next to
+/// [`dump_metrics_if_requested`].
+pub fn dump_trace_if_requested() {
+    let Some(path) = trace_out_arg() else {
+        return;
+    };
+    let Some(report) = bench_tracer().report() else {
+        return;
+    };
+    std::fs::write(&path, report.to_chrome_json()).expect("write trace json");
+    println!(
+        "  [trace] {} ({} spans, {} dropped, digest {:016x})",
+        path.display(),
+        report.spans.len(),
+        report.dropped,
+        report.tree_digest()
+    );
 }
 
 /// The most recently noted rig, kept alive so `--metrics-out` can snapshot
@@ -141,14 +205,22 @@ enum NotedRig {
 static LAST_RIG: Mutex<Option<NotedRig>> = Mutex::new(None);
 
 /// Remember `sys` as the system a later [`dump_metrics_if_requested`]
-/// snapshots. Cheap: an `ArchiveSystem` clone shares all state.
+/// snapshots. Cheap: an `ArchiveSystem` clone shares all state. Also
+/// arms tracing under `--trace-out` (idempotent with the rig helpers).
 pub fn note_rig(sys: &ArchiveSystem) {
+    arm_rig_tracing(sys);
     *LAST_RIG.lock().unwrap() = Some(NotedRig::System(Box::new(sys.clone())));
 }
 
 /// Remember an HSM-only rig (binaries that drive `Hsm` directly, without
-/// the full `ArchiveSystem` wiring).
+/// the full `ArchiveSystem` wiring). Under `--trace-out` the rig's
+/// registry and PFS are armed here, so hand-rolled binaries trace too.
 pub fn note_hsm(hsm: &copra_hsm::Hsm) {
+    let tracer = bench_tracer();
+    if tracer.is_armed() {
+        hsm.server().obs().set_tracer(tracer.clone());
+        hsm.pfs().arm_tracing(tracer);
+    }
     *LAST_RIG.lock().unwrap() = Some(NotedRig::Hsm(hsm.clone()));
 }
 

@@ -28,6 +28,7 @@ use copra_metadb::TsmCatalog;
 use copra_obs::EventKind;
 use copra_pfs::HsmState;
 use copra_simtime::SimInstant;
+use copra_trace::finish_opt;
 use serde::{Deserialize, Serialize};
 
 /// What one recovery pass did.
@@ -161,6 +162,11 @@ pub fn recover(hsm: &Hsm, catalog: &TsmCatalog, ready: SimInstant) -> HsmResult<
     let replayed_ctr = obs.counter("journal.recovered_replayed");
     let rolled_ctr = obs.counter("journal.recovered_rolled_back");
     let forward_ctr = obs.counter("journal.recovered_forward");
+    // Root span for the whole pass, keyed by the recovery instant (sim
+    // time, so repeated recoveries in one trace stay distinct).
+    let tracer = obs.tracer();
+    let root = tracer.root("recover", ready.as_nanos(), ready);
+    let root_ctx = root.as_ref().map(|g| g.ctx());
 
     let mut report = RecoveryReport {
         end: ready,
@@ -169,31 +175,40 @@ pub fn recover(hsm: &Hsm, catalog: &TsmCatalog, ready: SimInstant) -> HsmResult<
     let mut cursor = ready;
 
     for rec in journal.sealed_intents() {
+        let w0 = tracer.wall_now_ns();
+        let start = cursor;
         cursor = replay(hsm, catalog, &rec, cursor)?;
         journal.resolve(rec.seq);
         report.replayed += 1;
         replayed_ctr.inc();
-        obs.event(
+        let span = tracer.record_closed(root_ctx, "recover.replay", rec.seq, start, cursor, w0);
+        obs.event_with_span(
             cursor,
             EventKind::Recovery {
                 what: "replay".into(),
                 detail: format!("seq={} {}", rec.seq, rec.kind.label()),
             },
+            span,
         );
     }
 
     for rec in journal.open_intents() {
+        let w0 = tracer.wall_now_ns();
+        let start = cursor;
         let (next, forward) = undo_or_finish(hsm, catalog, &rec, cursor)?;
         cursor = next;
         journal.resolve(rec.seq);
-        if forward {
+        let name = if forward {
             report.forward_completed += 1;
             forward_ctr.inc();
+            "recover.forward"
         } else {
             report.rolled_back += 1;
             rolled_ctr.inc();
-        }
-        obs.event(
+            "recover.rollback"
+        };
+        let span = tracer.record_closed(root_ctx, name, rec.seq, start, cursor, w0);
+        obs.event_with_span(
             cursor,
             EventKind::Recovery {
                 what: if forward {
@@ -204,12 +219,16 @@ pub fn recover(hsm: &Hsm, catalog: &TsmCatalog, ready: SimInstant) -> HsmResult<
                 .into(),
                 detail: format!("seq={} {}", rec.seq, rec.kind.label()),
             },
+            span,
         );
     }
 
+    let w0 = tracer.wall_now_ns();
     report.scrub = copra_hsm::scrub(hsm.pfs(), hsm.server(), catalog, cursor)?;
     journal.truncate_sealed();
     report.end = report.scrub.end;
+    tracer.record_closed(root_ctx, "recover.scrub", 0, cursor, report.end, w0);
+    finish_opt(root, report.end);
     Ok(report)
 }
 

@@ -232,6 +232,19 @@ impl ArchiveSystem {
         plane
     }
 
+    // ----- tracing ----------------------------------------------------------
+
+    /// Arm causal tracing across the whole stack: the obs registry's
+    /// tracer (consulted by the HSM, the journal, recovery and the fault
+    /// plane) and both Pfs instances all record into the one shared span
+    /// store. Un-armed systems pay nothing — every span call stays a
+    /// branch on `None`.
+    pub fn arm_tracing(&self, tracer: copra_trace::Tracer) {
+        self.obs.set_tracer(tracer.clone());
+        self.scratch.arm_tracing(tracer.clone());
+        self.archive.arm_tracing(tracer);
+    }
+
     // ----- recovery ---------------------------------------------------------
 
     /// The stack's write-ahead intent journal (owned by the HSM layer).

@@ -28,6 +28,7 @@
 
 use copra_obs::{Counter, EventKind, Histogram, Registry};
 use copra_simtime::{SimDuration, SimInstant};
+use copra_trace::SpanContext;
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -414,6 +415,18 @@ impl FaultPlane {
     /// Count down the mover-crash fuse for `rank`: returns true exactly
     /// once, on the assignment the mover dies holding.
     pub fn take_mover_crash(&self, rank: u32, now: SimInstant) -> bool {
+        self.take_mover_crash_in(rank, now, None)
+    }
+
+    /// [`Self::take_mover_crash`] with the span the crash interrupts —
+    /// the FaultInjected / WorkerDied events carry it, so a trace viewer
+    /// can jump from the fault straight to the assignment it killed.
+    pub fn take_mover_crash_in(
+        &self,
+        rank: u32,
+        now: SimInstant,
+        ctx: Option<SpanContext>,
+    ) -> bool {
         let mut movers = self.movers.lock();
         let Some(left) = movers.get_mut(&rank) else {
             return false;
@@ -426,14 +439,16 @@ impl FaultPlane {
         drop(movers);
         self.metrics.injected.inc();
         self.metrics.mover_crashes.inc();
-        self.obs.event(
+        self.obs.event_with_span(
             now,
             EventKind::FaultInjected {
                 kind: "mover-crash".into(),
                 detail: format!("rank{rank}"),
             },
+            ctx,
         );
-        self.obs.event(now, EventKind::WorkerDied { rank });
+        self.obs
+            .event_with_span(now, EventKind::WorkerDied { rank }, ctx);
         true
     }
 
@@ -500,13 +515,26 @@ impl FaultPlane {
     /// Record the manager re-dispatching `count` units of in-flight work
     /// (`what` is a short label: "worker-death", "tape-requeue", ...).
     pub fn note_redispatch(&self, what: &str, count: u64, now: SimInstant) {
+        self.note_redispatch_in(what, count, now, None);
+    }
+
+    /// [`Self::note_redispatch`] with the span the re-dispatch happens
+    /// under (normally the PFTool run root).
+    pub fn note_redispatch_in(
+        &self,
+        what: &str,
+        count: u64,
+        now: SimInstant,
+        ctx: Option<SpanContext>,
+    ) {
         self.metrics.redispatches.add(count);
-        self.obs.event(
+        self.obs.event_with_span(
             now,
             EventKind::Redispatch {
                 what: what.to_string(),
                 count,
             },
+            ctx,
         );
     }
 }

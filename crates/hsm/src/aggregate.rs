@@ -43,6 +43,9 @@ pub fn migrate_aggregated(
         "container capacity must be positive"
     );
     let pfs = hsm.pfs();
+    let tracer = hsm.tracer();
+    let root = tracer.root("hsm.migrate_aggregated", files.len() as u64, ready);
+    let root_ctx = root.as_ref().map(|g| g.ctx());
     let mut members = Vec::with_capacity(files.len());
     let mut containers = 0usize;
     let mut cursor = ready;
@@ -59,16 +62,27 @@ pub fn migrate_aggregated(
             return Ok(());
         }
         // Charge the disk reads for every member, then one tape transaction.
+        let w0 = tracer.wall_now_ns();
         let mut t = *cursor;
         for (ino, _, c) in batch.iter() {
             let r = pfs.charge_read(*ino, *cursor, DataSize::from_bytes(c.len()));
             t = t.max(r.end);
         }
+        tracer.record_closed(root_ctx, "hsm.pfs.read", *containers as u64, *cursor, t, w0);
         let payload: Vec<(String, u64, copra_vfs::Content)> = batch
             .iter()
             .map(|(ino, path, c)| (path.clone(), ino.0, c.clone()))
             .collect();
+        let w1 = tracer.wall_now_ns();
         let (ids, end) = hsm.agent(node).store_container(&payload, t, data_path)?;
+        tracer.record_closed(
+            root_ctx,
+            "hsm.agent.store_container",
+            *containers as u64,
+            t,
+            end,
+            w1,
+        );
         for ((ino, _, _), objid) in batch.iter().zip(&ids) {
             pfs.mark_premigrated(*ino, *objid)?;
             if punch {
@@ -102,6 +116,7 @@ pub fn migrate_aggregated(
         batch.push((ino, path, content));
     }
     flush(&mut batch, &mut cursor, &mut members, &mut containers)?;
+    copra_trace::finish_opt(root, cursor);
 
     Ok(AggregateOutcome {
         members,

@@ -10,6 +10,7 @@ use copra_obs::{Counter, EventKind};
 use copra_pfs::{HsmState, Pfs};
 use copra_simtime::{DataSize, SimInstant};
 use copra_tape::TapeId;
+use copra_trace::{finish_opt, SpanContext, Tracer};
 use copra_vfs::Ino;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -110,6 +111,12 @@ impl Hsm {
         &self.agents[node.0 as usize]
     }
 
+    /// The tracer armed on the obs registry (disabled until armed; read
+    /// lazily so arming after construction takes effect).
+    pub(crate) fn tracer(&self) -> Tracer {
+        self.server.obs().tracer()
+    }
+
     /// Migrate one file to tape via the agent on `node`: read from the
     /// archive pool, store as one TSM object, mark the file premigrated,
     /// and (optionally) punch the hole so only the stub remains.
@@ -122,6 +129,21 @@ impl Hsm {
         data_path: DataPath,
         ready: SimInstant,
         punch: bool,
+    ) -> HsmResult<(u64, SimInstant)> {
+        self.migrate_file_ctx(ino, node, data_path, ready, punch, None)
+    }
+
+    /// [`Hsm::migrate_file`] under a caller span (the core migrator, a
+    /// policy sweep). Emits `hsm.migrate` keyed by ino with `hsm.pfs.read`
+    /// / `hsm.agent.store` / `journal.intent.migrate-commit` children.
+    pub fn migrate_file_ctx(
+        &self,
+        ino: Ino,
+        node: NodeId,
+        data_path: DataPath,
+        ready: SimInstant,
+        punch: bool,
+        parent: Option<SpanContext>,
     ) -> HsmResult<(u64, SimInstant)> {
         let state = self.pfs.hsm_state(ino)?;
         match state {
@@ -142,6 +164,9 @@ impl Hsm {
                 })
             }
         }
+        let tracer = self.tracer();
+        let guard = tracer.span(parent, "hsm.migrate", ino.0, ready);
+        let gctx = guard.as_ref().map(|g| g.ctx());
         let path = self.pfs.path_of(ino)?;
         let content = self.pfs.vfs().peek_content(ino)?;
         let len = DataSize::from_bytes(content.len());
@@ -149,7 +174,7 @@ impl Hsm {
         // in flight. The intent is sealed *before* the punch so that an
         // open MigrateCommit always still has its disk copy — rollback
         // never needs to un-punch.
-        let seq = self.journal.begin_intent(
+        let seq = self.journal.begin_intent_ctx(
             IntentKind::MigrateCommit {
                 ino: ino.0,
                 path: path.clone(),
@@ -157,12 +182,17 @@ impl Hsm {
                 punch,
             },
             ready,
+            gctx,
         );
         self.server.crash_point("migrate.begin", ready)?;
+        let w0 = tracer.wall_now_ns();
         let r = self.pfs.charge_read(ino, ready, len);
+        tracer.record_closed(gctx, "hsm.pfs.read", ino.0, ready, r.end, w0);
+        let w1 = tracer.wall_now_ns();
         let (objid, t) = self
             .agent(node)
             .store(&path, ino.0, content, r.end, data_path)?;
+        tracer.record_closed(gctx, "hsm.agent.store", ino.0, r.end, t, w1);
         self.journal.annotate_objid(seq, objid);
         self.server.crash_point("migrate.after_store", t)?;
         self.pfs.mark_premigrated(ino, objid)?;
@@ -173,12 +203,14 @@ impl Hsm {
             self.pfs.punch_hole(ino)?;
         }
         self.metrics.migrate_ops.inc();
-        self.server.obs().event(
+        self.server.obs().event_with_span(
             t,
             EventKind::Migrate {
                 bytes: len.as_bytes(),
             },
+            gctx,
         );
+        finish_opt(guard, t);
         Ok((objid, t))
     }
 
@@ -290,6 +322,20 @@ impl Hsm {
         data_path: DataPath,
         ready: SimInstant,
     ) -> HsmResult<SimInstant> {
+        self.recall_file_ctx(ino, node, data_path, ready, None)
+    }
+
+    /// [`Hsm::recall_file`] under a caller span (a PFTool tape restore, a
+    /// fuse fault-in). Emits `hsm.recall` keyed by ino with
+    /// `hsm.agent.fetch` / `hsm.pfs.write` children.
+    pub fn recall_file_ctx(
+        &self,
+        ino: Ino,
+        node: NodeId,
+        data_path: DataPath,
+        ready: SimInstant,
+        parent: Option<SpanContext>,
+    ) -> HsmResult<SimInstant> {
         let state = self.pfs.hsm_state(ino)?;
         if state != HsmState::Migrated {
             return Err(HsmError::WrongState {
@@ -298,18 +344,27 @@ impl Hsm {
                 needed: "migrated".to_string(),
             });
         }
+        let tracer = self.tracer();
+        let guard = tracer.span(parent, "hsm.recall", ino.0, ready);
+        let gctx = guard.as_ref().map(|g| g.ctx());
         let objid = self.pfs.hsm_objid(ino)?.ok_or(HsmError::NoSuchObject(0))?;
+        let w0 = tracer.wall_now_ns();
         let (content, t) = self.agent(node).fetch(objid, ready, data_path)?;
+        tracer.record_closed(gctx, "hsm.agent.fetch", objid, ready, t, w0);
         let len = DataSize::from_bytes(content.len());
+        let w1 = tracer.wall_now_ns();
         let w = self.pfs.charge_write(ino, t, len);
         self.pfs.restore_stub(ino, content)?;
+        tracer.record_closed(gctx, "hsm.pfs.write", ino.0, t, w.end, w1);
         self.metrics.recall_ops.inc();
-        self.server.obs().event(
+        self.server.obs().event_with_span(
             w.end,
             EventKind::Recall {
                 bytes: len.as_bytes(),
             },
+            gctx,
         );
+        finish_opt(guard, w.end);
         Ok(w.end)
     }
 

@@ -28,6 +28,7 @@
 
 use copra_obs::{Counter, Gauge, Registry};
 use copra_simtime::SimInstant;
+use copra_trace::SpanContext;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -75,6 +76,17 @@ impl IntentKind {
             IntentKind::SyncDelete { .. } => "sync-delete",
             IntentKind::TrashPurge { .. } => "trash-purge",
             IntentKind::Reclaim { .. } => "reclaim",
+        }
+    }
+
+    /// Span name for the intent's begin→seal window (span names must be
+    /// `'static`, so the label match is duplicated rather than formatted).
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            IntentKind::MigrateCommit { .. } => "journal.intent.migrate-commit",
+            IntentKind::SyncDelete { .. } => "journal.intent.sync-delete",
+            IntentKind::TrashPurge { .. } => "journal.intent.trash-purge",
+            IntentKind::Reclaim { .. } => "journal.intent.reclaim",
         }
     }
 }
@@ -126,7 +138,18 @@ pub struct Journal {
     records: Mutex<BTreeMap<u64, IntentRecord>>,
     next_seq: Mutex<u64>,
     metrics: JournalMetrics,
+    /// Registry the journal reports through; also the source of the
+    /// tracer (read lazily — arming happens after construction).
+    obs: Arc<Registry>,
+    /// Per-open-intent trace attribution: seq → (parent span at begin,
+    /// wall-clock start). Drained at seal into one closed
+    /// `journal.intent.<label>` span covering the begin→seal window.
+    trace_ctx: Mutex<BTreeMap<u64, IntentTraceCtx>>,
 }
+
+/// Trace attribution stashed at `begin_intent`: the parent span the
+/// intent was opened under, and the wall-clock nanos when it opened.
+type IntentTraceCtx = (Option<SpanContext>, Option<u64>);
 
 impl Journal {
     pub fn new(obs: &Arc<Registry>) -> Arc<Self> {
@@ -134,6 +157,8 @@ impl Journal {
             records: Mutex::new(BTreeMap::new()),
             next_seq: Mutex::new(1),
             metrics: JournalMetrics::new(obs),
+            obs: obs.clone(),
+            trace_ctx: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -142,6 +167,20 @@ impl Journal {
     ///
     /// [`seal`]: Journal::seal
     pub fn begin_intent(&self, kind: IntentKind, now: SimInstant) -> u64 {
+        self.begin_intent_ctx(kind, now, None)
+    }
+
+    /// [`Journal::begin_intent`] with the span the mutation runs under
+    /// (an HSM migrate, a sync-delete). When the tracer is armed, sealing
+    /// the intent records one closed `journal.intent.<label>` span — keyed
+    /// by seq, parented under `ctx` — covering begin→seal in both sim and
+    /// wall time.
+    pub fn begin_intent_ctx(
+        &self,
+        kind: IntentKind,
+        now: SimInstant,
+        ctx: Option<SpanContext>,
+    ) -> u64 {
         let seq = {
             let mut next = self.next_seq.lock();
             let seq = *next;
@@ -160,6 +199,11 @@ impl Journal {
         );
         self.metrics.begun.inc();
         self.metrics.open_intents.add(1);
+        if let Some(wall) = self.obs.tracer().wall_now_ns() {
+            self.trace_ctx.lock().insert(seq, (ctx, Some(wall)));
+        } else if ctx.is_some() {
+            self.trace_ctx.lock().insert(seq, (ctx, None));
+        }
         seq
     }
 
@@ -175,19 +219,31 @@ impl Journal {
 
     /// Phase two: every store agrees — mark the intent replay-safe.
     pub fn seal(&self, seq: u64, now: SimInstant) {
-        let mut records = self.records.lock();
-        if let Some(rec) = records.get_mut(&seq) {
-            if rec.state == IntentState::Open {
-                rec.state = IntentState::Sealed;
-                rec.sealed_at = Some(now);
-                self.metrics.sealed.inc();
-                self.metrics.open_intents.add(-1);
+        let mut sealed_span = None;
+        {
+            let mut records = self.records.lock();
+            if let Some(rec) = records.get_mut(&seq) {
+                if rec.state == IntentState::Open {
+                    rec.state = IntentState::Sealed;
+                    rec.sealed_at = Some(now);
+                    self.metrics.sealed.inc();
+                    self.metrics.open_intents.add(-1);
+                    sealed_span = Some((rec.kind.span_name(), rec.begun_at));
+                }
+            }
+        }
+        if let Some((name, begun_at)) = sealed_span {
+            if let Some((ctx, wall_start)) = self.trace_ctx.lock().remove(&seq) {
+                self.obs
+                    .tracer()
+                    .record_closed(ctx, name, seq, begun_at, now, wall_start);
             }
         }
     }
 
     /// Drop one record after recovery has redone/undone it.
     pub fn resolve(&self, seq: u64) {
+        self.trace_ctx.lock().remove(&seq);
         let mut records = self.records.lock();
         if let Some(rec) = records.remove(&seq) {
             if rec.state == IntentState::Open {

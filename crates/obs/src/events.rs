@@ -2,6 +2,7 @@
 //! with the simulated clock and host wall time.
 
 use copra_simtime::SimInstant;
+use copra_trace::{SpanId, TraceId};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -68,6 +69,11 @@ pub struct Event {
     pub sim_ns: u64,
     pub wall_us: u64,
     pub kind: EventKind,
+    /// The trace span that was live when the event fired (fault-plane
+    /// events record the span they interrupted). Absent unless a tracer
+    /// is armed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub span: Option<(TraceId, SpanId)>,
 }
 
 /// Bounded ring buffer of [`Event`]s.
@@ -101,10 +107,21 @@ impl EventRing {
     }
 
     pub fn record(&self, now: SimInstant, kind: EventKind) {
+        self.record_with_span(now, kind, None);
+    }
+
+    /// Record an event attributed to the trace span it occurred inside.
+    pub fn record_with_span(
+        &self,
+        now: SimInstant,
+        kind: EventKind,
+        span: Option<(TraceId, SpanId)>,
+    ) {
         let event = Event {
             sim_ns: now.as_nanos(),
             wall_us: Self::wall_us(),
             kind,
+            span,
         };
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
@@ -151,6 +168,20 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].sim_ns, 1_000_000_000);
         assert!(matches!(events[1].kind, EventKind::Recall { bytes: 42 }));
+    }
+
+    #[test]
+    fn events_carry_optional_span_attribution() {
+        let ring = EventRing::with_capacity(8);
+        ring.record(SimInstant::EPOCH, EventKind::Marker { label: "a".into() });
+        ring.record_with_span(
+            SimInstant::from_secs(1),
+            EventKind::WorkerDied { rank: 4 },
+            Some((TraceId(7), SpanId(9))),
+        );
+        let events = ring.to_vec();
+        assert_eq!(events[0].span, None);
+        assert_eq!(events[1].span, Some((TraceId(7), SpanId(9))));
     }
 
     #[test]

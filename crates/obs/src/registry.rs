@@ -2,6 +2,7 @@
 //! event ring, handed around by `Arc`.
 
 use copra_simtime::SimInstant;
+use copra_trace::{SpanContext, Tracer};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -23,6 +24,11 @@ pub struct Registry {
     gauges: RwLock<FxHashMap<String, Arc<Gauge>>>,
     histograms: RwLock<FxHashMap<String, Arc<Histogram>>>,
     events: EventRing,
+    /// Span tracer; disabled by default, armed post-construction via
+    /// [`Registry::set_tracer`]. Components must read it lazily (at use
+    /// time, through [`Registry::tracer`]) rather than caching at
+    /// construction, because arming happens after the system is built.
+    tracer: RwLock<Tracer>,
 }
 
 impl Registry {
@@ -57,6 +63,24 @@ impl Registry {
     /// Append a typed event to the trace ring.
     pub fn event(&self, now: SimInstant, kind: EventKind) {
         self.events.record(now, kind);
+    }
+
+    /// Append an event attributed to the span it occurred inside.
+    pub fn event_with_span(&self, now: SimInstant, kind: EventKind, ctx: Option<SpanContext>) {
+        self.events
+            .record_with_span(now, kind, ctx.map(|c| (c.trace, c.span)));
+    }
+
+    /// Install (or replace) the span tracer. Arming is done once, after
+    /// system construction, by `ArchiveSystem::arm_tracing` or a bench rig.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = tracer;
+    }
+
+    /// A clone of the current tracer handle (cheap: one `Arc` clone when
+    /// armed, a `None` copy when disabled).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.read().clone()
     }
 
     pub fn events(&self) -> &EventRing {
@@ -126,6 +150,23 @@ mod tests {
         // and the snapshot round-trips through JSON
         let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn tracer_is_disabled_until_armed_and_events_link_spans() {
+        let reg = Registry::new();
+        assert!(!reg.tracer().is_armed());
+        reg.set_tracer(Tracer::armed(1));
+        let t = reg.tracer();
+        assert!(t.is_armed());
+        let g = t.root("r", 0, SimInstant::EPOCH).unwrap();
+        reg.event_with_span(
+            SimInstant::EPOCH,
+            EventKind::WorkerDied { rank: 1 },
+            Some(g.ctx()),
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.events[0].span, Some((g.ctx().trace, g.ctx().span)));
     }
 
     #[test]

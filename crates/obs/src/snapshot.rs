@@ -125,6 +125,7 @@ mod tests {
                     node: 3,
                     affinity_hit: true,
                 },
+                span: None,
             }],
             events_dropped: 1,
         }

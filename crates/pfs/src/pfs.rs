@@ -5,7 +5,9 @@ use crate::hsmstate::HsmState;
 use crate::policy::{FileRecord, PolicyEngine, Rule};
 use crate::pool::{PoolConfig, PoolId, StoragePool};
 use copra_simtime::{Clock, DataSize, Reservation, SimDuration, SimInstant, Timeline};
+use copra_trace::Tracer;
 use copra_vfs::{Content, FsError, FsResult, Ino, InodeAttr, StripedU64Map, Vfs, WalkEntry};
+use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -35,6 +37,10 @@ struct PfsShared {
     /// million inodes scanned in ten minutes (§4.2.1) — corresponds to
     /// roughly 1.7k metadata ops/s, which the default latency reflects.
     meta: Timeline,
+    /// Span tracer for scan/policy sub-phases. `Pfs` has no dependency on
+    /// the obs registry, so it carries its own handle; disabled until
+    /// [`Pfs::arm_tracing`] (read lazily at scan time).
+    tracer: RwLock<Tracer>,
 }
 
 /// A mounted parallel file system (archive or scratch). Cheap to clone.
@@ -112,6 +118,7 @@ impl PfsBuilder {
                 file_pools: StripedU64Map::new(64),
                 default_pool,
                 meta,
+                tracer: RwLock::new(Tracer::disabled()),
             }),
         }
     }
@@ -136,6 +143,17 @@ impl Pfs {
 
     pub fn clock(&self) -> &Clock {
         self.shared.vfs.clock()
+    }
+
+    /// Install a span tracer; scan and policy runs emit sub-phase spans
+    /// through it from then on.
+    pub fn arm_tracing(&self, tracer: Tracer) {
+        *self.shared.tracer.write() = tracer;
+    }
+
+    /// Current tracer handle (disabled unless armed).
+    pub fn tracer(&self) -> Tracer {
+        self.shared.tracer.read().clone()
     }
 
     /// Escape hatch to the raw namespace (tests and internal movers).
@@ -573,14 +591,31 @@ impl Pfs {
     /// identical at any `threads` value: shards are scanned independently
     /// and the merged records are sorted by path.
     pub fn scan_records_with(&self, threads: usize) -> Vec<FileRecord> {
-        let mut recs = self.shared.vfs.par_scan(threads, |path, attr| {
+        let tracer = self.tracer();
+        let now = self.clock().now();
+        let root = tracer.root("pfs.scan_records", threads as u64, now);
+        let record = |path: &str, attr: &InodeAttr| {
             if attr.is_file() {
                 Some(self.record_from(path, attr))
             } else {
                 None
             }
-        });
+        };
+        let mut recs = match &root {
+            // Armed: the per-shard observer turns each shard's measured
+            // phases into closed spans (sim-zero-length — the sim clock is
+            // frozen during real scans — wall intervals carry the data).
+            Some(g) => self.shared.vfs.par_scan_observed(threads, record, |st| {
+                record_shard_spans(&tracer, g.ctx(), "scan.shard", now, &st);
+            }),
+            None => self.shared.vfs.par_scan(threads, record),
+        };
+        let sort_start = tracer.wall_now_ns();
         recs.sort_by(|a, b| a.path.cmp(&b.path));
+        if let Some(g) = root {
+            tracer.record_closed(Some(g.ctx()), "scan.sort_merge", 0, now, now, sort_start);
+            g.finish(now);
+        }
         recs
     }
 
@@ -601,21 +636,87 @@ impl Pfs {
         threads: usize,
     ) -> crate::policy::ScanReport {
         let now = self.clock().now();
+        let tracer = self.tracer();
+        let root = tracer.root("pfs.run_policy", threads as u64, now);
         let t0 = std::time::Instant::now();
         let scanned = AtomicUsize::new(0);
-        let tagged = self.shared.vfs.par_scan(threads, |path, attr| {
+        let classify = |path: &str, attr: &InodeAttr| {
             if !attr.is_file() {
                 return None;
             }
             scanned.fetch_add(1, Ordering::Relaxed);
             let rec = self.record_from(path, attr);
             engine.classify(&rec, now).map(|idx| (idx, rec))
-        });
-        engine.assemble(
+        };
+        let tagged = match &root {
+            Some(g) => self.shared.vfs.par_scan_observed(threads, classify, |st| {
+                record_shard_spans(&tracer, g.ctx(), "policy.shard", now, &st);
+            }),
+            None => self.shared.vfs.par_scan(threads, classify),
+        };
+        let assemble_start = tracer.wall_now_ns();
+        let report = engine.assemble(
             tagged,
             scanned.load(Ordering::Relaxed),
             t0.elapsed().as_secs_f64(),
-        )
+        );
+        if let Some(g) = root {
+            tracer.record_closed(
+                Some(g.ctx()),
+                "policy.assemble",
+                0,
+                now,
+                now,
+                assemble_start,
+            );
+            g.finish(now);
+        }
+        report
+    }
+}
+
+/// Turn one shard's measured scan phases into closed spans: a `<name>`
+/// span per shard with `.snapshot` (under-lock copy-out) and `.walk`
+/// (path materialization + record build) children. Called 64 times per
+/// scan — the only wall-clock reads on the scan path, which is how armed
+/// tracing stays under its 5% overhead budget.
+fn record_shard_spans(
+    tracer: &Tracer,
+    parent: copra_trace::SpanContext,
+    name: &'static str,
+    now: SimInstant,
+    st: &copra_vfs::ShardScanStats,
+) {
+    let end = tracer.wall_now_ns().unwrap_or(0);
+    let walk_start = end.saturating_sub(st.walk_ns);
+    let start = walk_start.saturating_sub(st.snapshot_ns);
+    let key = st.shard as u64;
+    let shard = tracer.record_span(Some(parent), name, key, now, now, start, end);
+    match name {
+        "scan.shard" => {
+            tracer.record_span(
+                shard,
+                "scan.shard.snapshot",
+                key,
+                now,
+                now,
+                start,
+                walk_start,
+            );
+            tracer.record_span(shard, "scan.shard.walk", key, now, now, walk_start, end);
+        }
+        _ => {
+            tracer.record_span(
+                shard,
+                "policy.shard.snapshot",
+                key,
+                now,
+                now,
+                start,
+                walk_start,
+            );
+            tracer.record_span(shard, "policy.shard.walk", key, now, now, walk_start, end);
+        }
     }
 }
 

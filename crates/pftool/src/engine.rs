@@ -21,6 +21,7 @@ use copra_mpirt::Comm;
 use copra_obs::{Counter, EventKind, Gauge, Registry};
 use copra_pfs::{HsmState, ReadOutcome};
 use copra_simtime::{DataSize, SimInstant};
+use copra_trace::{fnv64, SpanContext, Tracer};
 use copra_vfs::{Content, FsResult, Ino};
 use std::sync::Arc;
 use std::time::Instant;
@@ -92,6 +93,12 @@ impl Engine<'_> {
             .map(|h| h.server().obs())
     }
 
+    /// The span tracer, read lazily off the registry (disabled when the
+    /// run has no registry in reach, or none was armed).
+    pub fn tracer(&self) -> Tracer {
+        self.obs().map(|o| o.tracer()).unwrap_or_default()
+    }
+
     /// The armed fault plane, when this run can reach one: the plane rides
     /// on the tape library, which archive views expose through their HSM.
     /// Scratch-to-scratch runs (and unarmed libraries) report `None` and
@@ -147,6 +154,12 @@ impl Engine<'_> {
     fn manager(&self, comm: Comm<PfMsg>) -> RankOutcome {
         let t0 = Instant::now();
         let run_start = self.src.pfs.clock().now();
+        let tracer = self.tracer();
+        // One root span covers the whole run; every request, copy and tape
+        // restore hangs below it (directly or via contexts carried in
+        // protocol messages).
+        let run_span = tracer.root("pftool.run", fnv64(self.src_root.as_bytes()), run_start);
+        let run_ctx = run_span.as_ref().map(|g| g.ctx());
         let mut st = ManagerState {
             engine: self,
             comm,
@@ -170,11 +183,16 @@ impl Engine<'_> {
             pending: rustc_hash::FxHashMap::default(),
             steal_outstanding: rustc_hash::FxHashSet::default(),
             mobs: self.obs().map(|o| ManagerObs::new(o.clone())),
+            tracer,
+            run_ctx,
         };
         st.seed(run_start);
         st.sample_queues(true);
         st.event_loop();
         st.sample_queues(true);
+        if let Some(g) = run_span {
+            g.finish(st.stats.sim_end);
+        }
         st.stats.wall_seconds = t0.elapsed().as_secs_f64();
         st.stats.aborted = st.aborted;
         // Mismatch paths ride in the output channel for pfcm.
@@ -308,6 +326,7 @@ impl Engine<'_> {
     fn worker_loop(&self, comm: Comm<PfMsg>) -> RankOutcome {
         let node = self.node_of(comm.rank());
         let faults = self.faults();
+        let tracer = self.tracer();
         // A mover process handles one data-movement job at a time: its
         // next job cannot start (in simulated time) before the previous
         // one finished. Stats are charged on the metadata service instead.
@@ -319,7 +338,7 @@ impl Engine<'_> {
             // re-requesting work — the RequestWork above is already in
             // flight and a second one would double-count this rank idle.
             let mut next = comm.recv();
-            while let Some((_, PfMsg::StealRequest)) = next {
+            while let Some((_, PfMsg::StealRequest { .. })) = next {
                 comm.send(MANAGER, PfMsg::Stolen { jobs: vec![] });
                 next = comm.recv();
             }
@@ -329,12 +348,22 @@ impl Engine<'_> {
                 PfMsg::MoveBatch { jobs } => jobs.len(),
                 _ => 0,
             };
+            // The context a crash would interrupt: the first entry of the
+            // assignment just received.
+            let batch_ctx = match &msg {
+                PfMsg::StatBatch { jobs } => jobs.first().and_then(|j| j.ctx),
+                PfMsg::MoveBatch { jobs } => jobs.first().and_then(|j| match j {
+                    WorkerJob::Copy(c) => c.ctx,
+                    WorkerJob::Compare(c) => c.ctx,
+                }),
+                _ => None,
+            };
             if batch_len > 0 {
                 // The crash fuse counts *jobs*, not messages, so a batch
                 // burns one tick per entry — but always at receipt, before
                 // anything executes: a death loses the whole assignment
                 // and the Manager re-queues all of it.
-                match self.mover_crash(&faults, &comm, batch_len) {
+                match self.mover_crash(&faults, &comm, batch_len, batch_ctx) {
                     Crash::No => {}
                     Crash::Respawned => {
                         // Fresh mover process: its pipeline starts empty.
@@ -348,7 +377,16 @@ impl Engine<'_> {
                 PfMsg::StatBatch { jobs } => {
                     let mut results = Vec::with_capacity(jobs.len());
                     for j in jobs {
+                        let w0 = tracer.wall_now_ns();
                         let ready = self.src.pfs.charge_meta(j.ready).end;
+                        tracer.record_closed(
+                            j.ctx,
+                            "pftool.stat",
+                            fnv64(j.path.as_bytes()),
+                            j.ready,
+                            ready,
+                            w0,
+                        );
                         results.push(match self.stat_file(&j.path, j.chunked) {
                             Ok(meta) => StatResult {
                                 meta: Some(meta),
@@ -375,10 +413,21 @@ impl Engine<'_> {
                         // front of the Manager's pending copy.
                         while let Some((_, m)) = comm.try_recv() {
                             match m {
-                                PfMsg::StealRequest => {
+                                PfMsg::StealRequest { ctx } => {
                                     let remaining = jobs.len() - i;
                                     let give = if remaining > 1 { remaining / 2 } else { 0 };
                                     let stolen = jobs.split_off(jobs.len() - give);
+                                    if !stolen.is_empty() {
+                                        let now = self.src.pfs.clock().now();
+                                        tracer.record_closed(
+                                            ctx,
+                                            "pftool.surrender",
+                                            comm.rank() as u64,
+                                            now,
+                                            now,
+                                            None,
+                                        );
+                                    }
                                     comm.send(MANAGER, PfMsg::Stolen { jobs: stolen });
                                 }
                                 PfMsg::Shutdown => break 'world,
@@ -386,7 +435,7 @@ impl Engine<'_> {
                             }
                         }
                         let job = jobs[i].clone();
-                        results.push(self.exec_worker_job(job, node, &mut pipeline_free));
+                        results.push(self.exec_worker_job(job, node, &mut pipeline_free, &tracer));
                         i += 1;
                     }
                     comm.send(MANAGER, PfMsg::MoveBatchDone { results });
@@ -404,12 +453,23 @@ impl Engine<'_> {
         job: WorkerJob,
         node: NodeId,
         pipeline_free: &mut SimInstant,
+        tracer: &Tracer,
     ) -> MoveResult {
         match job {
             WorkerJob::Copy(mut job) => {
                 job.ready = job.ready.max(*pipeline_free);
+                // Child of the manager-side request the job carries — the
+                // key is the destination identity, so a stolen or
+                // re-dispatched job keeps the same span id.
+                let guard = tracer.span(
+                    job.ctx,
+                    "pftool.copy",
+                    fnv64(job.dst_path.as_bytes()) ^ job.dst_offset,
+                    job.ready,
+                );
                 match self.exec_copy(&job, node) {
                     Ok(end) => {
+                        copra_trace::finish_opt(guard, end);
                         *pipeline_free = end;
                         MoveResult::Copy {
                             bytes: job.len,
@@ -426,8 +486,15 @@ impl Engine<'_> {
             }
             WorkerJob::Compare(mut job) => {
                 job.ready = job.ready.max(*pipeline_free);
+                let guard = tracer.span(
+                    job.ctx,
+                    "pftool.compare",
+                    fnv64(job.src_path.as_bytes()) ^ job.offset,
+                    job.ready,
+                );
                 match self.exec_compare(&job, node) {
                     Ok((equal, end)) => {
+                        copra_trace::finish_opt(guard, end);
                         *pipeline_free = end;
                         MoveResult::Compare {
                             path: job.src_path.clone(),
@@ -462,13 +529,14 @@ impl Engine<'_> {
         faults: &Option<Arc<FaultPlane>>,
         comm: &Comm<PfMsg>,
         jobs: usize,
+        ctx: Option<SpanContext>,
     ) -> Crash {
         let Some(plane) = faults else {
             return Crash::No;
         };
         let now = self.src.pfs.clock().now();
         let rank = comm.rank() as u32;
-        if !(0..jobs).any(|_| plane.take_mover_crash(rank, now)) {
+        if !(0..jobs).any(|_| plane.take_mover_crash_in(rank, now, ctx)) {
             return Crash::No;
         }
         comm.send(WATCHDOG, PfMsg::WorkerDied { rank: comm.rank() });
@@ -618,7 +686,7 @@ impl Engine<'_> {
                 Some((_, PfMsg::Tape(job))) => {
                     // One tape assignment = one fuse tick, as before
                     // batching: TapeJobs were always vectored.
-                    match self.mover_crash(&faults, &comm, 1) {
+                    match self.mover_crash(&faults, &comm, 1, job.ctx) {
                         Crash::No => {}
                         Crash::Respawned => continue,
                         Crash::Shutdown => break,
@@ -641,12 +709,16 @@ impl Engine<'_> {
                 err: Some("no HSM on source view".to_string()),
             };
         };
+        let tracer = self.tracer();
         let mut restored = Vec::with_capacity(job.files.len());
         let mut failed = Vec::new();
         let mut cursor = job.ready;
         for (path, ino, parent) in &job.files {
-            match hsm.recall_file(*ino, node, self.config.data_path, cursor) {
+            let guard = tracer.span(job.ctx, "pftool.tape_restore", ino.0, cursor);
+            let ctx = guard.as_ref().map(|g| g.ctx());
+            match hsm.recall_file_ctx(*ino, node, self.config.data_path, cursor, ctx) {
                 Ok(end) => {
+                    copra_trace::finish_opt(guard, end);
                     restored.push((path.clone(), end, parent.clone()));
                     cursor = end;
                 }
@@ -728,6 +800,9 @@ struct ManagerState<'e, 'a> {
     steal_outstanding: rustc_hash::FxHashSet<usize>,
     /// Telemetry handles; absent when the run has no registry in reach.
     mobs: Option<ManagerObs>,
+    /// Span tracer (disabled unless armed) and the run root's context.
+    tracer: Tracer,
+    run_ctx: Option<SpanContext>,
 }
 
 /// What a Worker or TapeProc rank is currently executing, from the
@@ -750,6 +825,7 @@ impl ManagerState<'_, '_> {
                         path: root,
                         chunked: true,
                         ready: run_start,
+                        ctx: self.run_ctx,
                     });
                 } else {
                     if let (Op::Copy, Some(dst), Some(dst_root)) =
@@ -768,6 +844,7 @@ impl ManagerState<'_, '_> {
                     path: root,
                     chunked: false,
                     ready: run_start,
+                    ctx: self.run_ctx,
                 });
             }
             Err(e) => self.record_error(root, e.to_string()),
@@ -924,6 +1001,14 @@ impl ManagerState<'_, '_> {
                         entries: entries.clone(),
                     },
                 );
+                let ctx = self.tracer.record_closed(
+                    self.run_ctx,
+                    "pftool.tape_batch",
+                    tape as u64,
+                    ready,
+                    ready,
+                    None,
+                );
                 self.comm.send(
                     rank,
                     PfMsg::Tape(TapeJob {
@@ -933,6 +1018,7 @@ impl ManagerState<'_, '_> {
                             .map(|e| (e.path, e.ino, e.parent))
                             .collect(),
                         ready,
+                        ctx,
                     }),
                 );
                 self.inflight_tape += 1;
@@ -972,7 +1058,16 @@ impl ManagerState<'_, '_> {
             .max();
         if let Some((_, rank)) = victim {
             self.steal_outstanding.insert(rank);
-            self.comm.send(rank, PfMsg::StealRequest);
+            let now = self.engine.src.pfs.clock().now();
+            let ctx = self.tracer.record_closed(
+                self.run_ctx,
+                "pftool.steal",
+                rank as u64,
+                now,
+                now,
+                None,
+            );
+            self.comm.send(rank, PfMsg::StealRequest { ctx });
         }
     }
 
@@ -1034,6 +1129,7 @@ impl ManagerState<'_, '_> {
                             path: f,
                             chunked: false,
                             ready,
+                            ctx: self.run_ctx,
                         });
                     }
                     for c in chunked {
@@ -1041,6 +1137,7 @@ impl ManagerState<'_, '_> {
                             path: c,
                             chunked: true,
                             ready,
+                            ctx: self.run_ctx,
                         });
                     }
                 }
@@ -1139,6 +1236,7 @@ impl ManagerState<'_, '_> {
                                 path,
                                 chunked: false,
                                 ready: end,
+                                ctx: self.run_ctx,
                             }),
                             // A fuse chunk: re-queue the logical file only
                             // when its last chunk is back.
@@ -1156,6 +1254,7 @@ impl ManagerState<'_, '_> {
                                         path: logical,
                                         chunked: true,
                                         ready,
+                                        ctx: self.run_ctx,
                                     });
                                 }
                             }
@@ -1215,7 +1314,7 @@ impl ManagerState<'_, '_> {
         // swallows it); clear the flag or stealing stays wedged.
         self.steal_outstanding.remove(&rank);
         if let Some(plane) = self.engine.faults() {
-            plane.note_redispatch("worker-death", requeued, now);
+            plane.note_redispatch_in("worker-death", requeued, now, self.run_ctx);
         }
         self.comm.send(rank, PfMsg::Respawn);
         self.progress();
@@ -1280,6 +1379,21 @@ impl ManagerState<'_, '_> {
         )
     }
 
+    /// Per-file request span, recorded at routing time and keyed by the
+    /// source path: every copy, compare and re-dispatch of this file's
+    /// work parents under it, so the file stays attributable across
+    /// tail-stealing and mover respawns.
+    fn request_ctx(&self, path: &str, ready: SimInstant) -> Option<SpanContext> {
+        self.tracer.record_closed(
+            self.run_ctx,
+            "pftool.request",
+            fnv64(path.as_bytes()),
+            ready,
+            ready,
+            None,
+        )
+    }
+
     /// Decide what to do with one stated file.
     fn route(&mut self, meta: FileMeta, ready: SimInstant) {
         match self.engine.op {
@@ -1308,6 +1422,7 @@ impl ManagerState<'_, '_> {
             self.record_error(meta.path, "outside source root".to_string());
             return;
         };
+        let req = self.request_ctx(&meta.path, ready);
         // Migrated source files go to the tape queues first.
         if meta.hsm == HsmState::Migrated && !meta.chunked {
             if eng.config.tape_procs == 0 {
@@ -1405,7 +1520,7 @@ impl ManagerState<'_, '_> {
             .unwrap_or(false);
 
         if use_fuse_dst {
-            self.route_copy_fuse_dst(&meta, &dst_path, ready);
+            self.route_copy_fuse_dst(&meta, &dst_path, ready, req);
             return;
         }
 
@@ -1453,6 +1568,7 @@ impl ManagerState<'_, '_> {
                             dst_offset: off,
                             dst_mode: DstMode::WriteAt,
                             ready,
+                            ctx: req,
                         }));
                         off += c.len;
                     }
@@ -1476,6 +1592,7 @@ impl ManagerState<'_, '_> {
                     dst_offset: off,
                     dst_mode: DstMode::WriteAt,
                     ready,
+                    ctx: req,
                 }));
                 off += len;
             }
@@ -1488,13 +1605,20 @@ impl ManagerState<'_, '_> {
                 dst_offset: 0,
                 dst_mode: DstMode::WriteAt,
                 ready,
+                ctx: req,
             }));
         }
     }
 
     /// Very large file into a fuse-chunked destination: N-to-N (§4.1.2-4),
     /// with chunk-level restart marking (§4.5).
-    fn route_copy_fuse_dst(&mut self, meta: &FileMeta, dst_path: &str, ready: SimInstant) {
+    fn route_copy_fuse_dst(
+        &mut self,
+        meta: &FileMeta,
+        dst_path: &str,
+        ready: SimInstant,
+        req: Option<SpanContext>,
+    ) {
         let eng = self.engine;
         let dst = eng.dst.expect("copy without dst");
         let fuse = dst.fuse.as_ref().expect("checked by caller");
@@ -1595,6 +1719,7 @@ impl ManagerState<'_, '_> {
                 dst_offset: 0,
                 dst_mode: DstMode::CreateChunk { uid: meta.uid },
                 ready,
+                ctx: req,
             }));
         }
         if stale.is_empty() {
@@ -1607,6 +1732,7 @@ impl ManagerState<'_, '_> {
             self.record_error(meta.path, "outside source root".to_string());
             return;
         };
+        let req = self.request_ctx(&meta.path, ready);
         self.stats.files += 1;
         if meta.hsm == HsmState::Migrated {
             self.record_error(
@@ -1627,6 +1753,7 @@ impl ManagerState<'_, '_> {
                     offset: off,
                     len,
                     ready,
+                    ctx: req,
                 }));
                 off += len;
             }
@@ -1637,6 +1764,7 @@ impl ManagerState<'_, '_> {
                 offset: 0,
                 len: meta.size,
                 ready,
+                ctx: req,
             }));
         }
     }

@@ -2,6 +2,7 @@
 
 use copra_pfs::HsmState;
 use copra_simtime::SimInstant;
+use copra_trace::SpanContext;
 use copra_vfs::Ino;
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +46,10 @@ pub struct CopyJob {
     /// Simulated instant the data became available (run start, or the end
     /// of the tape restore that produced it).
     pub ready: SimInstant,
+    /// Manager-side request span this movement belongs to. Carried *per
+    /// job* (not per batch) so tail-stealing and mover respawn keep every
+    /// copy attributable to its original request.
+    pub ctx: Option<SpanContext>,
 }
 
 /// One unit of comparison (`pfcm`).
@@ -55,6 +60,8 @@ pub struct CompareJob {
     pub offset: u64,
     pub len: u64,
     pub ready: SimInstant,
+    /// See [`CopyJob::ctx`].
+    pub ctx: Option<SpanContext>,
 }
 
 /// A worker-executable unit of data movement (the CopyQ element type).
@@ -71,6 +78,9 @@ pub struct StatRequest {
     /// True for a fuse-chunked logical file.
     pub chunked: bool,
     pub ready: SimInstant,
+    /// Dispatching span (the run root, or the readdir that found the
+    /// file); the worker's stat span parents under it.
+    pub ctx: Option<SpanContext>,
 }
 
 /// Outcome of one entry of a stat batch.
@@ -107,6 +117,9 @@ pub struct TapeJob {
     /// restored. `parent` is set for fuse chunk restores.
     pub files: Vec<(String, Ino, Option<String>)>,
     pub ready: SimInstant,
+    /// Manager-side span that scheduled this tape batch; per-file restore
+    /// spans parent under it (keyed by ino).
+    pub ctx: Option<SpanContext>,
 }
 
 /// Protocol messages.
@@ -154,8 +167,11 @@ pub enum PfMsg {
         results: Vec<MoveResult>,
     },
     /// Manager → busy Worker: an idle worker is starving — surrender the
-    /// un-started tail of the move batch in progress.
-    StealRequest,
+    /// un-started tail of the move batch in progress. Carries the
+    /// manager-side steal span so the surrender is causally attributable.
+    StealRequest {
+        ctx: Option<SpanContext>,
+    },
     /// Worker → Manager: the surrendered tail (possibly empty when the
     /// batch was already nearly done). The Manager re-queues these on the
     /// CopyQ and re-dispatches.

@@ -178,6 +178,7 @@ mod tests {
             path: "/f".into(),
             chunked: false,
             ready: SimInstant::EPOCH,
+            ctx: None,
         });
         assert!(!q.all_empty());
     }

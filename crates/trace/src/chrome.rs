@@ -1,0 +1,131 @@
+//! Chrome trace-event (`chrome://tracing` / Perfetto) export.
+//!
+//! Each span becomes two complete (`ph:"X"`) events: one on the wall-clock
+//! timeline (`pid` 1) and one on the simulated-time timeline (`pid` 2), so
+//! both the real profile (e.g. the record-phase scan, which runs with the
+//! sim clock frozen) and the simulated device schedule are visible in the
+//! same file. Timestamps are microseconds, as the format requires.
+
+use crate::report::TraceReport;
+use serde::Value;
+
+pub const WALL_PID: u64 = 1;
+pub const SIM_PID: u64 = 2;
+
+fn obj(pairs: &[(&str, Value)]) -> Value {
+    Value::Object(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+fn s(v: String) -> Value {
+    Value::String(v)
+}
+
+impl TraceReport {
+    /// Serialize the whole snapshot as Chrome trace-event JSON (object
+    /// form, `{"traceEvents": [...]}`).
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<Value> = Vec::with_capacity(self.spans.len() * 2 + 2);
+        for (pid, label) in [(WALL_PID, "wall clock"), (SIM_PID, "sim clock")] {
+            events.push(obj(&[
+                ("ph", s("M".into())),
+                ("name", s("process_name".into())),
+                ("pid", Value::U64(pid)),
+                ("tid", Value::U64(0)),
+                ("args", obj(&[("name", s(format!("copra {label}")))])),
+            ]));
+        }
+        for sp in &self.spans {
+            let args = obj(&[
+                ("span", s(format!("{}", sp.id))),
+                (
+                    "parent",
+                    match sp.parent {
+                        Some(p) => s(format!("{p}")),
+                        None => Value::Null,
+                    },
+                ),
+                ("key", s(format!("{:x}", sp.key))),
+                ("sim_start_ns", Value::U64(sp.sim_start.as_nanos())),
+                ("sim_end_ns", Value::U64(sp.sim_end.as_nanos())),
+            ]);
+            events.push(obj(&[
+                ("ph", s("X".into())),
+                ("pid", Value::U64(WALL_PID)),
+                ("tid", Value::U64(sp.tid as u64)),
+                ("name", s(sp.name.to_string())),
+                ("ts", Value::F64(sp.wall_start_ns as f64 / 1e3)),
+                ("dur", Value::F64(sp.wall_duration_ns() as f64 / 1e3)),
+                ("args", args.clone()),
+            ]));
+            events.push(obj(&[
+                ("ph", s("X".into())),
+                ("pid", Value::U64(SIM_PID)),
+                ("tid", Value::U64(sp.tid as u64)),
+                ("name", s(sp.name.to_string())),
+                ("ts", Value::F64(sp.sim_start.as_nanos() as f64 / 1e3)),
+                ("dur", Value::F64(sp.sim_duration().as_nanos() as f64 / 1e3)),
+                ("args", args),
+            ]));
+        }
+        let doc = obj(&[
+            ("traceEvents", Value::Array(events)),
+            (
+                "otherData",
+                obj(&[
+                    ("trace", s(format!("{}", self.trace))),
+                    ("seed", s(format!("{:#x}", self.seed))),
+                    ("spans", Value::U64(self.spans.len() as u64)),
+                    ("dropped", Value::U64(self.dropped)),
+                ]),
+            ),
+        ]);
+        serde_json::to_string(&doc).expect("chrome trace serialization")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::span::Tracer;
+    use copra_simtime::SimInstant;
+    use serde::Value;
+
+    #[test]
+    fn chrome_export_is_structurally_valid() {
+        let t = Tracer::armed(5);
+        let root = t.root("run", 0, SimInstant::EPOCH).unwrap();
+        let child = root.child("work", 1, SimInstant::from_secs(1));
+        child.finish(SimInstant::from_secs(2));
+        root.finish(SimInstant::from_secs(3));
+        let doc: Value = serde_json::parse_value(&t.report().unwrap().to_chrome_json()).unwrap();
+        let Some(Value::Array(events)) = doc.get_field("traceEvents") else {
+            panic!("missing traceEvents array");
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut parents = Vec::new();
+        let mut x_events = 0;
+        for e in events {
+            if e.get_field("ph") == Some(&Value::String("X".into())) {
+                x_events += 1;
+                for field in ["ts", "dur", "pid", "tid", "name"] {
+                    assert!(e.get_field(field).is_some(), "missing {field}");
+                }
+                let args = e.get_field("args").unwrap();
+                if let Some(Value::String(sp)) = args.get_field("span") {
+                    seen.insert(sp.clone());
+                }
+                if let Some(Value::String(p)) = args.get_field("parent") {
+                    parents.push(p.clone());
+                }
+            }
+        }
+        assert_eq!(x_events, 4, "2 spans x 2 timelines");
+        for p in parents {
+            assert!(seen.contains(&p), "dangling parent {p}");
+        }
+    }
+}

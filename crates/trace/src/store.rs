@@ -1,0 +1,158 @@
+//! Bounded, lock-cheap span storage.
+//!
+//! Spans are pushed into one of 64 striped buffers chosen by a per-thread
+//! stripe index, so concurrent workers almost never contend on the same
+//! mutex. The store is bounded: past `capacity` total spans, new records
+//! are counted in `dropped` instead of growing memory without limit.
+
+use crate::ids::TraceId;
+use crate::span::Span;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+pub const STRIPES: usize = 64;
+
+/// Default bound on stored spans (~96 bytes/span ⇒ ~100 MB worst case).
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+
+// Process-wide thread numbering: each OS thread takes one id on first use
+// and keeps it for life. The id doubles as the Chrome `tid` and as the
+// stripe selector. Thread numbering depends on spawn order, so it is
+// excluded from the determinism digest.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+thread_local! {
+    static THREAD_TID: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+pub(crate) fn current_tid() -> u32 {
+    THREAD_TID.with(|c| {
+        let v = c.get();
+        if v != u32::MAX {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        }
+    })
+}
+
+pub struct TraceStore {
+    trace: TraceId,
+    seed: u64,
+    /// Wall-clock epoch captured when the tracer was armed; all wall
+    /// timestamps are nanoseconds since this point.
+    epoch: Instant,
+    stripes: Vec<Mutex<Vec<Span>>>,
+    per_stripe_cap: usize,
+    dropped: AtomicU64,
+}
+
+impl TraceStore {
+    pub fn new(trace: TraceId, seed: u64, capacity: usize) -> Self {
+        let per_stripe_cap = capacity.div_ceil(STRIPES).max(1);
+        TraceStore {
+            trace,
+            seed,
+            epoch: Instant::now(),
+            stripes: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            per_stripe_cap,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Nanoseconds of wall time since the tracer was armed.
+    pub fn wall_now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    pub fn record(&self, span: Span) {
+        let stripe = current_tid() as usize % STRIPES;
+        let mut buf = self.stripes[stripe].lock();
+        if buf.len() < self.per_stripe_cap {
+            buf.push(span);
+        } else {
+            drop(buf);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out every recorded span in canonical deterministic order
+    /// (sim start, then name, then key, then id) — independent of which
+    /// stripe or thread produced it.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut all: Vec<Span> = Vec::with_capacity(self.len());
+        for s in &self.stripes {
+            all.extend(s.lock().iter().cloned());
+        }
+        all.sort_by(|a, b| {
+            (a.sim_start, a.name, a.key, a.id.0).cmp(&(b.sim_start, b.name, b.key, b.id.0))
+        });
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SpanId;
+    use copra_simtime::SimInstant;
+
+    fn mk(id: u64, start: u64) -> Span {
+        Span {
+            trace: TraceId(1),
+            id: SpanId(id),
+            parent: None,
+            name: "t",
+            key: id,
+            sim_start: SimInstant::from_nanos(start),
+            sim_end: SimInstant::from_nanos(start + 1),
+            wall_start_ns: 0,
+            wall_end_ns: 0,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn bounded_store_counts_drops() {
+        let st = TraceStore::new(TraceId(1), 0, STRIPES); // 1 span per stripe
+        for i in 0..10 {
+            st.record(mk(i, i));
+        }
+        // All records land on this thread's single stripe: 1 kept, 9 dropped.
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.dropped(), 9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_sim_start() {
+        let st = TraceStore::new(TraceId(1), 0, 1024);
+        st.record(mk(2, 50));
+        st.record(mk(1, 10));
+        let snap = st.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].sim_start < snap[1].sim_start);
+    }
+}

@@ -60,6 +60,17 @@ pub struct WalkEntry {
     pub attr: InodeAttr,
 }
 
+/// Per-shard timing reported by [`Vfs::par_scan_observed`]: how long the
+/// under-lock snapshot took, how long the lock-free path-reconstruction
+/// walk took, and how many inodes the shard held.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardScanStats {
+    pub shard: usize,
+    pub snapshot_ns: u64,
+    pub walk_ns: u64,
+    pub visited: u64,
+}
+
 #[derive(Debug)]
 enum NodeKind {
     File { content: Content },
@@ -894,10 +905,26 @@ impl Vfs {
         R: Send,
         F: Fn(&str, &InodeAttr) -> Option<R> + Sync,
     {
+        self.par_scan_observed(threads, f, |_| {})
+    }
+
+    /// [`Vfs::par_scan`] plus a per-shard observer: after each shard is
+    /// scanned, `obs` receives that shard's [`ShardScanStats`]. The
+    /// observer fires once per shard (64 times per scan), so its cost —
+    /// and the two wall-clock reads backing it — is invisible next to the
+    /// per-record work; tracing instrumentation hangs off this hook
+    /// instead of timing individual records.
+    pub fn par_scan_observed<R, F, O>(&self, threads: usize, f: F, obs: O) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&str, &InodeAttr) -> Option<R> + Sync,
+        O: Fn(ShardScanStats) + Sync,
+    {
         let nshards = self.shared.shards.len();
         let threads = threads.max(1).min(nshards);
         let slots: Vec<Mutex<Vec<R>>> = (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
         let scan_shard = |shard_idx: usize, memo: &mut FxHashMap<u64, String>| {
+            let t0 = std::time::Instant::now();
             // Phase 1: copy this shard's nodes out under a single read lock.
             // Attrs are cheap now (Arc'd xattrs), so this buffer is small
             // and bounded by the shard population, not the tree size.
@@ -910,6 +937,8 @@ impl Vfs {
                     })
                     .collect()
             };
+            let snapshot_ns = t0.elapsed().as_nanos() as u64;
+            let visited = snapshot.len() as u64;
             // Phase 2: lock-free over this shard; parent chains are chased
             // one shard read lock at a time (never while holding another).
             let mut out = Vec::new();
@@ -929,6 +958,12 @@ impl Vfs {
                 }
             }
             *slots[shard_idx].lock() = out;
+            obs(ShardScanStats {
+                shard: shard_idx,
+                snapshot_ns,
+                walk_ns: (t0.elapsed().as_nanos() as u64).saturating_sub(snapshot_ns),
+                visited,
+            });
         };
         if threads == 1 {
             let mut memo = FxHashMap::default();

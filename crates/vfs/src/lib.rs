@@ -39,7 +39,7 @@ pub mod striped;
 
 pub use content::{synth_byte, Content, Segment, SegmentData};
 pub use error::{FsError, FsResult};
-pub use fs::{DirEntry, Vfs, WalkEntry};
+pub use fs::{DirEntry, ShardScanStats, Vfs, WalkEntry};
 pub use inode::{FileType, Ino, InodeAttr};
 pub use path::{is_normalized, is_under, join, normalize, parent_and_name, rebase, split};
 pub use striped::StripedU64Map;

@@ -29,6 +29,8 @@
 //! * [`mpirt`] — mini message-passing runtime for PFTool's process model.
 //! * [`obs`] — metrics registry, event tracing, and the device-utilization
 //!   snapshot every subsystem reports into.
+//! * [`trace`] — causal span tracing: deterministic sim+wall-time span
+//!   trees, the phase profiler, critical-path extraction, Chrome export.
 //! * [`pftool`] — the paper's parallel tree walker / copier (`pfls`,
 //!   `pfcp`, `pfcm`).
 //! * [`core`] — the integrated archive system and its public API.
@@ -48,5 +50,6 @@ pub use copra_pfs as pfs;
 pub use copra_pftool as pftool;
 pub use copra_simtime as simtime;
 pub use copra_tape as tape;
+pub use copra_trace as trace;
 pub use copra_vfs as vfs;
 pub use copra_workloads as workloads;

@@ -319,6 +319,72 @@ fn sweep_is_deterministic_across_runs() {
     assert_eq!(a, b, "same seed must reproduce identical recovery outcomes");
 }
 
+/// Recovery paints its own span tree: a crash mid-migrate followed by
+/// `recover()` yields a `recover` root whose children are the per-intent
+/// replay/rollback/forward spans plus the trailing scrub pass.
+#[test]
+fn traced_crash_recovery_paints_recover_spans() {
+    let sys = ArchiveSystem::new(SystemConfig::test_small());
+    let tracer = copra::trace::Tracer::armed(SEED);
+    sys.arm_tracing(tracer.clone());
+    sys.archive().mkdir_p("/data").unwrap();
+    sys.archive()
+        .create_file("/data/a", 0, Content::synthetic(1, 2_000_000))
+        .unwrap();
+    sys.archive()
+        .create_file("/data/b", 0, Content::synthetic(2, 2_400_000))
+        .unwrap();
+    // Second consult of migrate.after_store dies: the first migrate seals
+    // its intent (replayed at recovery), the second leaves an open intent
+    // the recovery pass must resolve.
+    sys.arm_faults(FaultPlan::new(SEED).crash_at("migrate.after_store", 2));
+    let mut end = sys.clock().now();
+    let ino = sys.archive().resolve("/data/a").unwrap();
+    let (_, t) = sys
+        .hsm()
+        .migrate_file(ino, NodeId(0), DataPath::LanFree, end, true)
+        .unwrap();
+    end = t;
+    let ino = sys.archive().resolve("/data/b").unwrap();
+    match sys
+        .hsm()
+        .migrate_file(ino, NodeId(0), DataPath::LanFree, end, true)
+    {
+        Err(HsmError::Crashed { site }) => assert_eq!(site, "migrate.after_store"),
+        other => panic!("expected the armed crash, got {other:?}"),
+    }
+
+    let recovery = sys.recover(end).unwrap();
+    assert!(
+        recovery.replayed + recovery.rolled_back + recovery.forward_completed > 0,
+        "{recovery:?}"
+    );
+
+    let report = tracer.report().expect("armed tracer yields a report");
+    let root = report.find("recover").expect("recover root span recorded");
+    assert!(root.parent.is_none(), "recover is a root span");
+    let kids: Vec<&str> = report
+        .spans
+        .iter()
+        .filter(|s| s.parent == Some(root.id))
+        .map(|s| s.name)
+        .collect();
+    assert!(
+        kids.contains(&"recover.replay"),
+        "sealed first migrate must replay under the root: {kids:?}"
+    );
+    assert!(
+        kids.iter()
+            .any(|n| matches!(*n, "recover.rollback" | "recover.forward")),
+        "open intent must roll back or complete forward: {kids:?}"
+    );
+    assert!(kids.contains(&"recover.scrub"), "{kids:?}");
+    // The successful migrate's own tree is in the same report, with its
+    // intent sealed under it.
+    assert!(report.find("hsm.migrate").is_some());
+    assert!(report.find("journal.intent.migrate-commit").is_some());
+}
+
 #[test]
 fn fault_free_baseline_snapshots_zero_recovery_counters() {
     // No crash, no recover() call: the journal.recovered_* counters are

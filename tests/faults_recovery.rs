@@ -7,8 +7,10 @@ use copra::cluster::NodeId;
 use copra::core::{ArchiveSystem, SystemConfig};
 use copra::faults::FaultPlan;
 use copra::hsm::DataPath;
+use copra::obs::{EventKind, MetricsSnapshot};
 use copra::pftool::PftoolConfig;
 use copra::simtime::SimDuration;
+use copra::trace::Tracer;
 use copra::vfs::Content;
 
 /// Rank layout with one ReadDir: 0 Manager, 1 OutPut, 2 WatchDog,
@@ -55,7 +57,16 @@ struct Outcome {
 /// fault scenario (1 drive failure + 2 media errors + 1 mover crash), run
 /// the retrieval campaign, verify every byte, and report what happened.
 fn run_campaign(faulty: bool) -> Outcome {
+    run_campaign_with(faulty, None).0
+}
+
+/// The campaign proper; an armed [`Tracer`] rides along when the caller
+/// wants the causal span tree as well as the counters.
+fn run_campaign_with(faulty: bool, tracer: Option<Tracer>) -> (Outcome, MetricsSnapshot) {
     let sys = ArchiveSystem::new(SystemConfig::test_small());
+    if let Some(t) = &tracer {
+        sys.arm_tracing(t.clone());
+    }
     sys.archive().mkdir_p("/arch").unwrap();
     let mut paths = Vec::new();
     for i in 0..8u64 {
@@ -106,7 +117,7 @@ fn run_campaign(faulty: bool) -> Outcome {
     }
 
     let m = sys.snapshot().metrics;
-    Outcome {
+    let outcome = Outcome {
         sim_ns: report.stats.sim_end.as_nanos(),
         bytes: report.stats.bytes,
         tape_restores: report.stats.tape_restores,
@@ -118,7 +129,8 @@ fn run_campaign(faulty: bool) -> Outcome {
         redispatches: m.counter("faults.redispatches"),
         retries: m.counter("faults.retries"),
         transients: m.counter("faults.transient_ios"),
-    }
+    };
+    (outcome, m)
 }
 
 #[test]
@@ -145,6 +157,91 @@ fn faulty_campaign_is_deterministic() {
     let a = run_campaign(true);
     let b = run_campaign(true);
     assert_eq!(a, b, "same seed must reproduce the same sim outcome");
+}
+
+/// The context-propagation claim under fire: a worker crash mid-batch
+/// must not sever the causal trace. Re-dispatched copies carry their
+/// original request contexts, so the re-run spans hang off the *same*
+/// `pftool.request` parents — one connected tree — and the `WorkerDied`
+/// event names the span it interrupted.
+#[test]
+fn worker_death_keeps_trace_connected() {
+    let run = || {
+        let tracer = Tracer::armed(42);
+        let (o, m) = run_campaign_with(true, Some(tracer.clone()));
+        assert_eq!(o.mover_crashes, 1, "{o:?}");
+        assert_eq!(
+            o.tape_restores, 10,
+            "traced campaign must still restore all files"
+        );
+        (tracer.report().expect("armed tracer yields a report"), m)
+    };
+    let (report, metrics) = run();
+    assert_eq!(report.dropped, 0, "campaign must fit the span buffers");
+
+    // Single connected trace: every recorded parent id resolves to a
+    // span in the same report.
+    let by_id: std::collections::HashMap<u64, &copra::trace::Span> =
+        report.spans.iter().map(|s| (s.id.0, s)).collect();
+    for s in &report.spans {
+        if let Some(p) = s.parent {
+            assert!(
+                by_id.contains_key(&p.0),
+                "span {} (key {:#x}) has a dangling parent",
+                s.name,
+                s.key
+            );
+        }
+    }
+
+    // Every copy — including the ones re-queued after the worker died —
+    // descends from a `pftool.request` span under the campaign root.
+    let mut copies = 0;
+    for s in report.spans.iter().filter(|s| s.name == "pftool.copy") {
+        copies += 1;
+        let mut cur = s.parent;
+        let mut through_request = false;
+        while let Some(p) = cur {
+            let ps = by_id[&p.0];
+            through_request |= ps.name == "pftool.request";
+            cur = ps.parent;
+        }
+        assert!(through_request, "pftool.copy span not rooted in a request");
+    }
+    assert!(copies > 0, "campaign recorded no copy spans");
+
+    // The WorkerDied event records the span it interrupted, and walking
+    // that span's ancestry lands on the campaign root.
+    let died = metrics
+        .events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::WorkerDied { .. }))
+        .expect("WorkerDied event recorded");
+    let (trace, span) = died.span.expect("WorkerDied carries span attribution");
+    assert_eq!(trace, report.trace, "event points into this run's trace");
+    let mut cur = Some(span);
+    let mut chain = Vec::new();
+    while let Some(id) = cur {
+        let s = by_id
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("event span {id:?} missing from report"));
+        chain.push(s.name);
+        cur = s.parent;
+    }
+    assert_eq!(
+        chain.last().copied(),
+        Some("pftool.run"),
+        "WorkerDied span does not chain to the root: {chain:?}"
+    );
+
+    // Deterministic ids + sim stamps: the whole tree digests identically
+    // on a re-run with the same seeds.
+    let (again, _) = run();
+    assert_eq!(
+        report.tree_digest(),
+        again.tree_digest(),
+        "span tree must be reproducible under faults"
+    );
 }
 
 #[test]
