@@ -116,10 +116,24 @@ fn undo_or_finish(
     let pfs = hsm.pfs();
     let server = hsm.server();
     match &rec.kind {
-        IntentKind::MigrateCommit { ino, objid, .. } => {
+        IntentKind::MigrateCommit {
+            ino,
+            objid,
+            replicas,
+            ..
+        } => {
             // Open ⇒ not sealed ⇒ not punched: the disk copy is intact,
-            // so rollback is always safe (zero lost bytes).
+            // so rollback is always safe (zero lost bytes). A crash mid-
+            // replication rolls the whole group back together: every
+            // replica the intent recorded goes first (some may not have
+            // been registered as copies of the primary yet), then the
+            // primary (whose delete also sweeps any registered copies).
             let mut cursor = cursor;
+            for replica in replicas {
+                if server.contains(*replica) {
+                    cursor = delete_objects(hsm, catalog, &[*replica], cursor)?;
+                }
+            }
             if let Some(objid) = objid {
                 if server.contains(*objid) {
                     cursor = delete_objects(hsm, catalog, &[*objid], cursor)?;

@@ -1,15 +1,15 @@
 //! The assembled archive system.
 
 use copra_cluster::{ClusterConfig, FtaCluster, LoadManager, Moab};
-use copra_faults::{FaultPlan, FaultPlane};
+use copra_faults::{FaultPlan, FaultPlane, RetryPolicy};
 use copra_fuse::ArchiveFuse;
-use copra_hsm::{Hsm, TsmServer};
+use copra_hsm::{Hsm, PlacementPolicy, TsmServer};
 use copra_metadb::TsmCatalog;
 use copra_obs::Registry;
 use copra_pfs::{Cmp, Pfs, PfsBuilder, PolicyEngine, PoolConfig, Predicate, Rule};
 use copra_pftool::{pfcm, pfcp, pfls, CompareReport, CopyReport, FsView, ListReport, PftoolConfig};
 use copra_simtime::{Clock, DataSize, SimDuration};
-use copra_tape::{TapeLibrary, TapeTiming};
+use copra_tape::{TapeFleet, TapeTiming};
 use std::sync::Arc;
 
 use crate::obs::{DeviceUtilization, SystemSnapshot};
@@ -18,11 +18,21 @@ use crate::obs::{DeviceUtilization, SystemSnapshot};
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
     pub cluster: ClusterConfig,
-    /// Tape drives on the SAN.
+    /// Tape libraries on the SAN (each with its own robot arm). The
+    /// paper's deployment has one; replicated placements want two or more
+    /// so a whole-library outage leaves every object recallable.
+    pub libraries: usize,
+    /// Tape drives on the SAN, **per library**.
     pub drives: usize,
-    /// Scratch volumes in the library.
+    /// Scratch volumes, **per library**.
     pub tapes: usize,
     pub tape_timing: TapeTiming,
+    /// Where migrated objects land across the libraries (replica count
+    /// and steering) — see [`PlacementPolicy`].
+    pub placement: PlacementPolicy,
+    /// Fallback retry policy the recovery paths use when no fault plane
+    /// is armed (an armed plane's policy always wins).
+    pub retry_policy: RetryPolicy,
     /// Fast FC disk pool capacity (archive first tier).
     pub fast_pool: DataSize,
     /// Devices (LUN groups) in the fast pool.
@@ -47,9 +57,12 @@ impl SystemConfig {
     pub fn roadrunner() -> Self {
         SystemConfig {
             cluster: ClusterConfig::roadrunner(),
+            libraries: 1,
             drives: 24,
             tapes: 512,
             tape_timing: TapeTiming::lto4(),
+            placement: PlacementPolicy::Single,
+            retry_policy: RetryPolicy::immediate(8),
             fast_pool: DataSize::tb(100),
             fast_devices: 10,
             slow_pool: DataSize::tb(100),
@@ -67,9 +80,12 @@ impl SystemConfig {
     pub fn test_small() -> Self {
         SystemConfig {
             cluster: ClusterConfig::tiny(4),
+            libraries: 1,
             drives: 4,
             tapes: 32,
             tape_timing: TapeTiming::lto4(),
+            placement: PlacementPolicy::Single,
+            retry_policy: RetryPolicy::immediate(8),
             fast_pool: DataSize::tb(10),
             fast_devices: 4,
             slow_pool: DataSize::tb(10),
@@ -79,6 +95,16 @@ impl SystemConfig {
             fuse_threshold: DataSize::mb(200),
             fuse_chunk: DataSize::mb(50),
             loadmgr_refresh: SimDuration::from_secs(60),
+        }
+    }
+
+    /// The test rig with a replicated tape fleet: `libraries` identical
+    /// libraries and two-way mirrored placement.
+    pub fn test_replicated(libraries: usize) -> Self {
+        SystemConfig {
+            libraries,
+            placement: PlacementPolicy::Mirror { copies: 2 },
+            ..SystemConfig::test_small()
         }
     }
 }
@@ -141,13 +167,21 @@ impl ArchiveSystem {
                 },
             ])
             .build();
-        // One registry for the whole stack: the library owns it, and the
-        // server / agents / HSM / PFTool all reach it through the library.
+        // One registry for the whole stack: the tape fleet owns it, and
+        // the server / agents / HSM / PFTool all reach it through the
+        // fleet's libraries.
         let obs = Registry::new();
-        let library =
-            TapeLibrary::with_obs(config.drives, config.tapes, config.tape_timing, obs.clone());
-        let server = TsmServer::roadrunner(library);
+        let fleet = TapeFleet::new_uniform(
+            config.libraries.max(1),
+            config.drives,
+            config.tapes,
+            config.tape_timing,
+            obs.clone(),
+        );
+        let server = TsmServer::roadrunner(fleet);
+        server.set_default_retry(config.retry_policy);
         let hsm = Hsm::new(archive.clone(), server, cluster.clone());
+        hsm.set_placement(config.placement);
         let fuse = ArchiveFuse::new(archive.clone(), config.fuse_threshold, config.fuse_chunk);
         let catalog = Arc::new(TsmCatalog::new());
         let loadmgr = Arc::new(LoadManager::new(cluster.clone(), config.loadmgr_refresh));

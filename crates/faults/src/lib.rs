@@ -134,6 +134,16 @@ pub enum ScheduledFault {
     /// recovery to repair. Sites are the `begin_intent → mutate → seal`
     /// steps of migrate / sync-delete / reclaim.
     CrashPoint { site: String, occurrence: u32 },
+    /// Whole-library outage (power, robot, site): every drive and the
+    /// robot of library `library` reject work from `at` until `until`
+    /// (forever when `None`). Unlike a drive fence, the outage is
+    /// reversible — mounts and media survive and serve again once the
+    /// window closes.
+    LibraryOffline {
+        library: u32,
+        at: SimInstant,
+        until: Option<SimInstant>,
+    },
 }
 
 /// A seeded script of faults. Build with the fluent methods, then
@@ -185,6 +195,33 @@ impl FaultPlan {
         self
     }
 
+    /// Take library `library` fully offline (all drives + robot) from
+    /// `at`, forever.
+    pub fn offline_library(mut self, library: u32, at: SimInstant) -> Self {
+        self.faults.push(ScheduledFault::LibraryOffline {
+            library,
+            at,
+            until: None,
+        });
+        self
+    }
+
+    /// Take library `library` fully offline for the window `[at, until)`;
+    /// at `until` the library returns with its mounts and media intact.
+    pub fn offline_library_until(
+        mut self,
+        library: u32,
+        at: SimInstant,
+        until: SimInstant,
+    ) -> Self {
+        self.faults.push(ScheduledFault::LibraryOffline {
+            library,
+            at,
+            until: Some(until),
+        });
+        self
+    }
+
     /// Kill the process the `occurrence`-th time (1-based) execution
     /// reaches the crash-consult site `site`.
     pub fn crash_at(mut self, site: impl Into<String>, occurrence: u32) -> Self {
@@ -203,6 +240,8 @@ impl FaultPlan {
         let mut jams = Vec::new();
         let mut movers = FxHashMap::default();
         let mut crashes = Vec::new();
+        let mut library_offline: FxHashMap<u32, Vec<(SimInstant, Option<SimInstant>)>> =
+            FxHashMap::default();
         for f in &self.faults {
             match f {
                 ScheduledFault::DriveFail { drive, at } => {
@@ -219,9 +258,18 @@ impl FaultPlan {
                 ScheduledFault::CrashPoint { site, occurrence } => {
                     crashes.push((site.clone(), (*occurrence).max(1)));
                 }
+                ScheduledFault::LibraryOffline { library, at, until } => {
+                    library_offline
+                        .entry(*library)
+                        .or_default()
+                        .push((*at, *until));
+                }
             }
         }
         jams.sort_unstable();
+        for windows in library_offline.values_mut() {
+            windows.sort_unstable();
+        }
         let metrics = PlaneMetrics::new(&obs);
         Arc::new(FaultPlane {
             seed: self.seed,
@@ -232,6 +280,7 @@ impl FaultPlan {
             crashes: Mutex::new(crashes),
             crash_counts: Mutex::new(FxHashMap::default()),
             crash_log: Mutex::new(Vec::new()),
+            library_offline,
             transient_io_prob: self.transient_io_prob,
             transient_delay: self.transient_delay,
             io_seq: Mutex::new(FxHashMap::default()),
@@ -251,6 +300,7 @@ struct PlaneMetrics {
     mover_crashes: Arc<Counter>,
     crash_points: Arc<Counter>,
     transient_ios: Arc<Counter>,
+    library_outages: Arc<Counter>,
     fences: Arc<Counter>,
     retries: Arc<Counter>,
     redispatches: Arc<Counter>,
@@ -268,6 +318,7 @@ impl PlaneMetrics {
             mover_crashes: obs.counter("faults.mover_crashes"),
             crash_points: obs.counter("faults.crash_points"),
             transient_ios: obs.counter("faults.transient_ios"),
+            library_outages: obs.counter("faults.library_outages"),
             fences: obs.counter("faults.fences"),
             retries: obs.counter("faults.retries"),
             redispatches: obs.counter("faults.redispatches"),
@@ -298,6 +349,8 @@ pub struct FaultPlane {
     /// arms an *empty* plan and reads this back to discover the full
     /// crash-point space of a scenario.
     crash_log: Mutex<Vec<(String, u32)>>,
+    /// library → scheduled outage windows `(at, until)`, sorted by start.
+    library_offline: FxHashMap<u32, Vec<(SimInstant, Option<SimInstant>)>>,
     transient_io_prob: f64,
     transient_delay: SimDuration,
     /// Per-drive operation ordinal feeding the transient-I/O draw.
@@ -325,6 +378,31 @@ impl FaultPlane {
     /// exactly once when it acts on this.
     pub fn drive_fails_by(&self, drive: u32, now: SimInstant) -> bool {
         self.drive_fail_at.get(&drive).is_some_and(|at| now >= *at)
+    }
+
+    /// Is library `library` inside a scheduled outage window at `now`?
+    /// Pure read — the tape library owns the fencing state and calls
+    /// [`Self::note_library_outage`] once per observed outage.
+    pub fn library_offline_at(&self, library: u32, now: SimInstant) -> bool {
+        self.library_offline.get(&library).is_some_and(|windows| {
+            windows
+                .iter()
+                .any(|(at, until)| now >= *at && until.is_none_or(|u| now < u))
+        })
+    }
+
+    /// Record that a library first observed itself inside an outage
+    /// window (counts the injection once per outage, not per consult).
+    pub fn note_library_outage(&self, library: u32, now: SimInstant) {
+        self.metrics.injected.inc();
+        self.metrics.library_outages.inc();
+        self.obs.event(
+            now,
+            EventKind::FaultInjected {
+                kind: "library-offline".into(),
+                detail: format!("lib{library}"),
+            },
+        );
     }
 
     /// Record that the library fenced `drive` (counts the injection).
@@ -597,6 +675,29 @@ mod tests {
             ]
         );
         assert_eq!(p.obs().snapshot().counter("faults.crash_points"), 0);
+    }
+
+    #[test]
+    fn library_outage_windows_are_pure_time_queries() {
+        let p = plane(
+            FaultPlan::new(1)
+                .offline_library_until(1, SimInstant::from_secs(10), SimInstant::from_secs(20))
+                .offline_library(2, SimInstant::from_secs(5)),
+        );
+        assert!(!p.library_offline_at(1, SimInstant::from_secs(9)));
+        assert!(p.library_offline_at(1, SimInstant::from_secs(10)));
+        assert!(p.library_offline_at(1, SimInstant::from_secs(19)));
+        assert!(
+            !p.library_offline_at(1, SimInstant::from_secs(20)),
+            "window closed: the library is back"
+        );
+        assert!(
+            p.library_offline_at(2, SimInstant::from_secs(999)),
+            "no until: offline forever"
+        );
+        assert!(!p.library_offline_at(0, SimInstant::from_secs(999)));
+        p.note_library_outage(1, SimInstant::from_secs(10));
+        assert_eq!(p.obs().snapshot().counter("faults.library_outages"), 1);
     }
 
     #[test]

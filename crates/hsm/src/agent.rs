@@ -95,14 +95,15 @@ impl StorageAgent {
     }
 
     /// The armed fault plane (if any) and the retry policy recoveries use:
-    /// backoff-with-jitter under a plan, immediate bounded retries on the
-    /// fault-free baseline (keeping its sim timings unchanged).
+    /// backoff-with-jitter under a plan, the server's configured default
+    /// otherwise (immediate bounded retries unless the system overrides
+    /// it — keeping the fault-free baseline's sim timings unchanged).
     fn recovery(&self) -> (Option<Arc<FaultPlane>>, RetryPolicy) {
         let plane = self.shared.server.library().armed_faults();
         let policy = plane
             .as_ref()
             .map(|p| p.retry())
-            .unwrap_or_else(|| RetryPolicy::immediate(8));
+            .unwrap_or_else(|| self.shared.server.default_retry());
         (plane, policy)
     }
 
@@ -121,12 +122,18 @@ impl StorageAgent {
         let server = &self.shared.server;
         let lib = server.library();
         let mut st = self.shared.state.lock();
-        // Reuse the current volume while it has space.
+        // Reuse the current volume while it has space. A volume stranded
+        // in an offline library is unusable, not an error: forget it and
+        // place the write elsewhere.
         if let Some((drive, tape)) = st.current {
-            let has_space = lib.with_cartridge(tape, |c| c.remaining() >= len)?;
-            let still_ours = lib.mounted_tape(drive)? == Some(tape);
-            if has_space && still_ours {
-                return Ok((drive, ready));
+            if lib.tape_library_offline(tape, ready) {
+                st.current = None;
+            } else {
+                let has_space = lib.with_cartridge(tape, |c| c.remaining() >= len)?;
+                let still_ours = lib.mounted_tape(drive)? == Some(tape);
+                if has_space && still_ours {
+                    return Ok((drive, ready));
+                }
             }
         }
         // Ask the server for a volume and mount it, under the retry
@@ -405,6 +412,49 @@ impl StorageAgent {
         data_path: DataPath,
         avoid: &[TapeId],
     ) -> HsmResult<(u64, SimInstant)> {
+        let server = self.shared.server.clone();
+        let avoid = avoid.to_vec();
+        self.store_with_assignment(path, fs_ino, content, ready, data_path, move |len, t| {
+            server.assign_volume_avoiding(len, &avoid, t)
+        })
+    }
+
+    /// Store one object on a volume of **library `lib`** (avoiding the
+    /// `avoid` volumes) — the replica write path: each replica of an
+    /// object lands in its own library so a whole-library outage leaves a
+    /// recallable copy elsewhere. A [`TapeError::LibraryOffline`] from the
+    /// target library propagates (no in-place retry): the caller decides
+    /// whether to degrade the write and re-silver later.
+    #[allow(clippy::too_many_arguments)]
+    pub fn store_replica(
+        &self,
+        path: &str,
+        fs_ino: u64,
+        content: Content,
+        ready: SimInstant,
+        data_path: DataPath,
+        lib: copra_tape::LibraryId,
+        avoid: &[TapeId],
+    ) -> HsmResult<(u64, SimInstant)> {
+        let server = self.shared.server.clone();
+        let avoid = avoid.to_vec();
+        self.store_with_assignment(path, fs_ino, content, ready, data_path, move |len, t| {
+            server.assign_volume_in_library(len, lib, &avoid, t)
+        })
+    }
+
+    /// Shared body of the copy/replica write paths: assignment is
+    /// delegated to `assign`, mount races retry under the budget, then one
+    /// write transaction.
+    fn store_with_assignment(
+        &self,
+        path: &str,
+        fs_ino: u64,
+        content: Content,
+        ready: SimInstant,
+        data_path: DataPath,
+        assign: impl Fn(DataSize, SimInstant) -> HsmResult<(TapeId, SimInstant)>,
+    ) -> HsmResult<(u64, SimInstant)> {
         let len = DataSize::from_bytes(content.len());
         let server = &self.shared.server;
         let objid = server.alloc_objid();
@@ -413,7 +463,7 @@ impl StorageAgent {
         let mut cursor = t;
         let mut attempt = 0u32;
         let (drive, t) = loop {
-            let (tape, t2) = server.assign_volume_avoiding(len, avoid, cursor)?;
+            let (tape, t2) = assign(len, cursor)?;
             cursor = t2;
             match server.library().ensure_mounted(tape, cursor) {
                 Ok(placed) => break placed,
@@ -458,33 +508,80 @@ impl StorageAgent {
         Ok((objid, t))
     }
 
+    /// Does this error mean "this replica is unreadable, try another"?
+    /// Deleted/damaged records, media errors, and a whole-library outage
+    /// all fail over; transient faults retry in place instead (they would
+    /// hit any replica equally).
+    fn failover_worthy(e: &HsmError) -> bool {
+        matches!(
+            e,
+            HsmError::Tape(
+                TapeError::MediaError(_)
+                    | TapeError::ObjectDeleted(_)
+                    | TapeError::NoSuchRecord(_)
+                    | TapeError::LibraryOffline { .. }
+            )
+        )
+    }
+
     /// Fetch an object's bytes (simple objects and aggregate members).
     /// Returns (content, completion).
     ///
-    /// If the primary record is deleted or hits a media error, registered
-    /// tape copies are tried in order — the copy-group read path.
+    /// Replica-aware recall routing: the primary and every registered tape
+    /// copy are ranked by the library's mount/seek cost estimate (an
+    /// already-mounted near replica beats a dismounted far one; a replica
+    /// in an offline library ranks last) and tried cheapest-first. A
+    /// replica failing with a media error, a deleted record, or a
+    /// whole-library outage fails over to the next; transient errors
+    /// retry in place inside [`StorageAgent::fetch_exact`].
     pub fn fetch(
         &self,
         objid: u64,
         ready: SimInstant,
         data_path: DataPath,
     ) -> HsmResult<(Content, SimInstant)> {
-        match self.fetch_exact(objid, ready, data_path) {
-            Ok(ok) => Ok(ok),
-            Err(
-                primary_err @ (HsmError::Tape(TapeError::MediaError(_))
-                | HsmError::Tape(TapeError::ObjectDeleted(_))
-                | HsmError::Tape(TapeError::NoSuchRecord(_))),
-            ) => {
-                for copy in self.shared.server.copies_of(objid) {
-                    if let Ok(ok) = self.fetch_exact(copy, ready, data_path) {
-                        return Ok(ok);
-                    }
-                }
-                Err(primary_err)
-            }
-            Err(e) => Err(e),
+        let server = &self.shared.server;
+        let mut candidates: Vec<u64> = Vec::with_capacity(4);
+        candidates.push(objid);
+        candidates.extend(server.copies_of(objid));
+        if candidates.len() > 1 {
+            let lib = server.library();
+            // Stable sort: equal-cost replicas keep primary-first order,
+            // so the unreplicated single-library timings are unchanged.
+            candidates.sort_by_key(|id| {
+                server
+                    .get(*id)
+                    .ok()
+                    .and_then(|o| lib.recall_cost_estimate(o.addr, ready))
+                    .map_or(u64::MAX, |d| d.as_nanos())
+            });
         }
+        let mut primary_err = None;
+        for id in candidates {
+            match self.fetch_exact(id, ready, data_path) {
+                Ok(ok) => {
+                    if id != objid {
+                        // Served from a replica — registered only when a
+                        // failover actually happens, so unreplicated
+                        // snapshots keep the legacy counter set.
+                        server.obs().counter("replication.failover_recalls").inc();
+                    }
+                    return Ok(ok);
+                }
+                Err(e) if id == objid => {
+                    // A hard, non-replica-specific error on the primary
+                    // (unknown object, crash, out of volumes) aborts.
+                    if !Self::failover_worthy(&e) {
+                        return Err(e);
+                    }
+                    primary_err = Some(e);
+                }
+                // Copy errors are swallowed: the primary's error (or the
+                // primary's success) decides what the caller sees.
+                Err(_) => {}
+            }
+        }
+        Err(primary_err.unwrap_or(HsmError::NoSuchObject(objid)))
     }
 
     /// Fetch exactly this object id, no copy fallback. Fenced drives and
@@ -796,6 +893,75 @@ mod tests {
         );
         let budget = lib.armed_faults().unwrap().retry().budget as u64;
         assert_eq!(lib.obs().snapshot().counter("faults.retries"), budget - 1);
+    }
+
+    #[test]
+    fn armed_plane_policy_beats_the_server_default() {
+        use copra_faults::FaultPlan;
+        let (cluster, server) = setup(1, 1, 2);
+        let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
+        // Unarmed: the server's configured default is the fallback.
+        assert_eq!(agent.recovery().1, RetryPolicy::immediate(8));
+        server.set_default_retry(RetryPolicy::immediate(3));
+        assert_eq!(agent.recovery().1, RetryPolicy::immediate(3));
+        // Armed: the plane's policy wins over whatever the server holds.
+        let lib = server.library().clone();
+        lib.arm_faults(FaultPlan::new(7).arm(lib.obs().clone()));
+        let armed = agent.recovery().1;
+        assert_eq!(armed, RetryPolicy::standard(7));
+        assert_ne!(armed, server.default_retry());
+    }
+
+    #[test]
+    fn fetch_fails_over_to_the_replica_when_a_library_is_offline() {
+        use copra_tape::{LibraryId, TapeFleet};
+        let cluster = FtaCluster::new(ClusterConfig::tiny(1));
+        let fleet = TapeFleet::new_uniform(2, 2, 4, TapeTiming::lto4(), copra_obs::Registry::new());
+        let server = TsmServer::roadrunner(fleet);
+        let agent = StorageAgent::new(NodeId(0), cluster, server.clone());
+        let content = Content::synthetic(5, 30 << 20);
+        let (primary, t1) = agent
+            .store(
+                "/f",
+                9,
+                content.clone(),
+                SimInstant::EPOCH,
+                DataPath::LanFree,
+            )
+            .unwrap();
+        let (replica, t2) = agent
+            .store_replica(
+                "/f",
+                9,
+                content.clone(),
+                t1,
+                DataPath::LanFree,
+                LibraryId(1),
+                &[],
+            )
+            .unwrap();
+        server.register_copy(primary, replica);
+        assert_eq!(
+            server
+                .library()
+                .library_of_tape(server.get(replica).unwrap().addr.tape),
+            Some(LibraryId(1)),
+            "replica must land in the constrained library"
+        );
+        // Primary's library goes dark; the recall silently re-routes.
+        server.library().libraries()[0].set_offline(true);
+        let (back, _) = agent.fetch(primary, t2, DataPath::LanFree).unwrap();
+        assert!(back.eq_content(&content));
+        // Both libraries dark: the primary's offline error surfaces.
+        server.library().libraries()[1].set_offline(true);
+        let err = agent.fetch(primary, t2, DataPath::LanFree).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HsmError::Tape(TapeError::LibraryOffline { library }) if library == LibraryId(0)
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -9,11 +9,38 @@ use copra_journal::{IntentKind, Journal};
 use copra_obs::{Counter, EventKind};
 use copra_pfs::{HsmState, Pfs};
 use copra_simtime::{DataSize, SimInstant};
-use copra_tape::TapeId;
+use copra_tape::{LibraryId, TapeError, TapeId};
 use copra_trace::{finish_opt, SpanContext, Tracer};
 use copra_vfs::Ino;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Where a migrated file's tape objects land across the fleet's
+/// libraries — the replication layer's one policy knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// One tape object per file (the historical single-library behaviour).
+    Single,
+    /// `copies` total replicas per file (primary included). Replica *i*
+    /// is steered to library `(primary_lib + i) mod N`, so every replica
+    /// of an object sits in a different library when the fleet has one to
+    /// spare — a whole-library outage then leaves a recallable copy.
+    /// With a single library the replicas still land on distinct volumes
+    /// (classic copy groups). Collocated migrates keep their group's
+    /// volume for the primary; replicas follow the round-robin.
+    Mirror { copies: u32 },
+}
+
+impl PlacementPolicy {
+    /// Total replicas per object under this policy (>= 1).
+    pub fn total_copies(self) -> u32 {
+        match self {
+            PlacementPolicy::Single => 1,
+            PlacementPolicy::Mirror { copies } => copies.max(1),
+        }
+    }
+}
 
 /// How recall requests are assigned to the per-node recall daemons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,6 +76,11 @@ struct HsmMetrics {
     recall_ops: Arc<Counter>,
     affinity_hits: Arc<Counter>,
     affinity_misses: Arc<Counter>,
+    /// Replica objects written by the placement policy (beyond primaries).
+    replica_writes: Arc<Counter>,
+    /// Migrates that sealed with fewer replicas than the policy intended
+    /// (target library offline / out of volumes) — re-silver's work-list.
+    degraded_migrates: Arc<Counter>,
 }
 
 /// The HSM service for one archive file system.
@@ -62,6 +94,8 @@ pub struct Hsm {
     /// Write-ahead intent log for multi-store mutations (migrate,
     /// sync-delete, purge, reclaim). Shared with the core layer.
     journal: Arc<Journal>,
+    /// Replica placement for migrates (shared across clones).
+    placement: Arc<RwLock<PlacementPolicy>>,
 }
 
 impl Hsm {
@@ -78,6 +112,8 @@ impl Hsm {
             recall_ops: obs.counter("hsm.recall_ops"),
             affinity_hits: obs.counter("hsm.recall.affinity_hits"),
             affinity_misses: obs.counter("hsm.recall.affinity_misses"),
+            replica_writes: obs.counter("replication.replica_writes"),
+            degraded_migrates: obs.counter("replication.degraded_migrates"),
         };
         let journal = Journal::new(obs);
         Hsm {
@@ -87,7 +123,20 @@ impl Hsm {
             agents,
             metrics,
             journal,
+            placement: Arc::new(RwLock::new(PlacementPolicy::Single)),
         }
+    }
+
+    /// The active replica placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        *self.placement.read()
+    }
+
+    /// Switch replica placement. The server's replica target follows, so
+    /// scrub and re-silver measure under-replication against the policy.
+    pub fn set_placement(&self, policy: PlacementPolicy) {
+        *self.placement.write() = policy;
+        self.server.set_replica_target(policy.total_copies());
     }
 
     pub fn pfs(&self) -> &Pfs {
@@ -174,12 +223,15 @@ impl Hsm {
         // in flight. The intent is sealed *before* the punch so that an
         // open MigrateCommit always still has its disk copy — rollback
         // never needs to un-punch.
+        let extra = self.placement().total_copies() - 1;
         let seq = self.journal.begin_intent_ctx(
             IntentKind::MigrateCommit {
                 ino: ino.0,
                 path: path.clone(),
                 objid: None,
                 punch,
+                replicas: Vec::new(),
+                replica_target: extra,
             },
             ready,
             gctx,
@@ -191,10 +243,31 @@ impl Hsm {
         let w1 = tracer.wall_now_ns();
         let (objid, t) = self
             .agent(node)
-            .store(&path, ino.0, content, r.end, data_path)?;
+            .store(&path, ino.0, content.clone(), r.end, data_path)?;
         tracer.record_closed(gctx, "hsm.agent.store", ino.0, r.end, t, w1);
         self.journal.annotate_objid(seq, objid);
         self.server.crash_point("migrate.after_store", t)?;
+        // Replicated placement: fan the object out across the other
+        // libraries before the namespace learns about the migrate. A
+        // replica that cannot be written (library offline, no volumes)
+        // degrades the migrate instead of failing it; re-silver repairs.
+        let t = if extra > 0 {
+            let (_, t) = self.write_replicas(
+                ino,
+                &path,
+                &content,
+                objid,
+                node,
+                data_path,
+                t,
+                extra,
+                Some(seq),
+                true,
+            )?;
+            t
+        } else {
+            t
+        };
         self.pfs.mark_premigrated(ino, objid)?;
         self.server.crash_point("migrate.after_mark", t)?;
         self.journal.seal(seq, t);
@@ -212,6 +285,120 @@ impl Hsm {
         );
         finish_opt(guard, t);
         Ok((objid, t))
+    }
+
+    /// Write up to `want` additional replicas of `primary` (an object of
+    /// file `ino` whose image is `content`), registering each as a tape
+    /// copy. Candidate libraries are walked round-robin from the
+    /// primary's: each replica prefers a library not yet holding one, and
+    /// a single-library fleet falls back to distinct volumes (classic
+    /// copy groups). Offline or full libraries are skipped — the write
+    /// *degrades* (fewer replicas than asked, `replication.degraded_migrates`
+    /// counts it) rather than fails; re-silver restores the count later.
+    ///
+    /// `seq` (when journaled) collects each replica objid into the open
+    /// `MigrateCommit`'s completion set; `from_disk` charges a pfs read
+    /// per replica (the migrate path — re-silver sources from tape and
+    /// charges its own fetch). Returns (replicas written, completion).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn write_replicas(
+        &self,
+        ino: Ino,
+        path: &str,
+        content: &copra_vfs::Content,
+        primary: u64,
+        node: NodeId,
+        data_path: DataPath,
+        ready: SimInstant,
+        want: u32,
+        seq: Option<u64>,
+        from_disk: bool,
+    ) -> HsmResult<(u32, SimInstant)> {
+        let fleet = self.server.library().clone();
+        let n = fleet.library_count() as u32;
+        let pobj = self.server.get(primary)?;
+        let plib = fleet.library_of_tape(pobj.addr.tape).map_or(0, |l| l.0);
+        let mut used: Vec<TapeId> = vec![pobj.addr.tape];
+        let mut occupied: Vec<u32> = if n > 1 { vec![plib] } else { Vec::new() };
+        for c in self.server.copies_of(primary) {
+            if let Ok(o) = self.server.get(c) {
+                used.push(o.addr.tape);
+                if let Some(l) = fleet.library_of_tape(o.addr.tape) {
+                    occupied.push(l.0);
+                }
+            }
+        }
+        let len = DataSize::from_bytes(content.len());
+        let mut cursor = ready;
+        let mut written = 0u32;
+        let mut degraded = false;
+        for i in 0..want {
+            let mut placed = false;
+            for off in 0..n {
+                let lib = LibraryId((plib + 1 + i + off) % n);
+                // Prefer a library without a replica; once every library
+                // holds one, distinct volumes are the only constraint.
+                let all_taken = (0..n).all(|l| occupied.contains(&l));
+                if occupied.contains(&lib.0) && !all_taken {
+                    continue;
+                }
+                if fleet.libraries()[lib.0 as usize].is_offline(cursor) {
+                    // Routing around the outage still observes it.
+                    fleet.libraries()[lib.0 as usize].note_outage(cursor);
+                    continue;
+                }
+                let t0 = if from_disk {
+                    self.pfs.charge_read(ino, cursor, len).end
+                } else {
+                    cursor
+                };
+                match self.agent(node).store_replica(
+                    path,
+                    ino.0,
+                    content.clone(),
+                    t0,
+                    data_path,
+                    lib,
+                    &used,
+                ) {
+                    Ok((copy, t)) => {
+                        cursor = t;
+                        if let Some(seq) = seq {
+                            self.journal.annotate_replica(seq, copy);
+                        }
+                        self.server.register_copy(primary, copy);
+                        self.metrics.replica_writes.inc();
+                        if let Ok(o) = self.server.get(copy) {
+                            used.push(o.addr.tape);
+                        }
+                        occupied.push(lib.0);
+                        written += 1;
+                        self.server
+                            .crash_point("migrate.replica.after_store", cursor)?;
+                        placed = true;
+                        break;
+                    }
+                    Err(
+                        HsmError::Tape(TapeError::LibraryOffline { .. })
+                        | HsmError::OutOfVolumes { .. },
+                    ) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            if !placed {
+                degraded = true;
+            }
+        }
+        if degraded {
+            self.metrics.degraded_migrates.inc();
+            self.server.obs().event(
+                cursor,
+                EventKind::Marker {
+                    label: format!("degraded-migrate ino={} written={written}/{want}", ino.0),
+                },
+            );
+        }
+        Ok((written, cursor))
     }
 
     /// Space-reclaim `tape` under a journaled intent: live objects are

@@ -37,8 +37,8 @@ pub mod server;
 pub use agent::{DataPath, StorageAgent};
 pub use backup::{BackupOutcome, BackupVersion};
 pub use error::{HsmError, HsmResult};
-pub use hsm::{Hsm, RecallPolicy, RecallRequest};
+pub use hsm::{Hsm, PlacementPolicy, RecallPolicy, RecallRequest};
 pub use object::{ObjectKind, TsmObject};
 pub use reclaim::{reclaim_eligible, reclaim_volume, ReclaimReport};
-pub use reconcile::{reconcile, scrub, ReconcileReport, ScrubReport};
+pub use reconcile::{reconcile, resilver, scrub, ReconcileReport, ResilverReport, ScrubReport};
 pub use server::TsmServer;

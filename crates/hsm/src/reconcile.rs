@@ -7,12 +7,17 @@
 //! keep it (a) as the correctness baseline the synchronous deleter is
 //! checked against and (b) as the T-SYNCDEL benchmark baseline.
 
+use crate::agent::DataPath;
 use crate::error::HsmResult;
+use crate::hsm::Hsm;
+use crate::object::ObjectKind;
 use crate::server::TsmServer;
+use copra_cluster::NodeId;
 use copra_metadb::TsmCatalog;
 use copra_obs::EventKind;
 use copra_pfs::{HsmState, Pfs};
 use copra_simtime::SimInstant;
+use copra_vfs::Ino;
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 
@@ -61,14 +66,18 @@ pub fn reconcile(
             referenced.insert(objid);
         }
     }
-    // Phase 2: sweep the DB for file-objects nothing references.
+    // Phase 2: sweep the DB for file-objects nothing references. Registered
+    // tape copies are exempt: no file references a replica directly — it
+    // lives and dies with its primary (deleting an orphaned primary sweeps
+    // its copy group), and the scrub replica audit handles dead replicas.
+    let copy_ids: FxHashSet<u64> = server.all_copy_objids().into_iter().collect();
     let mut orphans = Vec::new();
     let objects = server.objects();
     let db_objects = objects.len();
     for obj in objects {
         cursor = server.meta_op(cursor);
         let is_file_object = obj.fs_ino != 0;
-        if is_file_object && !referenced.contains(&obj.objid) {
+        if is_file_object && !copy_ids.contains(&obj.objid) && !referenced.contains(&obj.objid) {
             orphans.push(obj.objid);
         }
     }
@@ -101,6 +110,16 @@ pub struct ScrubReport {
     pub tape_records_dropped: usize,
     /// Catalog-replica rows the re-export had to write or prune.
     pub catalog_rows_fixed: u64,
+    /// Primary objects with fewer live replicas than the fleet's
+    /// replica target demands (only populated when the target is > 1).
+    /// Re-silvering — not scrub — is the repair.
+    #[serde(default)]
+    pub under_replicated: Vec<u64>,
+    /// Registered copy objects whose tape record is gone, deleted, or
+    /// damaged: the replica diverged from its registration and no longer
+    /// protects the primary.
+    #[serde(default)]
+    pub diverged_replicas: Vec<u64>,
     /// Simulated completion time.
     pub end: SimInstant,
 }
@@ -113,7 +132,27 @@ impl ScrubReport {
             && self.lost_stubs.is_empty()
             && self.tape_records_dropped == 0
             && self.catalog_rows_fixed == 0
+            && self.under_replicated.is_empty()
+            && self.diverged_replicas.is_empty()
     }
+}
+
+/// A registered replica still protects its primary only while its tape
+/// record exists and is neither deleted nor damaged. An offline library
+/// does NOT make its replicas diverged — the record metadata survives the
+/// outage and the bytes come back with the library.
+fn replica_readable(server: &TsmServer, objid: u64) -> bool {
+    let Ok(obj) = server.get(objid) else {
+        return false;
+    };
+    server
+        .library()
+        .with_cartridge(obj.addr.tape, |c| {
+            c.record(obj.addr.seq)
+                .map(|r| !r.is_deleted() && !r.damaged)
+                .unwrap_or(false)
+        })
+        .unwrap_or(false)
 }
 
 /// Self-healing scrub: reconcile-with-fix plus the crash-damage repairs
@@ -125,7 +164,12 @@ impl ScrubReport {
 ///    reported as lost;
 /// 3. tape records diverging from the DB (record with no DB object, or a
 ///    DB object now living at a different address) — dropped;
-/// 4. catalog replica re-exported and its indexes verified.
+/// 4. catalog replica re-exported and its indexes verified;
+/// 5. (replicated fleets only, i.e. replica target > 1) replica audit:
+///    every simple primary is checked against the target; primaries short
+///    of live replicas are reported `under_replicated`, registered copies
+///    whose tape record died are reported `diverged_replicas`. Scrub only
+///    *reports* these — [`resilver`] is the repair.
 ///
 /// Emits `scrub.*` counters and `Recovery` events; panics never, errors
 /// only on infrastructure failure.
@@ -229,6 +273,56 @@ pub fn scrub(
         .verify_indexes()
         .expect("catalog indexes consistent after scrub");
 
+    // Phase 5: replica audit. Gated on the fleet's replica target so
+    // unreplicated deployments keep the exact legacy scrub behaviour
+    // (reports, counters, and sim-time charges all unchanged).
+    let target = server.replica_target();
+    if target > 1 {
+        let copy_ids: FxHashSet<u64> = server.all_copy_objids().into_iter().collect();
+        for obj in server.objects() {
+            if obj.fs_ino == 0
+                || copy_ids.contains(&obj.objid)
+                || !matches!(obj.kind, ObjectKind::Simple)
+            {
+                continue;
+            }
+            cursor = server.meta_op(cursor);
+            let mut live = 0u32;
+            for copy in server.copies_of(obj.objid) {
+                if replica_readable(server, copy) {
+                    live += 1;
+                } else {
+                    report.diverged_replicas.push(copy);
+                    obs.event(
+                        cursor,
+                        EventKind::Recovery {
+                            what: "scrub-replica".into(),
+                            detail: format!(
+                                "{}: replica {copy} of object {} diverged",
+                                obj.path, obj.objid
+                            ),
+                        },
+                    );
+                }
+            }
+            if 1 + live < target {
+                report.under_replicated.push(obj.objid);
+                obs.event(
+                    cursor,
+                    EventKind::Recovery {
+                        what: "scrub-replica".into(),
+                        detail: format!(
+                            "{}: object {} has {} of {target} copies",
+                            obj.path,
+                            obj.objid,
+                            1 + live
+                        ),
+                    },
+                );
+            }
+        }
+    }
+
     obs.counter("scrub.passes").inc();
     obs.counter("scrub.orphans_deleted")
         .add(report.orphans_deleted.len() as u64);
@@ -240,7 +334,168 @@ pub fn scrub(
         .add(report.tape_records_dropped as u64);
     obs.counter("scrub.catalog_rows_fixed")
         .add(report.catalog_rows_fixed);
+    // Replica-audit counters are registered only when the audit actually
+    // found work, so unreplicated (and healthy replicated) snapshots stay
+    // byte-identical to the legacy counter set.
+    if !report.under_replicated.is_empty() {
+        obs.counter("scrub.under_replicated")
+            .add(report.under_replicated.len() as u64);
+    }
+    if !report.diverged_replicas.is_empty() {
+        obs.counter("scrub.diverged_replicas")
+            .add(report.diverged_replicas.len() as u64);
+    }
 
+    report.end = cursor;
+    Ok(report)
+}
+
+/// What a re-silver pass did.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResilverReport {
+    /// Primary objects examined against the replica target.
+    pub examined: usize,
+    /// Primaries that got at least one new replica written.
+    pub repaired: Vec<u64>,
+    /// Total replicas written across all repairs.
+    pub replicas_written: u32,
+    /// Primaries still short of the target after the pass (source
+    /// unreadable, or no library had room for the replica).
+    pub still_under: Vec<u64>,
+    /// Simulated completion time.
+    pub end: SimInstant,
+}
+
+impl ResilverReport {
+    /// True when every examined primary now meets the replica target.
+    pub fn is_complete(&self) -> bool {
+        self.still_under.is_empty()
+    }
+}
+
+/// Re-silver: restore every under-replicated primary to the fleet's
+/// replica target — the repair arm of scrub's replica audit, and the
+/// recovery step after a library outage degraded migrates.
+///
+/// For each simple primary short of live replicas the pass recalls the
+/// bytes through the cost-routed agent fetch (so a healthy replica is the
+/// source even when the primary's library is the one that failed) and
+/// fans them back out via the placement walk. Failures degrade, never
+/// abort: an unreadable source or a full fleet lands the primary in
+/// `still_under` and the pass moves on. No journal intent is written —
+/// re-silvering is idempotent, and a crash mid-pass just leaves fewer
+/// replicas for the next pass to finish.
+///
+/// Emits `hsm.resilver` spans, `replication.resilver_passes` /
+/// `replication.resilvered` counters, and `Recovery` events per repair.
+/// No-op (zero cost, zero spans) when the replica target is 1.
+pub fn resilver(
+    hsm: &Hsm,
+    node: NodeId,
+    data_path: DataPath,
+    ready: SimInstant,
+) -> HsmResult<ResilverReport> {
+    let server = hsm.server();
+    let target = server.replica_target();
+    let mut report = ResilverReport {
+        end: ready,
+        ..Default::default()
+    };
+    if target <= 1 {
+        return Ok(report);
+    }
+    let obs = server.obs().clone();
+    let tracer = hsm.tracer();
+    let guard = tracer.span(None, "hsm.resilver", 0, ready);
+    let gctx = guard.as_ref().map(|g| g.ctx());
+    let copy_ids: FxHashSet<u64> = server.all_copy_objids().into_iter().collect();
+    let mut cursor = ready;
+    for obj in server.objects() {
+        if obj.fs_ino == 0
+            || copy_ids.contains(&obj.objid)
+            || !matches!(obj.kind, ObjectKind::Simple)
+        {
+            continue;
+        }
+        cursor = server.meta_op(cursor);
+        report.examined += 1;
+        let mut live = 0u32;
+        for copy in server.copies_of(obj.objid) {
+            if replica_readable(server, copy) {
+                live += 1;
+            } else {
+                // Dead replica: drop its remnants and its registration so
+                // the placement walk can refill the slot and scrub stops
+                // flagging the divergence.
+                if server.contains(copy) {
+                    match server.delete_object(copy, cursor) {
+                        Ok(t) => cursor = t,
+                        // Record already gone — drop the DB row alone.
+                        Err(_) => {
+                            server.forget_object(copy);
+                        }
+                    }
+                }
+                server.deregister_copy(obj.objid, copy);
+            }
+        }
+        let have = 1 + live;
+        if have >= target {
+            continue;
+        }
+        let want = target - have;
+        let w0 = tracer.wall_now_ns();
+        let t0 = cursor;
+        // Cost-routed fetch: reads the cheapest *live* replica, which is
+        // exactly what we need when the primary's library is the sick one.
+        let content = match hsm.agent(node).fetch(obj.objid, cursor, data_path) {
+            Ok((content, t)) => {
+                cursor = t;
+                content
+            }
+            Err(_) => {
+                report.still_under.push(obj.objid);
+                continue;
+            }
+        };
+        let (written, t) = hsm.write_replicas(
+            Ino(obj.fs_ino),
+            &obj.path,
+            &content,
+            obj.objid,
+            node,
+            data_path,
+            cursor,
+            want,
+            None,
+            false,
+        )?;
+        cursor = t;
+        tracer.record_closed(gctx, "hsm.resilver.repair", obj.objid, t0, cursor, w0);
+        if written > 0 {
+            report.repaired.push(obj.objid);
+            report.replicas_written += written;
+            obs.event(
+                cursor,
+                EventKind::Recovery {
+                    what: "resilver".into(),
+                    detail: format!(
+                        "{}: wrote {written} replica(s) for object {}",
+                        obj.path, obj.objid
+                    ),
+                },
+            );
+        }
+        if have + written < target {
+            report.still_under.push(obj.objid);
+        }
+    }
+    if let Some(g) = guard {
+        g.finish(cursor);
+    }
+    obs.counter("replication.resilver_passes").inc();
+    obs.counter("replication.resilvered")
+        .add(report.replicas_written as u64);
     report.end = cursor;
     Ok(report)
 }
@@ -248,12 +503,11 @@ pub fn scrub(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::agent::DataPath;
-    use crate::hsm::Hsm;
-    use copra_cluster::{ClusterConfig, FtaCluster, NodeId};
+    use crate::hsm::{Hsm, PlacementPolicy};
+    use copra_cluster::{ClusterConfig, FtaCluster};
     use copra_pfs::{PfsBuilder, PoolConfig};
     use copra_simtime::{Clock, DataSize};
-    use copra_tape::{TapeLibrary, TapeTiming};
+    use copra_tape::{TapeFleet, TapeLibrary, TapeTiming};
     use copra_vfs::Content;
 
     fn setup() -> Hsm {
@@ -263,6 +517,24 @@ mod tests {
         let cluster = FtaCluster::new(ClusterConfig::tiny(2));
         let server = TsmServer::roadrunner(TapeLibrary::new(2, 8, TapeTiming::lto4()));
         Hsm::new(pfs, server, cluster)
+    }
+
+    fn setup_mirrored(libraries: usize) -> Hsm {
+        let pfs = PfsBuilder::new("archive", Clock::new())
+            .pool(PoolConfig::fast_disk("fast", 4, DataSize::tb(100)))
+            .build();
+        let cluster = FtaCluster::new(ClusterConfig::tiny(2));
+        let fleet = TapeFleet::new_uniform(
+            libraries,
+            2,
+            8,
+            TapeTiming::lto4(),
+            copra_obs::Registry::new(),
+        );
+        let server = TsmServer::roadrunner(fleet);
+        let hsm = Hsm::new(pfs, server, cluster);
+        hsm.set_placement(PlacementPolicy::Mirror { copies: 2 });
+        hsm
     }
 
     #[test]
@@ -392,5 +664,112 @@ mod tests {
         let r = reconcile(&pfs, hsm.server(), SimInstant::EPOCH, false).unwrap();
         // 50 per-file transactions at 2 ms each
         assert!(r.end.as_secs_f64() >= 0.1 - 1e-9, "{}", r.end.as_secs_f64());
+    }
+
+    #[test]
+    fn resilver_is_a_no_op_on_an_unreplicated_fleet() {
+        let hsm = setup();
+        let pfs = hsm.pfs().clone();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(1, 1 << 20))
+            .unwrap();
+        let (_, t) = hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, true)
+            .unwrap();
+        let r = resilver(&hsm, NodeId(0), DataPath::LanFree, t).unwrap();
+        assert_eq!(r.examined, 0);
+        assert_eq!(r.end, t, "no replica target, no simulated cost");
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn scrub_reports_under_replication_and_resilver_repairs_it() {
+        let hsm = setup_mirrored(2);
+        let pfs = hsm.pfs().clone();
+        let catalog = TsmCatalog::new();
+        let mut cursor = SimInstant::EPOCH;
+        // Two healthy mirrored migrates...
+        for i in 0..2u64 {
+            let ino = pfs
+                .create_file(&format!("/ok{i}"), 0, Content::synthetic(i, 1 << 20))
+                .unwrap();
+            let (_, t) = hsm
+                .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+                .unwrap();
+            cursor = t;
+        }
+        // ...then one migrated while library 1 is down: degraded, no replica.
+        hsm.server().library().libraries()[1].set_offline(true);
+        let ino = pfs
+            .create_file("/degraded", 0, Content::synthetic(9, 1 << 20))
+            .unwrap();
+        let (objid, t) = hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, cursor, true)
+            .unwrap();
+        cursor = t;
+        assert!(
+            hsm.server().copies_of(objid).is_empty(),
+            "offline library must degrade the migrate, not block it"
+        );
+        hsm.server().library().libraries()[1].set_offline(false);
+
+        let report = scrub(&pfs, hsm.server(), &catalog, cursor).unwrap();
+        assert_eq!(report.under_replicated, vec![objid]);
+        assert!(report.diverged_replicas.is_empty());
+        assert!(!report.is_clean());
+        let snap = hsm.server().obs().snapshot();
+        assert_eq!(snap.counter("scrub.under_replicated"), 1);
+
+        let r = resilver(&hsm, NodeId(0), DataPath::LanFree, report.end).unwrap();
+        assert_eq!(r.examined, 3);
+        assert_eq!(r.repaired, vec![objid]);
+        assert_eq!(r.replicas_written, 1);
+        assert!(r.is_complete(), "{r:?}");
+        assert_eq!(hsm.server().copies_of(objid).len(), 1);
+
+        // Re-silver grew the DB; converge the catalog before the clean check.
+        hsm.server().export(&catalog);
+        let again = scrub(&pfs, hsm.server(), &catalog, r.end).unwrap();
+        assert!(again.is_clean(), "{again:?}");
+        let snap = hsm.server().obs().snapshot();
+        assert_eq!(snap.counter("replication.resilver_passes"), 1);
+        assert_eq!(snap.counter("replication.resilvered"), 1);
+    }
+
+    #[test]
+    fn scrub_flags_damaged_replicas_and_resilver_replaces_them() {
+        let hsm = setup_mirrored(2);
+        let pfs = hsm.pfs().clone();
+        let catalog = TsmCatalog::new();
+        let ino = pfs
+            .create_file("/f", 0, Content::synthetic(3, 1 << 20))
+            .unwrap();
+        let (objid, t) = hsm
+            .migrate_file(ino, NodeId(0), DataPath::LanFree, SimInstant::EPOCH, true)
+            .unwrap();
+        let copies = hsm.server().copies_of(objid);
+        assert_eq!(copies.len(), 1);
+        let replica = copies[0];
+        let addr = hsm.server().get(replica).unwrap().addr;
+        hsm.server().library().damage_record(addr).unwrap();
+
+        let report = scrub(&pfs, hsm.server(), &catalog, t).unwrap();
+        assert_eq!(report.diverged_replicas, vec![replica]);
+        assert_eq!(report.under_replicated, vec![objid]);
+        let snap = hsm.server().obs().snapshot();
+        assert_eq!(snap.counter("scrub.diverged_replicas"), 1);
+
+        // Re-silver drops the dead replica and writes a fresh one.
+        let r = resilver(&hsm, NodeId(0), DataPath::LanFree, report.end).unwrap();
+        assert_eq!(r.repaired, vec![objid]);
+        assert!(r.is_complete(), "{r:?}");
+        let copies = hsm.server().copies_of(objid);
+        assert_eq!(copies.len(), 1);
+        assert_ne!(copies[0], replica, "dead replica must be deregistered");
+
+        // Re-silver rewrote the replica set; converge the catalog first.
+        hsm.server().export(&catalog);
+        let again = scrub(&pfs, hsm.server(), &catalog, r.end).unwrap();
+        assert!(again.is_clean(), "{again:?}");
     }
 }

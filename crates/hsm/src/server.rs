@@ -3,16 +3,17 @@
 
 use crate::error::{HsmError, HsmResult};
 use crate::object::{ObjectKind, TsmObject};
+use copra_faults::RetryPolicy;
 use copra_metadb::{TsmCatalog, TsmObjectRow};
 use copra_simtime::{Bandwidth, DataSize, SimDuration, SimInstant, Timeline};
-use copra_tape::{TapeId, TapeLibrary};
+use copra_tape::{LibraryId, TapeFleet, TapeId};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Shared {
-    library: TapeLibrary,
+    library: TapeFleet,
     db: RwLock<FxHashMap<u64, TsmObject>>,
     /// Copy storage groups: primary object → additional tape copies
     /// (§3.1-7's "multiple copies" ILM requirement).
@@ -30,6 +31,12 @@ struct Shared {
     /// Metadata transaction path (latency per operation). LAN-free movers
     /// still pay this for every object.
     meta: Timeline,
+    /// Retry policy handed to data movers when no fault plane is armed —
+    /// the single knob replacing the hardcoded per-callsite fallbacks.
+    default_retry: RwLock<RetryPolicy>,
+    /// Replica count the placement policy aims for (1 = unreplicated).
+    /// Scrub and re-silver measure under-replication against this.
+    replica_target: AtomicU32,
 }
 
 /// Handle to the server (cheap to clone).
@@ -39,12 +46,13 @@ pub struct TsmServer {
 }
 
 impl TsmServer {
-    /// A server fronting `library`, with the given NIC rate and per-
-    /// transaction metadata latency.
-    pub fn new(library: TapeLibrary, nic: Bandwidth, meta_latency: SimDuration) -> Self {
+    /// A server fronting `library` (a single [`copra_tape::TapeLibrary`]
+    /// or a multi-library [`TapeFleet`]), with the given NIC rate and
+    /// per-transaction metadata latency.
+    pub fn new(library: impl Into<TapeFleet>, nic: Bandwidth, meta_latency: SimDuration) -> Self {
         TsmServer {
             shared: Arc::new(Shared {
-                library,
+                library: library.into(),
                 db: RwLock::new(FxHashMap::default()),
                 copy_groups: RwLock::new(FxHashMap::default()),
                 backups: RwLock::new(FxHashMap::default()),
@@ -52,13 +60,15 @@ impl TsmServer {
                 next_objid: AtomicU64::new(1),
                 nic: Timeline::new("tsm-server-nic", nic, SimDuration::from_micros(50)),
                 meta: Timeline::latency_only("tsm-server-meta", meta_latency),
+                default_retry: RwLock::new(RetryPolicy::immediate(8)),
+                replica_target: AtomicU32::new(1),
             }),
         }
     }
 
     /// The paper's setup: one pSeries server with a 10GigE NIC and a
     /// few-millisecond object-transaction cost.
-    pub fn roadrunner(library: TapeLibrary) -> Self {
+    pub fn roadrunner(library: impl Into<TapeFleet>) -> Self {
         TsmServer::new(
             library,
             Bandwidth::gbit_per_sec(10),
@@ -66,8 +76,33 @@ impl TsmServer {
         )
     }
 
-    pub fn library(&self) -> &TapeLibrary {
+    pub fn library(&self) -> &TapeFleet {
         &self.shared.library
+    }
+
+    /// The retry policy movers fall back to when no fault plane supplies
+    /// one. Defaults to [`RetryPolicy::immediate`] with an 8-attempt
+    /// budget — the historical hardcoded behaviour.
+    pub fn default_retry(&self) -> RetryPolicy {
+        *self.shared.default_retry.read()
+    }
+
+    /// Replace the fallback retry policy (system-level configuration).
+    pub fn set_default_retry(&self, policy: RetryPolicy) {
+        *self.shared.default_retry.write() = policy;
+    }
+
+    /// The replica count placement currently aims for (>= 1).
+    pub fn replica_target(&self) -> u32 {
+        self.shared.replica_target.load(Ordering::Relaxed)
+    }
+
+    /// Declare the replica count placement aims for; scrub and re-silver
+    /// measure under-replication against this.
+    pub fn set_replica_target(&self, copies: u32) {
+        self.shared
+            .replica_target
+            .store(copies.max(1), Ordering::Relaxed);
     }
 
     /// The observability registry this server reports into (shared with
@@ -169,10 +204,44 @@ impl TsmServer {
         ready: SimInstant,
     ) -> HsmResult<(TapeId, SimInstant)> {
         let t = self.meta_op(ready);
+        // An offline library's volumes are unmountable — steer the write
+        // to a surviving library instead of burning the mount-retry budget.
         let candidates: Vec<TapeId> = self
             .shared
             .library
             .tapes_with_space(len)
+            .into_iter()
+            .filter(|id| !avoid.contains(id) && !self.shared.library.tape_library_offline(*id, t))
+            .collect();
+        if candidates.is_empty() {
+            return Err(HsmError::OutOfVolumes {
+                needed: len.as_bytes(),
+            });
+        }
+        let unmounted = candidates
+            .iter()
+            .copied()
+            .find(|id| self.shared.library.drive_holding(*id).is_none());
+        Ok((unmounted.unwrap_or(candidates[0]), t))
+    }
+
+    /// Volume assignment constrained to one library of the fleet — replica
+    /// placement steers each copy to its own library so a whole-library
+    /// outage leaves a recallable replica elsewhere. Same unmounted-first
+    /// preference as [`TsmServer::assign_volume_avoiding`]; one metadata
+    /// transaction.
+    pub fn assign_volume_in_library(
+        &self,
+        len: DataSize,
+        lib: LibraryId,
+        avoid: &[TapeId],
+        ready: SimInstant,
+    ) -> HsmResult<(TapeId, SimInstant)> {
+        let t = self.meta_op(ready);
+        let candidates: Vec<TapeId> = self
+            .shared
+            .library
+            .tapes_with_space_in(lib, len)
             .into_iter()
             .filter(|id| !avoid.contains(id))
             .collect();
@@ -203,7 +272,9 @@ impl TsmServer {
                 .library
                 .with_cartridge(tape, |c| c.remaining() >= len)
                 .unwrap_or(false);
-            if has_space {
+            // A group's volume stranded in an offline library is not
+            // reusable right now; fall through and assign a fresh one.
+            if has_space && !self.shared.library.tape_library_offline(tape, ready) {
                 return Ok((tape, self.meta_op(ready)));
             }
         }
@@ -236,6 +307,31 @@ impl TsmServer {
             .entry(primary)
             .or_default()
             .push(copy);
+    }
+
+    /// Remove one copy registration from `primary`'s group. The copy
+    /// object itself is untouched — re-silver uses this to drop a dead
+    /// replica's registration after deleting its remnants.
+    pub fn deregister_copy(&self, primary: u64, copy: u64) {
+        let mut groups = self.shared.copy_groups.write();
+        if let Some(v) = groups.get_mut(&primary) {
+            v.retain(|&c| c != copy);
+            if v.is_empty() {
+                groups.remove(&primary);
+            }
+        }
+    }
+
+    /// Every objid registered as a copy of *some* primary — the scrub and
+    /// re-silver passes use this to tell primaries from replicas.
+    pub fn all_copy_objids(&self) -> Vec<u64> {
+        self.shared
+            .copy_groups
+            .read()
+            .values()
+            .flatten()
+            .copied()
+            .collect()
     }
 
     /// Additional copies registered for an object.
@@ -307,9 +403,13 @@ impl TsmServer {
         let mut t = ready;
         if let Some(copies) = copies {
             for copy in copies {
-                // Best effort: a copy may already be gone.
-                if let Ok(end) = self.delete_object(copy, t) {
-                    t = end;
+                match self.delete_object(copy, t) {
+                    Ok(end) => t = end,
+                    // Simulated process death mid-sweep must surface —
+                    // recovery deals with the torn group.
+                    Err(e @ HsmError::Crashed { .. }) => return Err(e),
+                    // Best effort otherwise: a copy may already be gone.
+                    Err(_) => {}
                 }
             }
         }
@@ -388,7 +488,7 @@ impl TsmServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use copra_tape::{DriveId, TapeAddress, TapeTiming};
+    use copra_tape::{DriveId, TapeAddress, TapeLibrary, TapeTiming};
     use copra_vfs::Content;
 
     fn server() -> TsmServer {
@@ -511,6 +611,42 @@ mod tests {
         lib.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
         let (tape, _) = s.assign_volume(DataSize::mb(1), SimInstant::EPOCH).unwrap();
         assert_ne!(tape, TapeId(0), "mounted volume should be skipped");
+    }
+
+    #[test]
+    fn assign_volume_in_library_stays_inside_that_library() {
+        use copra_tape::TapeFleet;
+        let fleet = TapeFleet::new_uniform(2, 2, 4, TapeTiming::lto4(), copra_obs::Registry::new());
+        let s = TsmServer::roadrunner(fleet);
+        for lib in [LibraryId(0), LibraryId(1)] {
+            let (tape, _) = s
+                .assign_volume_in_library(DataSize::mb(1), lib, &[], SimInstant::EPOCH)
+                .unwrap();
+            assert_eq!(
+                s.library().library_of_tape(tape),
+                Some(lib),
+                "assignment for {lib} landed on the wrong library"
+            );
+        }
+        // avoid-list is honoured inside the constrained set too
+        let all_lib1: Vec<TapeId> = (4..8).map(TapeId).collect();
+        assert!(matches!(
+            s.assign_volume_in_library(DataSize::mb(1), LibraryId(1), &all_lib1, SimInstant::EPOCH),
+            Err(HsmError::OutOfVolumes { .. })
+        ));
+    }
+
+    #[test]
+    fn default_retry_and_replica_target_round_trip() {
+        let s = server();
+        assert_eq!(s.default_retry(), RetryPolicy::immediate(8));
+        s.set_default_retry(RetryPolicy::standard(99));
+        assert_eq!(s.default_retry(), RetryPolicy::standard(99));
+        assert_eq!(s.replica_target(), 1);
+        s.set_replica_target(3);
+        assert_eq!(s.replica_target(), 3);
+        s.set_replica_target(0);
+        assert_eq!(s.replica_target(), 1, "target is clamped to >= 1");
     }
 
     #[test]

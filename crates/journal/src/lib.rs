@@ -41,12 +41,22 @@ use std::sync::Arc;
 pub enum IntentKind {
     /// Migrate one file to tape and (optionally) punch its disk copy.
     /// `objid` is None until the TSM server allocates one; an open intent
-    /// without an objid touched nothing durable yet.
+    /// without an objid touched nothing durable yet. Under a replicated
+    /// placement policy the intent also tracks the per-replica completion
+    /// set: `replica_target` extra copies were intended and `replicas`
+    /// holds the objids actually written so far, so a crash mid-
+    /// replication rolls the whole group forward or back coherently.
     MigrateCommit {
         ino: u64,
         path: String,
         objid: Option<u64>,
         punch: bool,
+        /// Extra replica objids written so far (beyond the primary).
+        #[serde(default)]
+        replicas: Vec<u64>,
+        /// Extra replicas the placement policy intended (0 = unreplicated).
+        #[serde(default)]
+        replica_target: u32,
     },
     /// Synchronously delete a file and its tape objects (§4.2.6: "in the
     /// same operation"). `objids` is collected before the unlink so
@@ -217,6 +227,17 @@ impl Journal {
         }
     }
 
+    /// Append a completed replica write to an open `MigrateCommit`'s
+    /// completion set (journaled **after** the replica's tape record and
+    /// DB row exist, like [`Journal::annotate_objid`] for the primary).
+    pub fn annotate_replica(&self, seq: u64, objid: u64) {
+        if let Some(rec) = self.records.lock().get_mut(&seq) {
+            if let IntentKind::MigrateCommit { replicas, .. } = &mut rec.kind {
+                replicas.push(objid);
+            }
+        }
+    }
+
     /// Phase two: every store agrees — mark the intent replay-safe.
     pub fn seal(&self, seq: u64, now: SimInstant) {
         let mut sealed_span = None;
@@ -316,6 +337,8 @@ mod tests {
                 path: "/a".into(),
                 objid: None,
                 punch: true,
+                replicas: Vec::new(),
+                replica_target: 1,
             },
             t,
         );
@@ -324,8 +347,14 @@ mod tests {
         assert!(j.sealed_intents().is_empty());
 
         j.annotate_objid(seq, 42);
+        j.annotate_replica(seq, 43);
         match j.get(seq).unwrap().kind {
-            IntentKind::MigrateCommit { objid, .. } => assert_eq!(objid, Some(42)),
+            IntentKind::MigrateCommit {
+                objid, replicas, ..
+            } => {
+                assert_eq!(objid, Some(42));
+                assert_eq!(replicas, vec![43]);
+            }
             other => panic!("wrong kind: {other:?}"),
         }
 
@@ -408,6 +437,25 @@ mod tests {
         let json = serde_json::to_string(&rec).unwrap();
         let back: IntentRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn legacy_migrate_commit_json_decodes_with_empty_replica_set() {
+        // A journal written before replication has no replica fields;
+        // serde(default) must decode it as an unreplicated intent.
+        let json = r#"{"MigrateCommit":{"ino":7,"path":"/a","objid":42,"punch":true}}"#;
+        let kind: IntentKind = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            kind,
+            IntentKind::MigrateCommit {
+                ino: 7,
+                path: "/a".into(),
+                objid: Some(42),
+                punch: true,
+                replicas: Vec::new(),
+                replica_target: 0,
+            }
+        );
     }
 
     #[test]

@@ -21,9 +21,11 @@
 //! orphans; all timing flows through [`copra_simtime`].
 
 pub mod cartridge;
+pub mod fleet;
 pub mod library;
 pub mod timing;
 
 pub use cartridge::{Cartridge, TapeAddress, TapeId, TapeRecord};
-pub use library::{DriveId, DriveStats, LibraryStats, TapeError, TapeLibrary};
+pub use fleet::TapeFleet;
+pub use library::{DriveId, DriveStats, LibraryId, LibraryStats, TapeError, TapeLibrary};
 pub use timing::TapeTiming;

@@ -17,13 +17,24 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
-/// Drive identifier.
+/// Drive identifier. Globally unique across a multi-library fleet: each
+/// library owns a contiguous id range starting at its drive base.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DriveId(pub u32);
 
 impl fmt::Display for DriveId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "drive{}", self.0)
+    }
+}
+
+/// Tape library identifier (site / robot complex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LibraryId(pub u32);
+
+impl fmt::Display for LibraryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lib{}", self.0)
     }
 }
 
@@ -56,6 +67,11 @@ pub enum TapeError {
     TransientIo(DriveId),
     /// Every drive in the library is fenced.
     NoHealthyDrive,
+    /// The whole library (all drives + robot) is offline; recalls must
+    /// fail over to a replica in another library until it returns.
+    LibraryOffline {
+        library: LibraryId,
+    },
 }
 
 impl fmt::Display for TapeError {
@@ -86,6 +102,12 @@ impl fmt::Display for TapeError {
             TapeError::DriveFailed(d) => write!(f, "{d} hard-failed and is fenced"),
             TapeError::TransientIo(d) => write!(f, "transient I/O error on {d}"),
             TapeError::NoHealthyDrive => write!(f, "no healthy drive in the library"),
+            TapeError::LibraryOffline { library } => {
+                write!(
+                    f,
+                    "library {library} is offline (all drives and robot fenced)"
+                )
+            }
         }
     }
 }
@@ -151,7 +173,7 @@ struct TapeMetrics {
 }
 
 impl TapeMetrics {
-    fn new(obs: &Registry, drives: usize) -> Self {
+    fn new(obs: &Registry, drive_base: u32, drives: usize) -> Self {
         TapeMetrics {
             mounts: obs.counter("tape.mounts"),
             dismounts: obs.counter("tape.dismounts"),
@@ -166,9 +188,10 @@ impl TapeMetrics {
             handoff_penalty_ns: obs.histogram("tape.handoff_penalty_ns"),
             per_drive: (0..drives)
                 .map(|i| {
+                    let g = drive_base + i as u32;
                     (
-                        obs.counter(&format!("tape.drive{i}.backhitches")),
-                        obs.counter(&format!("tape.drive{i}.backhitch_penalty_ns")),
+                        obs.counter(&format!("tape.drive{g}.backhitches")),
+                        obs.counter(&format!("tape.drive{g}.backhitch_penalty_ns")),
                     )
                 })
                 .collect(),
@@ -177,6 +200,13 @@ impl TapeMetrics {
 }
 
 struct LibShared {
+    /// Which library this is — drives every offline-fault consult and the
+    /// global id namespace below.
+    lib_id: LibraryId,
+    /// First global drive id owned by this library.
+    drive_base: u32,
+    /// First global tape id owned by this library.
+    tape_base: u32,
     timing: TapeTiming,
     robot: Timeline,
     drives: Vec<Mutex<DriveState>>,
@@ -186,6 +216,12 @@ struct LibShared {
     /// Armed fault plane; `None` keeps every operation on the zero-cost
     /// fault-free path.
     faults: RwLock<Option<Arc<FaultPlane>>>,
+    /// Manual whole-library outage toggle (tests / operator action); the
+    /// fault plane's scheduled windows OR with this.
+    forced_offline: std::sync::atomic::AtomicBool,
+    /// Whether the current outage has been counted (one injection per
+    /// outage, not per rejected operation).
+    outage_noted: std::sync::atomic::AtomicBool,
     obs: Arc<Registry>,
     metrics: TapeMetrics,
 }
@@ -203,18 +239,37 @@ impl TapeLibrary {
         Self::with_obs(drives, tapes, timing, Registry::new())
     }
 
-    /// A library reporting into a shared observability registry.
+    /// A library reporting into a shared observability registry. Identity
+    /// defaults to library 0 with drive/tape ids starting at 0 (the
+    /// single-library shape every pre-replication caller expects).
     pub fn with_obs(drives: usize, tapes: usize, timing: TapeTiming, obs: Arc<Registry>) -> Self {
+        Self::with_identity(LibraryId(0), 0, 0, drives, tapes, timing, obs)
+    }
+
+    /// A library with an explicit identity and global id bases: drive ids
+    /// are `drive_base..drive_base+drives`, tape ids
+    /// `tape_base..tape_base+tapes`, so a [`crate::TapeFleet`] can route
+    /// any `TapeAddress` or `DriveId` to its owning library.
+    pub fn with_identity(
+        lib_id: LibraryId,
+        drive_base: u32,
+        tape_base: u32,
+        drives: usize,
+        tapes: usize,
+        timing: TapeTiming,
+        obs: Arc<Registry>,
+    ) -> Self {
         assert!(drives > 0 && tapes > 0, "library needs drives and tapes");
         let drive_states = (0..drives)
             .map(|i| {
+                let g = drive_base + i as u32;
                 Mutex::new(DriveState {
                     mounted: None,
                     head_bytes: 0,
                     last_agent: None,
                     fenced: false,
                     timeline: Timeline::new(
-                        format!("tape-drive-{i}"),
+                        format!("tape-drive-{g}"),
                         timing.stream,
                         SimDuration::ZERO,
                     ),
@@ -223,17 +278,27 @@ impl TapeLibrary {
             })
             .collect();
         let cartridges = (0..tapes)
-            .map(|i| Mutex::new(Cartridge::new(TapeId(i as u32), timing.capacity)))
+            .map(|i| {
+                Mutex::new(Cartridge::new(
+                    TapeId(tape_base + i as u32),
+                    timing.capacity,
+                ))
+            })
             .collect();
-        let metrics = TapeMetrics::new(&obs, drives);
+        let metrics = TapeMetrics::new(&obs, drive_base, drives);
         TapeLibrary {
             shared: Arc::new(LibShared {
+                lib_id,
+                drive_base,
+                tape_base,
                 timing,
-                robot: Timeline::latency_only("robot", SimDuration::ZERO),
+                robot: Timeline::latency_only(format!("robot-{}", lib_id.0), SimDuration::ZERO),
                 drives: drive_states,
                 cartridges,
                 mounted_in: Mutex::new(FxHashMap::default()),
                 faults: RwLock::new(None),
+                forced_offline: std::sync::atomic::AtomicBool::new(false),
+                outage_noted: std::sync::atomic::AtomicBool::new(false),
                 obs,
                 metrics,
             }),
@@ -261,6 +326,90 @@ impl TapeLibrary {
     /// Whether a drive is fenced (hard-failed and withdrawn from service).
     pub fn is_fenced(&self, drive: DriveId) -> Result<bool, TapeError> {
         Ok(self.drive(drive)?.lock().fenced)
+    }
+
+    /// This library's identity.
+    pub fn lib_id(&self) -> LibraryId {
+        self.shared.lib_id
+    }
+
+    /// First global drive id owned by this library.
+    pub fn drive_base(&self) -> u32 {
+        self.shared.drive_base
+    }
+
+    /// First global tape id owned by this library.
+    pub fn tape_base(&self) -> u32 {
+        self.shared.tape_base
+    }
+
+    /// Does this library own `tape` (its id falls in our range)?
+    pub fn owns_tape(&self, tape: TapeId) -> bool {
+        tape.0 >= self.shared.tape_base
+            && ((tape.0 - self.shared.tape_base) as usize) < self.shared.cartridges.len()
+    }
+
+    /// Does this library own `drive`?
+    pub fn owns_drive(&self, drive: DriveId) -> bool {
+        drive.0 >= self.shared.drive_base
+            && ((drive.0 - self.shared.drive_base) as usize) < self.shared.drives.len()
+    }
+
+    /// Force the whole library offline (or back online) — the manual
+    /// counterpart of a scheduled [`copra_faults::ScheduledFault::LibraryOffline`]
+    /// window.
+    pub fn set_offline(&self, offline: bool) {
+        self.shared
+            .forced_offline
+            .store(offline, std::sync::atomic::Ordering::Relaxed);
+        if !offline {
+            self.shared
+                .outage_noted
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Is the library offline at `now` (manual toggle or a scheduled
+    /// outage window)? Pure query — does not count the injection.
+    pub fn is_offline(&self, now: SimInstant) -> bool {
+        self.shared
+            .forced_offline
+            .load(std::sync::atomic::Ordering::Relaxed)
+            || self
+                .armed_faults()
+                .is_some_and(|p| p.library_offline_at(self.shared.lib_id.0, now))
+    }
+
+    /// Count the current outage if it hasn't been noted yet. Callers that
+    /// *route around* a dead library (replica placement, recall cost
+    /// ranking) observe the outage without ever issuing a rejected
+    /// operation — this keeps `faults.library_outages` honest for them.
+    pub fn note_outage(&self, now: SimInstant) {
+        use std::sync::atomic::Ordering;
+        if self.is_offline(now) && !self.shared.outage_noted.swap(true, Ordering::Relaxed) {
+            if let Some(p) = self.armed_faults() {
+                p.note_library_outage(self.shared.lib_id.0, now);
+            }
+        }
+    }
+
+    /// Gate a drive/robot operation on the library being online. The
+    /// first rejected operation of an outage counts the injection; when
+    /// the window closes the note re-arms for the next outage.
+    fn check_online(&self, now: SimInstant) -> Result<(), TapeError> {
+        use std::sync::atomic::Ordering;
+        if self.is_offline(now) {
+            if !self.shared.outage_noted.swap(true, Ordering::Relaxed) {
+                if let Some(p) = self.armed_faults() {
+                    p.note_library_outage(self.shared.lib_id.0, now);
+                }
+            }
+            return Err(TapeError::LibraryOffline {
+                library: self.shared.lib_id,
+            });
+        }
+        self.shared.outage_noted.store(false, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Gate an operation on drive health: an already-fenced drive rejects
@@ -322,20 +471,25 @@ impl TapeLibrary {
     }
 
     pub fn drives(&self) -> impl Iterator<Item = DriveId> {
-        (0..self.shared.drives.len() as u32).map(DriveId)
+        let base = self.shared.drive_base;
+        (0..self.shared.drives.len() as u32).map(move |i| DriveId(base + i))
+    }
+
+    /// All tape ids this library owns, in id order.
+    pub fn tapes(&self) -> impl Iterator<Item = TapeId> {
+        let base = self.shared.tape_base;
+        (0..self.shared.cartridges.len() as u32).map(move |i| TapeId(base + i))
     }
 
     fn drive(&self, id: DriveId) -> Result<&Mutex<DriveState>, TapeError> {
-        self.shared
-            .drives
-            .get(id.0 as usize)
+        id.0.checked_sub(self.shared.drive_base)
+            .and_then(|i| self.shared.drives.get(i as usize))
             .ok_or(TapeError::NoSuchDrive(id))
     }
 
     fn cartridge(&self, id: TapeId) -> Result<&Mutex<Cartridge>, TapeError> {
-        self.shared
-            .cartridges
-            .get(id.0 as usize)
+        id.0.checked_sub(self.shared.tape_base)
+            .and_then(|i| self.shared.cartridges.get(i as usize))
             .ok_or(TapeError::NoSuchTape(id))
     }
 
@@ -361,24 +515,25 @@ impl TapeLibrary {
     /// Volumes with at least `len` bytes of space, emptiest-first — the
     /// simple scratch-pool allocator the HSM server uses.
     pub fn tapes_with_space(&self, len: DataSize) -> Vec<TapeId> {
-        let mut v: Vec<(u64, TapeId)> = self
-            .shared
+        let mut v = self.tape_fill_levels(len);
+        v.sort_unstable();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Unsorted `(bytes_written, id)` fill levels of every volume with at
+    /// least `len` bytes free — the substrate a fleet merges across
+    /// libraries for a globally emptiest-first allocation order.
+    pub fn tape_fill_levels(&self, len: DataSize) -> Vec<(u64, TapeId)> {
+        let cap = self.shared.timing.capacity.as_bytes();
+        self.shared
             .cartridges
             .iter()
             .map(|c| {
                 let c = c.lock();
                 (c.bytes_written(), c.id())
             })
-            .filter(|(written, id)| {
-                let cap = self.shared.timing.capacity.as_bytes();
-                written + len.as_bytes() <= cap && {
-                    let _ = id;
-                    true
-                }
-            })
-            .collect();
-        v.sort_unstable();
-        v.into_iter().map(|(_, id)| id).collect()
+            .filter(|(written, _)| written + len.as_bytes() <= cap)
+            .collect()
     }
 
     /// Mount `tape` in `drive` (dismounting whatever is there). No-op if
@@ -390,6 +545,7 @@ impl TapeLibrary {
         ready: SimInstant,
     ) -> Result<SimInstant, TapeError> {
         let _ = self.cartridge(tape)?; // validate id
+        self.check_online(ready)?;
         let mut st = self.drive(drive)?.lock();
         self.check_drive_health(&mut st, drive, ready)?;
         if st.mounted == Some(tape) {
@@ -457,6 +613,7 @@ impl TapeLibrary {
 
     /// Dismount whatever the drive holds (rewind + unload + robot).
     pub fn dismount(&self, drive: DriveId, ready: SimInstant) -> Result<SimInstant, TapeError> {
+        self.check_online(ready)?;
         let mut st = self.drive(drive)?.lock();
         self.check_drive_health(&mut st, drive, ready)?;
         let Some(old) = st.mounted else {
@@ -493,6 +650,7 @@ impl TapeLibrary {
         tape: TapeId,
         ready: SimInstant,
     ) -> Result<(DriveId, SimInstant), TapeError> {
+        self.check_online(ready)?;
         if let Some(d) = self.drive_holding(tape) {
             // The holder may carry a hard-failure scheduled before `ready`;
             // fence it here instead of bouncing every caller off a dead
@@ -506,12 +664,12 @@ impl TapeLibrary {
         // Fenced drives (and drives due to fail by `ready`) are skipped.
         let mut candidates: Vec<(bool, SimInstant, u32)> = Vec::new();
         for (i, d) in self.shared.drives.iter().enumerate() {
-            let id = DriveId(i as u32);
+            let id = DriveId(self.shared.drive_base + i as u32);
             let mut st = d.lock();
             if self.check_drive_health(&mut st, id, ready).is_err() {
                 continue;
             }
-            candidates.push((st.mounted.is_some(), st.timeline.next_free(), i as u32));
+            candidates.push((st.mounted.is_some(), st.timeline.next_free(), id.0));
         }
         candidates.sort_unstable(); // occupied=false first, then earliest free, then id
         let Some(&(_, _, first)) = candidates.first() else {
@@ -578,6 +736,7 @@ impl TapeLibrary {
         ready: SimInstant,
     ) -> Result<(TapeAddress, SimInstant), TapeError> {
         let len = content.len();
+        self.check_online(ready)?;
         let mut st = self.drive(drive)?.lock();
         self.check_drive_health(&mut st, drive, ready)?;
         let tape = st.mounted.ok_or(TapeError::NotMounted(drive))?;
@@ -607,7 +766,10 @@ impl TapeLibrary {
         m.backhitches.inc();
         m.bytes_written.add(len);
         m.backhitch_penalty_ns.record(t.backhitch.as_nanos());
-        if let Some((count, penalty)) = m.per_drive.get(drive.0 as usize) {
+        if let Some((count, penalty)) = (drive.0)
+            .checked_sub(self.shared.drive_base)
+            .and_then(|i| m.per_drive.get(i as usize))
+        {
             count.inc();
             penalty.add(t.backhitch.as_nanos());
         }
@@ -622,6 +784,7 @@ impl TapeLibrary {
         addr: TapeAddress,
         ready: SimInstant,
     ) -> Result<(Content, SimInstant), TapeError> {
+        self.check_online(ready)?;
         let mut st = self.drive(drive)?.lock();
         self.check_drive_health(&mut st, drive, ready)?;
         let mounted = st.mounted;
@@ -672,6 +835,7 @@ impl TapeLibrary {
         len: u64,
         ready: SimInstant,
     ) -> Result<(Content, SimInstant), TapeError> {
+        self.check_online(ready)?;
         let mut st = self.drive(drive)?.lock();
         self.check_drive_health(&mut st, drive, ready)?;
         let mounted = st.mounted;
@@ -785,6 +949,40 @@ impl TapeLibrary {
             }
         }
         out
+    }
+
+    /// Estimated time until the record at `addr` could start streaming:
+    /// already-mounted volumes cost queue wait + locate distance, unmounted
+    /// ones a full robot fetch + mount + label verify + locate from BOT.
+    /// `None` when the library is offline or the record does not exist —
+    /// recall routing treats that replica as unavailable.
+    pub fn recall_cost_estimate(&self, addr: TapeAddress, now: SimInstant) -> Option<SimDuration> {
+        if self.is_offline(now) {
+            return None;
+        }
+        let start = {
+            let cart = self.cartridge(addr.tape).ok()?;
+            let cart = cart.lock();
+            let rec = cart.record(addr.seq)?;
+            if rec.is_deleted() || rec.damaged {
+                return None;
+            }
+            rec.start
+        };
+        let t = &self.shared.timing;
+        let mount_cost = t.robot_move + t.mount + t.label_verify;
+        Some(match self.drive_holding(addr.tape) {
+            Some(d) => {
+                let st = self.drive(d).ok()?.lock();
+                if st.fenced {
+                    mount_cost + t.locate_time(DataSize::from_bytes(start))
+                } else {
+                    let wait = st.timeline.next_free().saturating_since(now);
+                    wait + t.locate_time(DataSize::from_bytes(start.abs_diff(st.head_bytes)))
+                }
+            }
+            None => mount_cost + t.locate_time(DataSize::from_bytes(start)),
+        })
     }
 
     /// Mechanical + time statistics.
@@ -1057,10 +1255,108 @@ mod tests {
                 "transient I/O error on drive6",
             ),
             (TapeError::NoHealthyDrive, "no healthy drive in the library"),
+            (
+                TapeError::LibraryOffline {
+                    library: LibraryId(2),
+                },
+                "library lib2 is offline (all drives and robot fenced)",
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);
         }
+    }
+
+    #[test]
+    fn offline_library_rejects_reads_until_it_returns() {
+        use copra_faults::FaultPlan;
+        let l = lib();
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        let content = Content::synthetic(8, 1 << 20);
+        let (addr, t1) = l
+            .write_object(DriveId(0), 1, 1, content.clone(), t0)
+            .unwrap();
+        l.arm_faults(
+            FaultPlan::new(3)
+                .offline_library_until(0, SimInstant::from_secs(100), SimInstant::from_secs(500))
+                .arm(l.obs().clone()),
+        );
+        // Before the window the read-path is untouched.
+        let (_, t2) = l.read_object(DriveId(0), 1, addr, t1).unwrap();
+        // Inside the window every drive/robot operation is rejected.
+        let off = SimInstant::from_secs(200);
+        let want = TapeError::LibraryOffline {
+            library: LibraryId(0),
+        };
+        assert_eq!(l.read_object(DriveId(0), 1, addr, off).unwrap_err(), want);
+        assert_eq!(
+            l.read_object_range(DriveId(0), 1, addr, 0, 100, off)
+                .unwrap_err(),
+            want
+        );
+        assert_eq!(l.ensure_mounted(TapeId(0), off).unwrap_err(), want);
+        assert_eq!(
+            l.write_object(DriveId(0), 1, 2, Content::synthetic(9, 100), off)
+                .unwrap_err(),
+            want
+        );
+        assert!(l.is_offline(off));
+        assert!(l.recall_cost_estimate(addr, off).is_none());
+        // After the window the mount survived and the data reads clean.
+        let back = SimInstant::from_secs(600);
+        assert!(!l.is_offline(back));
+        let (got, _) = l.read_object(DriveId(0), 1, addr, back.max(t2)).unwrap();
+        assert!(got.eq_content(&content));
+        // One outage observed, counted once despite many rejections.
+        assert_eq!(l.obs().snapshot().counter("faults.library_outages"), 1);
+    }
+
+    #[test]
+    fn identity_bases_shift_the_id_namespace() {
+        let l = TapeLibrary::with_identity(
+            LibraryId(1),
+            4,
+            32,
+            2,
+            4,
+            TapeTiming::lto4(),
+            Registry::new(),
+        );
+        assert_eq!(l.lib_id(), LibraryId(1));
+        assert_eq!(l.drives().collect::<Vec<_>>(), vec![DriveId(4), DriveId(5)]);
+        assert_eq!(l.tapes().next(), Some(TapeId(32)));
+        assert!(l.owns_tape(TapeId(35)) && !l.owns_tape(TapeId(36)));
+        assert!(l.owns_drive(DriveId(5)) && !l.owns_drive(DriveId(3)));
+        // Out-of-range ids are rejected, in-range ones work end to end.
+        assert_eq!(
+            l.mount(DriveId(0), TapeId(32), SimInstant::EPOCH),
+            Err(TapeError::NoSuchDrive(DriveId(0)))
+        );
+        let t0 = l.mount(DriveId(4), TapeId(32), SimInstant::EPOCH).unwrap();
+        let content = Content::synthetic(1, 1 << 20);
+        let (addr, t1) = l
+            .write_object(DriveId(4), 1, 7, content.clone(), t0)
+            .unwrap();
+        assert_eq!(addr.tape, TapeId(32));
+        assert_eq!(l.drive_holding(TapeId(32)), Some(DriveId(4)));
+        let (back, _) = l.read_object(DriveId(4), 1, addr, t1).unwrap();
+        assert!(back.eq_content(&content));
+        assert_eq!(l.tapes_with_space(DataSize::mb(1)).len(), 4);
+        let (d, _) = l.ensure_mounted(TapeId(33), t1).unwrap();
+        assert_eq!(d, DriveId(5), "empty drive picked under global ids");
+    }
+
+    #[test]
+    fn manual_offline_toggle_round_trips() {
+        let l = lib();
+        let t0 = l.mount(DriveId(0), TapeId(0), SimInstant::EPOCH).unwrap();
+        l.set_offline(true);
+        assert!(matches!(
+            l.ensure_mounted(TapeId(0), t0),
+            Err(TapeError::LibraryOffline { .. })
+        ));
+        l.set_offline(false);
+        assert_eq!(l.ensure_mounted(TapeId(0), t0).unwrap(), (DriveId(0), t0));
     }
 
     #[test]

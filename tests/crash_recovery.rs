@@ -55,8 +55,8 @@ struct Scenario {
 /// Run the mixed scenario: migrate everything (punching holes), trash and
 /// purge one file, sync-delete another, then space-reclaim the volume the
 /// deletes hollowed out. Stops dead at the armed crash point, if any.
-fn run_scenario(crash: Option<(&str, u32)>) -> Scenario {
-    let sys = ArchiveSystem::new(SystemConfig::test_small());
+fn run_scenario(config: SystemConfig, crash: Option<(&str, u32)>) -> Scenario {
+    let sys = ArchiveSystem::new(config);
     sys.archive().mkdir_p("/data").unwrap();
     let mut originals = BTreeMap::new();
     for (i, (name, size)) in FILES.iter().enumerate() {
@@ -149,6 +149,8 @@ struct Outcome {
     stubs_demoted: usize,
     tape_records_dropped: usize,
     catalog_rows_fixed: u64,
+    under_replicated: usize,
+    diverged_replicas: usize,
     end_ns: u64,
     survivors: Vec<String>,
 }
@@ -166,6 +168,21 @@ fn recover_and_check(scen: &Scenario, site: &str, occurrence: u32) -> Outcome {
         recovery.scrub.lost_stubs.is_empty(),
         "{ctx}: lost data behind stubs {:?}",
         recovery.scrub.lost_stubs
+    );
+
+    // Replication invariant: recovery leaves no half-replicated object —
+    // an open intent's whole replica group rolls back together, a sealed
+    // one replays fully, so the scrub replica audit finds nothing. (Both
+    // lists are trivially empty under Single placement.)
+    assert!(
+        recovery.scrub.under_replicated.is_empty(),
+        "{ctx}: half-replicated objects {:?}",
+        recovery.scrub.under_replicated
+    );
+    assert!(
+        recovery.scrub.diverged_replicas.is_empty(),
+        "{ctx}: diverged replicas {:?}",
+        recovery.scrub.diverged_replicas
     );
 
     // Invariant 1: zero lost bytes. Every file left anywhere in the
@@ -242,15 +259,25 @@ fn recover_and_check(scen: &Scenario, site: &str, occurrence: u32) -> Outcome {
         stubs_demoted: recovery.scrub.stubs_demoted.len(),
         tape_records_dropped: recovery.scrub.tape_records_dropped,
         catalog_rows_fixed: recovery.scrub.catalog_rows_fixed,
+        under_replicated: recovery.scrub.under_replicated.len(),
+        diverged_replicas: recovery.scrub.diverged_replicas.len(),
         end_ns: recovery.end.as_nanos(),
         survivors,
     }
 }
 
+fn sweep_config(mirrored: bool) -> SystemConfig {
+    if mirrored {
+        SystemConfig::test_replicated(2)
+    } else {
+        SystemConfig::test_small()
+    }
+}
+
 /// One full sweep: enumerate, then crash-and-recover at every point.
-fn sweep() -> (Vec<(String, u32)>, Vec<Outcome>) {
+fn sweep(mirrored: bool) -> (Vec<(String, u32)>, Vec<Outcome>) {
     // Enumeration run: empty plan, nothing fires, every consult is logged.
-    let scen = run_scenario(None);
+    let scen = run_scenario(sweep_config(mirrored), None);
     assert!(scen.crashed.is_none());
     let mut points: Vec<(String, u32)> = Vec::new();
     for p in scen.plane.consulted_crash_points() {
@@ -268,7 +295,7 @@ fn sweep() -> (Vec<(String, u32)>, Vec<Outcome>) {
 
     let mut outcomes = Vec::new();
     for (site, occ) in &points {
-        let scen = run_scenario(Some((site, *occ)));
+        let scen = run_scenario(sweep_config(mirrored), Some((site, *occ)));
         assert_eq!(
             scen.crashed.as_deref(),
             Some(site.as_str()),
@@ -281,7 +308,7 @@ fn sweep() -> (Vec<(String, u32)>, Vec<Outcome>) {
 
 #[test]
 fn every_crash_point_recovers_with_all_invariants() {
-    let (points, outcomes) = sweep();
+    let (points, outcomes) = sweep(false);
     // Broad coverage: migrate, store, delete, purge and reclaim sites all
     // consulted, many more than once.
     let sites: std::collections::BTreeSet<&str> = points.iter().map(|(s, _)| s.as_str()).collect();
@@ -313,10 +340,33 @@ fn every_crash_point_recovers_with_all_invariants() {
 
 #[test]
 fn sweep_is_deterministic_across_runs() {
-    let (points_a, a) = sweep();
-    let (points_b, b) = sweep();
+    let (points_a, a) = sweep(false);
+    let (points_b, b) = sweep(false);
     assert_eq!(points_a, points_b, "enumeration must be stable");
     assert_eq!(a, b, "same seed must reproduce identical recovery outcomes");
+}
+
+/// The same sweep under two-way mirrored placement across two libraries:
+/// every crash site — now including the replica-write site — recovers
+/// with the original four invariants plus zero half-replicated objects,
+/// and the whole sweep is bit-deterministic.
+#[test]
+fn mirrored_sweep_recovers_with_no_half_replicated_objects() {
+    let (points, outcomes) = sweep(true);
+    let sites: std::collections::BTreeSet<&str> = points.iter().map(|(s, _)| s.as_str()).collect();
+    assert!(
+        sites.contains("migrate.replica.after_store"),
+        "replica-write crash site never consulted: {points:?}"
+    );
+    assert_eq!(points.len(), outcomes.len());
+    // Recovery never leaves a partially-replicated group behind
+    // (recover_and_check already asserted per-point; this documents it).
+    assert!(outcomes.iter().all(|o| o.under_replicated == 0));
+    assert!(outcomes.iter().all(|o| o.diverged_replicas == 0));
+
+    let (points_b, outcomes_b) = sweep(true);
+    assert_eq!(points, points_b, "mirrored enumeration must be stable");
+    assert_eq!(outcomes, outcomes_b, "mirrored sweep must be deterministic");
 }
 
 /// Recovery paints its own span tree: a crash mid-migrate followed by
@@ -389,7 +439,7 @@ fn traced_crash_recovery_paints_recover_spans() {
 fn fault_free_baseline_snapshots_zero_recovery_counters() {
     // No crash, no recover() call: the journal.recovered_* counters are
     // never registered, so a snapshot reports zero for all of them.
-    let scen = run_scenario(None);
+    let scen = run_scenario(SystemConfig::test_small(), None);
     let m = scen.sys.snapshot().metrics;
     assert_eq!(m.counter("journal.recovered_replayed"), 0);
     assert_eq!(m.counter("journal.recovered_rolled_back"), 0);

@@ -6,16 +6,27 @@
 //! parser handles the shapes this workspace uses: non-generic named/tuple/
 //! unit structs and enums with unit, tuple, and struct variants, following
 //! serde's external representation (newtype transparency, externally
-//! tagged enums). `#[serde(...)]` attributes are accepted and ignored.
+//! tagged enums). `#[serde(...)]` attributes are accepted and ignored,
+//! with one exception: `#[serde(default)]` on a named field is honoured —
+//! a missing or `Null` field decodes via `Default::default()`, so types
+//! can grow fields without breaking old serialized data.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// One named field: its identifier and whether `#[serde(default)]` makes
+/// a missing value decode as `Default::default()`.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -28,7 +39,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -153,12 +164,62 @@ fn count_top_level_fields(stream: TokenStream) -> usize {
     fields
 }
 
-/// Extract field names from a brace-delimited named-field list.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Does an attribute bracket-group spell `serde(...)` with a bare
+/// `default` argument (possibly among others, comma-separated)?
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            let mut depth = 0i32;
+            let mut at_arg_start = true;
+            for t in args.stream() {
+                match &t {
+                    TokenTree::Ident(id) if at_arg_start && depth == 0 => {
+                        if id.to_string() == "default" {
+                            return true;
+                        }
+                        at_arg_start = false;
+                    }
+                    TokenTree::Punct(p) => match p.as_char() {
+                        ',' if depth == 0 => at_arg_start = true,
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => at_arg_start = false,
+                    },
+                    _ => at_arg_start = false,
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Extract field names from a brace-delimited named-field list, noting
+/// which carry `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
+        // Scan this field's attributes for #[serde(default)] before
+        // skipping the rest of the prefix (doc comments, visibility).
+        let mut default = false;
+        loop {
+            match (tokens.get(i), tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) if p.as_char() == '#' => {
+                    if attr_is_serde_default(g) {
+                        default = true;
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
         skip_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
@@ -186,7 +247,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -243,7 +304,10 @@ fn gen_serialize(name: &str, kind: &Kind) -> String {
         Kind::NamedStruct(fields) => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| format!("({f:?}.to_string(), {S}(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("({f:?}.to_string(), {S}(&self.{f}))")
+                })
                 .collect();
             format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
         }
@@ -277,10 +341,17 @@ fn gen_serialize(name: &str, kind: &Kind) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pairs: Vec<String> = fields
                                 .iter()
-                                .map(|f| format!("({f:?}.to_string(), {S}({f}))"))
+                                .map(|f| {
+                                    let f = &f.name;
+                                    format!("({f:?}.to_string(), {S}({f}))")
+                                })
                                 .collect();
                             format!(
                                 "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
@@ -300,17 +371,29 @@ fn gen_serialize(name: &str, kind: &Kind) -> String {
     )
 }
 
+/// Deserialization initializer for one named field of the source object
+/// expression `src`: defaulted fields treat a missing or `Null` value as
+/// `Default::default()` instead of a type error.
+fn field_init(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match {src}.get_field({name:?}) {{\n\
+                 ::std::option::Option::None | ::std::option::Option::Some(::serde::Value::Null) => ::std::default::Default::default(),\n\
+                 ::std::option::Option::Some(__fv) => {D}(__fv).map_err(|e| e.in_field({name:?}))?,\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{name}: {D}({src}.get_field({name:?}).unwrap_or(&::serde::Value::Null)).map_err(|e| e.in_field({name:?}))?"
+        )
+    }
+}
+
 fn gen_deserialize(name: &str, kind: &Kind) -> String {
     let body = match kind {
         Kind::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: {D}(__v.get_field({f:?}).unwrap_or(&::serde::Value::Null)).map_err(|e| e.in_field({f:?}))?"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "__v")).collect();
             format!(
                 "match __v {{\n\
                      ::serde::Value::Object(_) => Ok({name} {{ {} }}),\n\
@@ -358,14 +441,8 @@ fn gen_deserialize(name: &str, kind: &Kind) -> String {
                             ))
                         }
                         VariantKind::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: {D}(__inner.get_field({f:?}).unwrap_or(&::serde::Value::Null)).map_err(|e| e.in_field({f:?}))?"
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, "__inner")).collect();
                             Some(format!(
                                 "{vn:?} => Ok({name}::{vn} {{ {} }}),",
                                 inits.join(", ")
