@@ -142,6 +142,7 @@ fn run(failed_drives: usize, fail_at: &[SimDuration]) -> Row {
 }
 
 fn main() {
+    let cli = copra_bench::BenchCli::parse();
     // Baseline first: its duration positions the drive kills mid-campaign.
     let base = run(0, &[]);
     let span = SimInstant::from_secs(0) + SimDuration::from_nanos((base.sim_seconds * 1e9) as u64);
@@ -191,6 +192,5 @@ fn main() {
         "\n  Every row completed with zero lost bytes (fingerprint-verified);\n  the 1-drive scenario reproduced bit-identically on a second run.\n  Fencing re-queues the dead drive's tape work onto healthy drives, so\n  goodput degrades instead of the campaign failing."
     );
     write_json("tbl_faults", &rows);
-    copra_bench::dump_metrics_if_requested();
-    copra_bench::dump_trace_if_requested();
+    cli.finish();
 }

@@ -161,7 +161,8 @@ fn baseline() {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = copra_bench::BenchCli::parse();
+    let quick = cli.quick;
     baseline();
     let lengths: &[usize] = if quick { &[8, 32] } else { &[8, 32, 128, 512] };
     let rows: Vec<Row> = lengths.iter().map(|&n| run(n / 2, n - n / 2)).collect();
@@ -216,6 +217,5 @@ fn main() {
     )
     .expect("write BENCH_recovery.json");
     println!("  [json] BENCH_recovery.json");
-    copra_bench::dump_metrics_if_requested();
-    copra_bench::dump_trace_if_requested();
+    cli.finish();
 }

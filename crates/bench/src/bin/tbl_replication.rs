@@ -182,7 +182,8 @@ struct Bench {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = copra_bench::BenchCli::parse();
+    let quick = cli.quick;
     let files = if quick { 12 } else { 40 };
 
     let rows = vec![run(1, files), run(2, files), run(4, files)];
@@ -252,6 +253,5 @@ fn main() {
     )
     .expect("write BENCH_replication.json");
     println!("  [json] BENCH_replication.json");
-    copra_bench::dump_metrics_if_requested();
-    copra_bench::dump_trace_if_requested();
+    cli.finish();
 }

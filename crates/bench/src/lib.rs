@@ -16,6 +16,7 @@
 //! | `tbl_syncdel` | §4.2.6 synchronous delete vs reconcile |
 //! | `tbl_restart` | §4.5 restartable transfer chunk marking |
 //! | `tbl_faults` | retrieval goodput under injected drive/media/mover failures |
+//! | `tbl_stager` | fair-share stager vs unscheduled FIFO recall (T-STAGER) |
 //!
 //! Each binary prints an aligned table and writes the same rows as JSON to
 //! `target/experiments/<name>.json`; `EXPERIMENTS.md` quotes these runs.
@@ -128,6 +129,38 @@ pub const EXPERIMENT_SEED: u64 = 0x0000_C075_2010;
 /// an empty interval) — the one rate formula every binary reports with.
 pub fn mb_per_sec(bytes: u64, start: SimInstant, end: SimInstant) -> f64 {
     achieved_rate(DataSize::from_bytes(bytes), end.saturating_since(start)).as_mb_per_sec_f64()
+}
+
+/// The CLI surface every experiment binary shares, parsed once up front:
+/// `--quick` (shrunken smoke-test workload), `--metrics-out <path>` and
+/// `--trace-out <path>`. Binaries used to re-parse these ad hoc; parse
+/// with [`BenchCli::parse`] at the top of `main` and call
+/// [`BenchCli::finish`] at the bottom instead.
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    /// `--quick`: run the smoke-test-sized version of the experiment.
+    pub quick: bool,
+    /// `--metrics-out <path>`: dump the noted rig's metrics snapshot.
+    pub metrics_out: Option<PathBuf>,
+    /// `--trace-out <path>`: arm the bench tracer, dump Chrome JSON.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl BenchCli {
+    pub fn parse() -> Self {
+        BenchCli {
+            quick: std::env::args().any(|a| a == "--quick"),
+            metrics_out: metrics_out_arg(),
+            trace_out: trace_out_arg(),
+        }
+    }
+
+    /// The standard experiment epilogue: honor `--metrics-out` and
+    /// `--trace-out` in the conventional order.
+    pub fn finish(&self) {
+        dump_metrics_if_requested();
+        dump_trace_if_requested();
+    }
 }
 
 /// `--metrics-out <path>` (or `--metrics-out=<path>`) from the command

@@ -3,12 +3,13 @@
 use copra_cluster::{ClusterConfig, FtaCluster, LoadManager, Moab};
 use copra_faults::{FaultPlan, FaultPlane, RetryPolicy};
 use copra_fuse::ArchiveFuse;
-use copra_hsm::{Hsm, PlacementPolicy, TsmServer};
+use copra_hsm::{DataPath, Hsm, HsmResult, PlacementPolicy, TsmServer};
 use copra_metadb::TsmCatalog;
 use copra_obs::Registry;
-use copra_pfs::{Cmp, Pfs, PfsBuilder, PolicyEngine, PoolConfig, Predicate, Rule};
+use copra_pfs::{Cmp, HsmState, Pfs, PfsBuilder, PolicyEngine, PoolConfig, Predicate, Rule};
 use copra_pftool::{pfcm, pfcp, pfls, CompareReport, CopyReport, FsView, ListReport, PftoolConfig};
-use copra_simtime::{Clock, DataSize, SimDuration};
+use copra_simtime::{Clock, DataSize, SimDuration, SimInstant};
+use copra_stager::{Admission, MigrateRequest, RecallRequest, Stager, StagerConfig};
 use copra_tape::{TapeFleet, TapeTiming};
 use std::sync::Arc;
 
@@ -49,6 +50,15 @@ pub struct SystemConfig {
     pub fuse_chunk: DataSize,
     /// LoadManager refresh period.
     pub loadmgr_refresh: SimDuration,
+    /// Fault plan to arm at construction ([`SystemConfig::with_faults`]).
+    /// `None` builds a fault-free system with no `faults.*` metrics.
+    pub faults: Option<FaultPlan>,
+    /// Tracer to arm at construction ([`SystemConfig::with_tracer`]).
+    pub tracer: Option<copra_trace::Tracer>,
+    /// Stager front end to build at construction
+    /// ([`SystemConfig::with_stager`]). `None` leaves recalls unscheduled
+    /// (the historical direct-to-HSM path).
+    pub stager: Option<StagerConfig>,
 }
 
 impl SystemConfig {
@@ -72,6 +82,9 @@ impl SystemConfig {
             fuse_threshold: DataSize::gb(100),
             fuse_chunk: DataSize::gb(10),
             loadmgr_refresh: SimDuration::from_secs(60),
+            faults: None,
+            tracer: None,
+            stager: None,
         }
     }
 
@@ -95,6 +108,9 @@ impl SystemConfig {
             fuse_threshold: DataSize::mb(200),
             fuse_chunk: DataSize::mb(50),
             loadmgr_refresh: SimDuration::from_secs(60),
+            faults: None,
+            tracer: None,
+            stager: None,
         }
     }
 
@@ -106,6 +122,52 @@ impl SystemConfig {
             placement: PlacementPolicy::Mirror { copies: 2 },
             ..SystemConfig::test_small()
         }
+    }
+
+    // ----- fluent arming ---------------------------------------------------
+    //
+    // Historically faults, tracing, retry and the stager were armed by
+    // separate post-construction mutators; these builders let benches and
+    // tests produce a fully-armed system in one expression:
+    //
+    // ```ignore
+    // let sys = ArchiveSystem::new(
+    //     SystemConfig::test_small()
+    //         .with_faults(plan)
+    //         .with_tracer(tracer)
+    //         .with_retry(RetryPolicy::immediate(4))
+    //         .with_stager(StagerConfig::default()),
+    // );
+    // ```
+    //
+    // The old mutators ([`ArchiveSystem::arm_faults`],
+    // [`ArchiveSystem::arm_tracing`]) remain as thin shims — `new`
+    // delegates to them when these fields are set.
+
+    /// Arm this fault plan at construction.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Arm this tracer at construction.
+    pub fn with_tracer(mut self, tracer: copra_trace::Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Use this fallback retry policy (what `TsmServer::set_default_retry`
+    /// applied post-construction).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Build a [`Stager`] front end at construction; reach it through
+    /// [`ArchiveSystem::stager`].
+    pub fn with_stager(mut self, cfg: StagerConfig) -> Self {
+        self.stager = Some(cfg);
+        self
     }
 }
 
@@ -130,6 +192,8 @@ pub struct ArchiveSystem {
     scratch_view: FsView,
     archive_view: FsView,
     obs: Arc<Registry>,
+    stager: Option<Arc<Stager>>,
+    fault_plane: Option<Arc<FaultPlane>>,
 }
 
 impl ArchiveSystem {
@@ -196,7 +260,7 @@ impl ArchiveSystem {
         );
         // Standard trashcan root, present from day one (§4.2.7).
         archive.mkdir_p(crate::trashcan::TRASH_ROOT).unwrap();
-        ArchiveSystem {
+        let mut sys = ArchiveSystem {
             clock,
             cluster,
             scratch,
@@ -209,7 +273,21 @@ impl ArchiveSystem {
             scratch_view,
             archive_view,
             obs,
+            stager: None,
+            fault_plane: None,
+        };
+        // Fluent arming: delegate to the historical mutators so the two
+        // surfaces cannot drift apart.
+        if let Some(tracer) = config.tracer {
+            sys.arm_tracing(tracer);
         }
+        if let Some(plan) = config.faults {
+            sys.fault_plane = Some(sys.arm_faults(plan));
+        }
+        if let Some(stager_cfg) = config.stager {
+            sys.stager = Some(Arc::new(Stager::new(sys.hsm.clone(), stager_cfg)));
+        }
+        sys
     }
 
     // ----- accessors -------------------------------------------------------
@@ -250,6 +328,54 @@ impl ArchiveSystem {
     /// The stack-wide metrics registry.
     pub fn obs(&self) -> &Arc<Registry> {
         &self.obs
+    }
+    /// The stager front end, when [`SystemConfig::with_stager`] built one.
+    pub fn stager(&self) -> Option<&Arc<Stager>> {
+        self.stager.as_ref()
+    }
+    /// The fault plane armed at construction by
+    /// [`SystemConfig::with_faults`] (post-construction
+    /// [`ArchiveSystem::arm_faults`] hands its plane back directly).
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.fault_plane.as_ref()
+    }
+
+    // ----- typed request entry points ---------------------------------------
+
+    /// Recall through the typed request surface. With a stager configured
+    /// this is a stager submit (fair-share scheduling, admission verdicts,
+    /// pool hits); without one it is the historical direct recall, eagerly
+    /// executed — the verdict is always `Accepted`. Positional callers
+    /// (`Hsm::recall_file` and friends) keep working as thin shims under
+    /// this surface.
+    pub fn recall(&self, req: RecallRequest, now: SimInstant) -> HsmResult<Admission> {
+        if let Some(stager) = &self.stager {
+            return stager.submit(req, now);
+        }
+        let ino = self.archive.resolve(&req.path)?;
+        if self.archive.hsm_state(ino)? == HsmState::Migrated {
+            let nodes = self.cluster.node_count() as u32;
+            let node = copra_cluster::NodeId((ino.0 % nodes as u64) as u32);
+            self.hsm.recall_file(ino, node, DataPath::LanFree, now)?;
+        } else {
+            let bytes = self.archive.logical_size(ino)?;
+            self.archive
+                .charge_read(ino, now, DataSize::from_bytes(bytes));
+        }
+        Ok(Admission::Accepted)
+    }
+
+    /// Migrate through the typed request surface: resolves the path, picks
+    /// a mover node, and runs the HSM migrate with the request's `punch`
+    /// flag. Returns the completion instant.
+    pub fn migrate(&self, req: &MigrateRequest, now: SimInstant) -> HsmResult<SimInstant> {
+        let ino = self.archive.resolve(&req.path)?;
+        let nodes = self.cluster.node_count() as u32;
+        let node = copra_cluster::NodeId((ino.0 % nodes as u64) as u32);
+        let (_objid, end) = self
+            .hsm
+            .migrate_file(ino, node, DataPath::LanFree, now, req.punch)?;
+        Ok(end)
     }
 
     // ----- fault injection --------------------------------------------------

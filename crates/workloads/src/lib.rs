@@ -15,6 +15,8 @@
 
 pub mod generators;
 pub mod open_science;
+pub mod stager_campaign;
 
 pub use generators::{huge_file, mixed_tree, populate, small_file_storm, FileSpec, TreeSpec};
 pub use open_science::{CampaignSpec, JobSpec, OpenScienceTrace};
+pub use stager_campaign::{StagerCampaign, StagerCampaignSpec, StagerRequestSpec, Zipf};

@@ -49,6 +49,7 @@ pub use copra_obs as obs;
 pub use copra_pfs as pfs;
 pub use copra_pftool as pftool;
 pub use copra_simtime as simtime;
+pub use copra_stager as stager;
 pub use copra_tape as tape;
 pub use copra_trace as trace;
 pub use copra_vfs as vfs;
